@@ -1,0 +1,33 @@
+"""EXTENSION — submarine-cable landing-point proximity (future work iii).
+
+The paper's conclusions propose correlating latency with the proximity of
+endpoints/relays to submarine cable landing points.  We split the
+campaign's intercontinental pairs by whether both endpoints sit within
+500 km of a landing station and compare direct RTTs and Colo-relay
+benefit.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cables import CableProximityAnalysis
+from repro.core.types import RelayType
+
+
+def test_cable_proximity(benchmark, result, report_sink):
+    analysis = CableProximityAnalysis(result, threshold_km=500.0)
+    report = benchmark(analysis.report, RelayType.COR)
+
+    report_sink(
+        "ext_cables",
+        f"threshold: both endpoints within {report.threshold_km:.0f} km of a "
+        "landing point\n"
+        f"near pairs: {report.near_pairs}  (median direct RTT "
+        f"{report.near_direct_median_ms:.0f} ms, COR improves "
+        f"{100 * report.near_improved_rate:.1f}%)\n"
+        f"far pairs:  {report.far_pairs}  (median direct RTT "
+        f"{report.far_direct_median_ms:.0f} ms, COR improves "
+        f"{100 * report.far_improved_rate:.1f}%)",
+    )
+    assert report.near_pairs > 0 and report.far_pairs > 0
+    # coastal-hub endpoints ride shorter intercontinental paths
+    assert report.near_direct_median_ms <= report.far_direct_median_ms * 1.3

@@ -1,0 +1,43 @@
+"""EXTENSION — is one relay enough? (Han et al. / Le et al.)
+
+The paper restricts itself to 1-relay paths, citing prior findings that a
+single relay captures nearly all multi-relay gains.  This bench verifies
+the claim inside the simulation: best 1-relay vs best 2-relay overlay path
+over base RTTs for sampled endpoint pairs and Colo relays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.multihop import two_relay_study
+from repro.core.colo import ColoRelayPipeline
+from repro.core.config import CampaignConfig
+from repro.core.eyeballs import EyeballSelector
+
+
+def test_one_relay_is_enough(benchmark, world, report_sink):
+    cfg = CampaignConfig(max_countries=20)
+    rng = world.seeds.rng("bench.multihop")
+    endpoints = [p.node.endpoint for p in EyeballSelector(world, cfg).sample_endpoints(rng)]
+    relays = [r.node.endpoint for r in ColoRelayPipeline(world, cfg).sample_relays(rng)]
+
+    study = benchmark.pedantic(
+        two_relay_study,
+        args=(world.latency, endpoints, relays, rng),
+        kwargs={"max_pairs": 80, "max_relays": 25},
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "ext_multihop",
+        f"pairs compared: {study.pairs}\n"
+        f"1-relay improves: {study.one_relay_improved}; "
+        f"2-relay improves: {study.two_relay_improved}\n"
+        f"median extra gain of a 2nd relay: {study.extra_gain_ms_median:.2f} ms\n"
+        f"pairs where 1 relay captures >=90% of the 2-relay gain: "
+        f"{100 * study.one_relay_captures_frac:.1f}% "
+        "(prior work: one relay is adequate)",
+    )
+    assert study.one_relay_captures_frac >= 0.5
+    assert study.extra_gain_ms_median < 10.0

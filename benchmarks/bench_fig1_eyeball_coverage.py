@@ -1,0 +1,33 @@
+"""FIG1 — Number of covered ASes/countries vs cutoff user coverage.
+
+Paper (Fig. 1): both series fall with the cutoff; at 10% coverage 494 ASes
+in 223 countries qualify; above ~30% the two lines converge (one AS per
+country).  We regenerate the same two series from the synthetic APNIC
+dataset; absolute counts scale with the generated world.
+"""
+
+from __future__ import annotations
+
+CUTOFFS = [float(c) for c in range(0, 101, 5)]
+
+
+def test_fig1_eyeball_coverage(benchmark, world, report_sink):
+    curve = benchmark(world.apnic.fig1_curve, CUTOFFS)
+
+    lines = [f"{'cutoff%':>8} {'#ASes':>7} {'#countries':>11}"]
+    for cutoff, num_ases, num_countries in curve:
+        lines.append(f"{cutoff:>8.0f} {num_ases:>7} {num_countries:>11}")
+    at10 = next((a, c) for cut, a, c in curve if cut == 10.0)
+    lines.append(
+        f"\nat 10% cutoff: {at10[0]} ASes / {at10[1]} countries "
+        "(paper: 494 ASes / 223 countries at its scale)"
+    )
+    report_sink("fig1_eyeball_coverage", "\n".join(lines))
+
+    # shape assertions: monotone decreasing, convergence at high cutoffs
+    ases = [a for _, a, _ in curve]
+    countries = [c for _, _, c in curve]
+    assert ases == sorted(ases, reverse=True)
+    assert all(a >= c for a, c in zip(ases, countries))
+    high = [(a, c) for cut, a, c in curve if cut >= 60.0]
+    assert all(a <= c * 1.2 + 1 for a, c in high), "lines must converge"

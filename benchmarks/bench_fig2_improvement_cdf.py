@@ -1,0 +1,50 @@
+"""FIG2 — CDF of latency improvement vs direct paths, per relay type.
+
+Paper (Fig. 2): COR improves 76% of total cases, RAR_other 58%, PLR 43%,
+RAR_eye 35%; median improvements 12-14 ms; COR/RAR_other gain >100 ms in
+~6% of improved cases.  We regenerate the per-type improved fractions and
+CDF quantiles and assert the ordering.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.improvements import ImprovementAnalysis
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.util.stats import quantiles
+
+PAPER_FRACTIONS = {
+    RelayType.COR: 0.76,
+    RelayType.RAR_OTHER: 0.58,
+    RelayType.PLR: 0.43,
+    RelayType.RAR_EYE: 0.35,
+}
+
+
+def test_fig2_improvement_cdf(benchmark, result, report_sink):
+    analysis = benchmark(ImprovementAnalysis, result)
+
+    lines = [
+        f"{'type':>10} {'improved%':>10} {'paper%':>7} {'median_ms':>10} "
+        f"{'p25':>7} {'p75':>7} {'p95':>8} {'>100ms%':>8}"
+    ]
+    for relay_type in RELAY_TYPE_ORDER:
+        frac = analysis.improved_fraction(relay_type)
+        values = analysis.improvements(relay_type)
+        q25, q50, q75, q95 = quantiles(values, [25, 50, 75, 95])
+        gt100 = analysis.fraction_above(relay_type, 100.0)
+        lines.append(
+            f"{relay_type.value:>10} {100 * frac:>9.1f}% "
+            f"{100 * PAPER_FRACTIONS[relay_type]:>6.0f}% {q50:>10.1f} "
+            f"{q25:>7.1f} {q75:>7.1f} {q95:>8.1f} {100 * gt100:>7.1f}%"
+        )
+    lines.append(f"\ntotal cases: {analysis.total_cases}")
+    report_sink("fig2_improvement_cdf", "\n".join(lines))
+
+    fractions = {t: analysis.improved_fraction(t) for t in RELAY_TYPE_ORDER}
+    assert (
+        fractions[RelayType.COR]
+        > fractions[RelayType.RAR_OTHER]
+        > fractions[RelayType.PLR]
+        > fractions[RelayType.RAR_EYE]
+    ), "paper's relay-type ordering must hold"
+    assert fractions[RelayType.COR] > 0.6

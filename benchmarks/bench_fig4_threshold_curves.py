@@ -1,0 +1,54 @@
+"""FIG4 — % of total cases improved vs improvement threshold, top-10/all.
+
+Paper (Fig. 4): top-10 COR beats the top-10 of every other type and tracks
+the RAR_other-ALL curve; with only the top-10 CORs ~20% of all pairs gain
+more than 20 ms; the PLR top-10/all gap is minimal (~5%).  We regenerate
+all eight series.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ranking import TopRelayAnalysis
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+
+THRESHOLDS = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 75.0, 100.0]
+
+
+def test_fig4_threshold_curves(benchmark, result, report_sink):
+    analysis = TopRelayAnalysis(result)
+
+    def build_curves():
+        out = {}
+        for relay_type in RELAY_TYPE_ORDER:
+            out[(relay_type, "TOP10")] = dict(
+                analysis.fig4_curve(relay_type, THRESHOLDS, top_n=10)
+            )
+            out[(relay_type, "ALL")] = dict(analysis.fig4_curve(relay_type, THRESHOLDS))
+        return out
+
+    curves = benchmark(build_curves)
+
+    lines = []
+    header = f"{'series':>16} " + " ".join(f">{int(t):>3}ms" for t in THRESHOLDS)
+    lines.append(header)
+    for relay_type in RELAY_TYPE_ORDER:
+        for variant in ("TOP10", "ALL"):
+            series = curves[(relay_type, variant)]
+            lines.append(
+                f"{relay_type.value + '-' + variant:>16} "
+                + " ".join(f"{series[t]:>5.1f}" for t in THRESHOLDS)
+            )
+    report_sink("fig4_threshold_curves", "\n".join(lines))
+
+    # top-10 COR beats the top-10 of every other type at low thresholds
+    for threshold in (0.0, 10.0, 20.0):
+        cor = curves[(RelayType.COR, "TOP10")][threshold]
+        for other in (RelayType.PLR, RelayType.RAR_EYE):
+            assert cor > curves[(other, "TOP10")][threshold]
+    # a subset can never beat the full set
+    for relay_type in RELAY_TYPE_ORDER:
+        for threshold in THRESHOLDS:
+            assert (
+                curves[(relay_type, "TOP10")][threshold]
+                <= curves[(relay_type, "ALL")][threshold] + 1e-9
+            )

@@ -1,0 +1,42 @@
+"""TXT-CC — Changing countries and paths + VoIP thresholds.
+
+Paper: the best third-country COR improves 75% of cases vs 50% for relays
+sharing a country with an endpoint; 74% of pairs are intercontinental;
+19% of direct paths exceed 320 ms, falling to 11% with COR relays.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.countries import CountryChangeAnalysis
+from repro.analysis.voip import VoipAnalysis
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+
+
+def test_country_change_and_voip(benchmark, result, report_sink):
+    def analyse():
+        countries = CountryChangeAnalysis(result)
+        voip = VoipAnalysis(result)
+        return countries, voip
+
+    countries, voip = benchmark(analyse)
+
+    lines = [f"{'type':>10} {'diff-cc rate':>13} {'same-cc rate':>13} (paper COR: 75% vs 50%)"]
+    for relay_type in RELAY_TYPE_ORDER:
+        rates = countries.group_rates(relay_type)
+        diff = f"{100 * rates.different_rate:.1f}%" if rates.different_rate else "n/a"
+        same = f"{100 * rates.same_rate:.1f}%" if rates.same_rate else "n/a"
+        lines.append(f"{relay_type.value:>10} {diff:>13} {same:>13}")
+    inter = countries.intercontinental_fraction()
+    lines.append(f"\nintercontinental pairs: {100 * inter:.1f}% (paper: 74%)")
+    direct_poor = voip.direct_poor_fraction()
+    relayed_poor = voip.relayed_poor_fraction(RelayType.COR)
+    lines.append(
+        f"direct paths > 320 ms: {100 * direct_poor:.1f}% (paper: 19%); "
+        f"with best COR: {100 * relayed_poor:.1f}% (paper: 11%)"
+    )
+    report_sink("text_country_change", "\n".join(lines))
+
+    cor = countries.group_rates(RelayType.COR)
+    assert cor.different_rate > cor.same_rate
+    assert inter > 0.5
+    assert relayed_poor < direct_poor

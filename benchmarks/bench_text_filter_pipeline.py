@@ -1,0 +1,44 @@
+"""TXT-PIPE — the Sec 2.2 colo relay filter funnel.
+
+Paper: 2675 dataset IPs -> 1008 (single facility & active PeeringDB) ->
+764 (pingable) -> 725 (same ownership) -> 725 (still at facility) ->
+356 usable relays at 58 facilities in 36 cities.  We regenerate the funnel
+from the aged synthetic dataset and compare stage-survival ratios.
+"""
+
+from __future__ import annotations
+
+from repro.core.colo import ColoRelayPipeline
+from repro.core.config import CampaignConfig
+
+PAPER_FUNNEL = (2675, 1008, 764, 725, 725, 356)
+
+
+def test_filter_pipeline_funnel(benchmark, world, report_sink):
+    def run_fresh_pipeline():
+        return ColoRelayPipeline(world, CampaignConfig()).run()
+
+    relays, report = benchmark.pedantic(run_fresh_pipeline, rounds=3, iterations=1)
+
+    ours = report.funnel()
+    lines = [f"{'stage':<30} {'ours':>7} {'ours%':>7} {'paper':>7} {'paper%':>7}"]
+    names = ["initial"] + [name for name, _ in report.stages]
+    for i, name in enumerate(names):
+        ours_pct = 100.0 * ours[i] / ours[0]
+        paper_pct = 100.0 * PAPER_FUNNEL[i] / PAPER_FUNNEL[0]
+        lines.append(
+            f"{name:<30} {ours[i]:>7} {ours_pct:>6.1f}% {PAPER_FUNNEL[i]:>7} {paper_pct:>6.1f}%"
+        )
+    facilities = {r.facility_id for r in relays}
+    cities = {world.peeringdb.city_of(f) for f in facilities}
+    lines.append(
+        f"\nsurvivors: {len(relays)} IPs at {len(facilities)} facilities in "
+        f"{len(cities)} cities (paper: 356 IPs / 58 facilities / 36 cities)"
+    )
+    report_sink("text_filter_pipeline", "\n".join(lines))
+
+    # shape: monotone funnel, with overall survival in the paper's decade
+    assert ours == sorted(ours, reverse=True)
+    survival = ours[-1] / ours[0]
+    assert 0.03 <= survival <= 0.5  # paper: 0.13
+    assert len(facilities) >= 10

@@ -1,0 +1,42 @@
+"""TXT-STAB — stability over time.
+
+Paper: per round, COR improves >75% of cases, RAR_other >50%, PLR/RAR_eye
+<50%; the coefficient of variation of per-pair median RTTs across rounds
+is below 10% for 90% of pairs ("stable, usable overlays").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stability import StabilityAnalysis
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+
+
+def test_stability_over_time(benchmark, result, report_sink):
+    analysis = benchmark(StabilityAnalysis, result, 2)
+
+    lines = ["per-round improved fraction:"]
+    header = f"{'round':>6} " + " ".join(f"{t.value:>10}" for t in RELAY_TYPE_ORDER)
+    lines.append(header)
+    series = {
+        t: dict(analysis.per_round_improved_fractions(t)) for t in RELAY_TYPE_ORDER
+    }
+    for rnd in sorted(series[RelayType.COR]):
+        lines.append(
+            f"{rnd:>6} "
+            + " ".join(f"{100 * series[t][rnd]:>9.1f}%" for t in RELAY_TYPE_ORDER)
+        )
+    cvs = analysis.all_cvs()
+    below = sum(1 for cv in cvs if cv < 0.10) / len(cvs) if cvs else float("nan")
+    lines.append(
+        f"\nrecurring pairs: {len(cvs)}; CV<10% for {100 * below:.1f}% of them "
+        "(paper: 90%); max CV "
+        f"{max(cvs):.2f} (paper: <=0.40)" if cvs else "\nno recurring pairs"
+    )
+    report_sink("text_stability", "\n".join(lines))
+
+    # per-round consistency: COR leads in every round
+    for rnd in series[RelayType.COR]:
+        assert series[RelayType.COR][rnd] > series[RelayType.RAR_EYE][rnd]
+        assert series[RelayType.COR][rnd] > series[RelayType.PLR][rnd]
+    assert cvs, "some pairs must recur across rounds"
+    assert below > 0.6

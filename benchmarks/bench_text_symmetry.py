@@ -1,0 +1,27 @@
+"""TXT-SYM — ping direction symmetry.
+
+Paper (Sec 2.5): for ~80% of endpoint pairs, the RTT measured from one
+side differs from the other side's by at most 5%, and the signed
+difference averages out to ~0% under randomised direction selection.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.symmetry import SymmetryAnalysis
+
+
+def test_ping_direction_symmetry(benchmark, campaign, report_sink):
+    pairs = benchmark.pedantic(
+        campaign.measure_direction_symmetry, args=(0,), rounds=1, iterations=1
+    )
+    analysis = SymmetryAnalysis(pairs)
+    within5 = analysis.fraction_within(0.05)
+    mean_signed = analysis.mean_signed_difference()
+    report_sink(
+        "text_symmetry",
+        f"pairs measured bidirectionally: {len(pairs)}\n"
+        f"within 5%: {100 * within5:.1f}% (paper: ~80%)\n"
+        f"mean signed difference: {100 * mean_signed:+.2f}% (paper: ~0%)",
+    )
+    assert 0.6 <= within5 <= 1.0
+    assert abs(mean_signed) < 0.05

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Walk the Sec 2.2 relay-verification pipeline step by step.
+
+Shows how the aged 2015-style facility-mapping dataset is cleaned into a
+usable Colo relay pool: each filter's survivor count, what kind of
+staleness it caught, and the final facility/city coverage — the paper's
+2675 -> 1008 -> 764 -> 725 -> 725 -> 356 funnel at our scale.
+
+Run:  python examples/colo_filter_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import build_world
+from repro.core.colo import ColoRelayPipeline
+
+EXPLANATIONS = {
+    "single_facility_active_pdb": (
+        "constrained facility search converged to one facility that still "
+        "exists in PeeringDB"
+    ),
+    "pingability": "the address still answers pings two years on",
+    "same_ip_ownership": "prefix2as origin matches the 2015 ASN, no MOAS",
+    "active_facility_presence": "the owner AS is still a member of the facility",
+    "rtt_geolocation": (
+        "a same-city looking glass measures a sub-threshold last-hop RTT "
+        "(catches physically relocated interfaces)"
+    ),
+}
+
+
+def main() -> None:
+    print("building full world (seed 11)...")
+    world = build_world(seed=11)
+    pipeline = ColoRelayPipeline(world)
+    relays, report = pipeline.run()
+
+    print(f"\n2015-vintage dataset records: {report.initial}")
+    previous = report.initial
+    for name, count in report.stages:
+        dropped = previous - count
+        print(f"\n  filter: {name}")
+        print(f"    {EXPLANATIONS[name]}")
+        print(f"    survivors: {count}  (dropped {dropped})")
+        previous = count
+
+    facilities = pipeline.facilities_covered()
+    cities = {world.peeringdb.city_of(f) for f in facilities}
+    print(
+        f"\nverified relay pool: {len(relays)} IPs at {len(facilities)} "
+        f"facilities in {len(cities)} cities"
+    )
+    print("(paper: 356 IPs at 58 facilities in 36 cities)")
+
+    rng = world.seeds.rng("example.sampling")
+    sample = pipeline.sample_relays(rng)
+    print(f"\none round's sample (1-3 IPs per facility): {len(sample)} relays")
+    for relay in sample[:8]:
+        fac = world.peeringdb.facility(relay.facility_id)
+        print(f"  {relay.node.ip}  AS{relay.node.asn:<6} at {fac.name} ({fac.city_key})")
+    print("  ...")
+
+
+if __name__ == "__main__":
+    main()

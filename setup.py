@@ -1,0 +1,4 @@
+"""Legacy setup shim so `pip install -e .` works without wheel/pep517."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Analyses over campaign results: every figure, table and in-text number
+of the paper's Sec 3."""
+
+from repro.analysis.improvements import ImprovementAnalysis
+from repro.analysis.ranking import TopRelayAnalysis
+from repro.analysis.facilities import FacilityRow, FacilityTable
+from repro.analysis.countries import CountryChangeAnalysis
+from repro.analysis.voip import VoipAnalysis
+from repro.analysis.stability import StabilityAnalysis
+from repro.analysis.symmetry import SymmetryAnalysis
+
+__all__ = [
+    "ImprovementAnalysis",
+    "TopRelayAnalysis",
+    "FacilityTable",
+    "FacilityRow",
+    "CountryChangeAnalysis",
+    "VoipAnalysis",
+    "StabilityAnalysis",
+    "SymmetryAnalysis",
+]

@@ -1,0 +1,98 @@
+"""Submarine-cable proximity analysis (the paper's future-work item iii).
+
+Hypothesis from the paper's conclusions: relayed-path latency correlates
+with how close endpoints and relays sit to submarine cable landing points,
+because intercontinental capacity funnels through them.  This analysis
+splits a campaign's pairs by the endpoints' distance to their nearest
+landing station and compares direct RTTs and relay benefit across the
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import CampaignResult
+from repro.core.types import RelayType
+from repro.errors import AnalysisError
+from repro.geo.cables import LandingPointIndex
+from repro.geo.cities import city as city_of
+from repro.util.stats import median
+
+
+@dataclass(frozen=True, slots=True)
+class CableProximityReport:
+    """Outcome of the landing-point proximity split.
+
+    Attributes:
+        threshold_km: Distance defining "near" a landing point.
+        near_pairs / far_pairs: Intercontinental pair counts per group
+            (both endpoints near vs at least one far).
+        near_direct_median_ms / far_direct_median_ms: Median direct RTTs.
+        near_improved_rate / far_improved_rate: COR improvement rates.
+    """
+
+    threshold_km: float
+    near_pairs: int
+    far_pairs: int
+    near_direct_median_ms: float
+    far_direct_median_ms: float
+    near_improved_rate: float
+    far_improved_rate: float
+
+
+class CableProximityAnalysis:
+    """Landing-point proximity effects over a campaign result."""
+
+    def __init__(self, result: CampaignResult, threshold_km: float = 500.0) -> None:
+        if result.total_cases == 0:
+            raise AnalysisError("campaign result has no observations")
+        if threshold_km <= 0:
+            raise AnalysisError("threshold_km must be positive")
+        self._result = result
+        self._threshold = threshold_km
+        self._index = LandingPointIndex()
+        self._distance_cache: dict[str, float] = {}
+
+    def _distance(self, city_key: str) -> float:
+        cached = self._distance_cache.get(city_key)
+        if cached is None:
+            cached = self._index.distance_km(city_of(city_key).location)
+            self._distance_cache[city_key] = cached
+        return cached
+
+    def report(self, relay_type: RelayType = RelayType.COR) -> CableProximityReport:
+        """Split intercontinental pairs by landing-point proximity.
+
+        Raises:
+            AnalysisError: if either group ends up empty (tiny campaigns).
+        """
+        near_direct, far_direct = [], []
+        near_improved = far_improved = 0
+        for obs in self._result.observations():
+            if not obs.is_intercontinental:
+                continue  # cable proximity only matters across oceans
+            both_near = (
+                self._distance(obs.e1_city) <= self._threshold
+                and self._distance(obs.e2_city) <= self._threshold
+            )
+            if both_near:
+                near_direct.append(obs.direct_rtt_ms)
+                near_improved += int(obs.improved(relay_type))
+            else:
+                far_direct.append(obs.direct_rtt_ms)
+                far_improved += int(obs.improved(relay_type))
+        if not near_direct or not far_direct:
+            raise AnalysisError(
+                "not enough intercontinental pairs on both sides of the "
+                f"{self._threshold} km threshold"
+            )
+        return CableProximityReport(
+            threshold_km=self._threshold,
+            near_pairs=len(near_direct),
+            far_pairs=len(far_direct),
+            near_direct_median_ms=median(near_direct),
+            far_direct_median_ms=median(far_direct),
+            near_improved_rate=near_improved / len(near_direct),
+            far_improved_rate=far_improved / len(far_direct),
+        )

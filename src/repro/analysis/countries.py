@@ -1,0 +1,121 @@
+"""Changing countries and paths (Sec 3, penultimate analysis).
+
+BGP path inflation mostly hits pairs whose providers interconnect far from
+the geodesic, so a relay in a *third* country can force an alternate,
+non-inflated route.  The paper finds that when the min-latency COR relay
+sits in a different country than both endpoints, it improves 75% of cases,
+dropping to 50% when it shares a country with an endpoint; it also notes
+that 74% of pairs are intercontinental.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import CampaignResult
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class CountrySplit:
+    """Improvement rates split by the best relay's country relation.
+
+    Attributes:
+        different_total / different_improved: cases where the best relay's
+            country differs from both endpoints'.
+        same_total / same_improved: cases where it matches an endpoint's.
+    """
+
+    different_total: int
+    different_improved: int
+    same_total: int
+    same_improved: int
+
+    @property
+    def different_rate(self) -> float | None:
+        """Improved fraction when the relay changes country."""
+        if self.different_total == 0:
+            return None
+        return self.different_improved / self.different_total
+
+    @property
+    def same_rate(self) -> float | None:
+        """Improved fraction when the relay shares a country."""
+        if self.same_total == 0:
+            return None
+        return self.same_improved / self.same_total
+
+
+class CountryChangeAnalysis:
+    """Relay-country effects and pair geography over a campaign result."""
+
+    def __init__(self, result: CampaignResult) -> None:
+        if result.total_cases == 0:
+            raise AnalysisError("campaign result has no observations")
+        self._result = result
+
+    def split(self, relay_type: RelayType) -> CountrySplit:
+        """Improvement rates by country relation of the type's best relay."""
+        registry = self._result.registry
+        diff_total = diff_improved = same_total = same_improved = 0
+        for obs in self._result.observations():
+            entry = obs.best_by_type.get(relay_type)
+            if entry is None:
+                continue
+            idx, stitched = entry
+            relay_cc = registry.get(idx).cc
+            improved = stitched < obs.direct_rtt_ms
+            if relay_cc != obs.e1_cc and relay_cc != obs.e2_cc:
+                diff_total += 1
+                diff_improved += int(improved)
+            else:
+                same_total += 1
+                same_improved += int(improved)
+        return CountrySplit(diff_total, diff_improved, same_total, same_improved)
+
+    def group_rates(self, relay_type: RelayType) -> CountrySplit:
+        """Per-group improvement rates (the paper's framing).
+
+        For each case, consider the best relay *within* each country-
+        relation group: a group counts as improved when any usable relay
+        in it beat the direct path.  ``different`` = relays in a third
+        country; ``same`` = relays sharing a country with an endpoint.
+        Denominators are cases where the group had a usable relay at all.
+        """
+        diff_total = diff_improved = same_total = same_improved = 0
+        for obs in self._result.observations():
+            flags = obs.country_groups_by_type.get(relay_type)
+            if flags is None:
+                continue
+            usable_same, improving_same, usable_diff, improving_diff = flags
+            if usable_same:
+                same_total += 1
+                same_improved += int(improving_same)
+            if usable_diff:
+                diff_total += 1
+                diff_improved += int(improving_diff)
+        return CountrySplit(diff_total, diff_improved, same_total, same_improved)
+
+    def intercontinental_fraction(self) -> float:
+        """Fraction of pairs with endpoints on different continents
+        (paper: 74%)."""
+        total = self._result.total_cases
+        inter = sum(1 for obs in self._result.observations() if obs.is_intercontinental)
+        return inter / total
+
+    def summary(self) -> dict[str, float | None]:
+        """Per-type country-split rates plus the intercontinental share."""
+        info: dict[str, float | None] = {
+            "intercontinental_frac": round(self.intercontinental_fraction(), 4)
+        }
+        for relay_type in RELAY_TYPE_ORDER:
+            split = self.split(relay_type)
+            name = relay_type.value
+            info[f"diff_country_rate_{name}"] = (
+                round(split.different_rate, 4) if split.different_rate is not None else None
+            )
+            info[f"same_country_rate_{name}"] = (
+                round(split.same_rate, 4) if split.same_rate is not None else None
+            )
+        return info

@@ -1,0 +1,113 @@
+"""Latency-improvement analysis (Fig. 2 and the in-text medians).
+
+For every pair ("case") and relay type, the campaign recorded the
+best-performing (minimum-latency) relay; this module turns those records
+into the paper's headline statistics: the per-type fraction of improved
+cases, the CDF of improvements for improved cases, median improvements,
+the fraction of large (>100 ms) gains, and the median count of improving
+relays per pair (the relay-redundancy observation).
+"""
+
+from __future__ import annotations
+
+from repro.core.results import CampaignResult
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import AnalysisError
+from repro.util.stats import cdf_points, median
+
+
+class ImprovementAnalysis:
+    """Fig. 2-style improvement statistics over a campaign result."""
+
+    def __init__(self, result: CampaignResult) -> None:
+        if result.total_cases == 0:
+            raise AnalysisError("campaign result has no observations")
+        self._result = result
+        self._best_improvements: dict[RelayType, list[float]] = {}
+        for relay_type in RELAY_TYPE_ORDER:
+            values = []
+            for obs in result.observations():
+                entries = obs.improving_by_type.get(relay_type, ())
+                if entries:
+                    values.append(max(gain for _, gain in entries))
+            self._best_improvements[relay_type] = values
+
+    @property
+    def total_cases(self) -> int:
+        """Total pair observations in the campaign."""
+        return self._result.total_cases
+
+    def improvements(self, relay_type: RelayType) -> list[float]:
+        """Best-relay improvement for every *improved* case of the type."""
+        return list(self._best_improvements[relay_type])
+
+    def improved_fraction(self, relay_type: RelayType) -> float:
+        """Fraction of total cases the type improved (paper: COR 76%,
+        RAR_other 58%, PLR 43%, RAR_eye 35%)."""
+        return len(self._best_improvements[relay_type]) / self.total_cases
+
+    def median_improvement(self, relay_type: RelayType) -> float | None:
+        """Median improvement among improved cases (paper: 12-14 ms)."""
+        values = self._best_improvements[relay_type]
+        if not values:
+            return None
+        return median(values)
+
+    def fraction_above(
+        self, relay_type: RelayType, threshold_ms: float, of_total: bool = False
+    ) -> float:
+        """Fraction of improved (or total) cases gaining > ``threshold_ms``
+        (paper: >100 ms in 6% of improved COR/RAR_other cases)."""
+        values = self._best_improvements[relay_type]
+        count = sum(1 for v in values if v > threshold_ms)
+        denominator = self.total_cases if of_total else max(1, len(values))
+        return count / denominator
+
+    def fig2_cdf(
+        self, relay_type: RelayType, lo_ms: float = 1.0, hi_ms: float = 200.0
+    ) -> list[tuple[float, float]]:
+        """The Fig. 2 CDF: improvements clipped to [lo, hi] for display."""
+        values = [v for v in self._best_improvements[relay_type] if lo_ms <= v <= hi_ms]
+        if not values:
+            return []
+        return cdf_points(values)
+
+    def median_num_improving(self, relay_type: RelayType) -> float | None:
+        """Median number of improving relays per improved pair
+        (paper: 8 COR, 3 PLR, 2 RAR_other, 2 RAR_eye)."""
+        counts = [
+            obs.num_improving(relay_type)
+            for obs in self._result.observations()
+            if obs.improved(relay_type)
+        ]
+        if not counts:
+            return None
+        return median([float(c) for c in counts])
+
+    def best_type_gap_ms(self, a: RelayType, b: RelayType) -> float | None:
+        """Median stitched-RTT gap between two types on cases both improve
+        (paper: COR vs RAR_other within 5-10 ms)."""
+        gaps = []
+        for obs in self._result.observations():
+            if obs.improved(a) and obs.improved(b):
+                rtt_a = obs.best_stitched(a)
+                rtt_b = obs.best_stitched(b)
+                if rtt_a is not None and rtt_b is not None:
+                    gaps.append(rtt_b - rtt_a)
+        if not gaps:
+            return None
+        return median(gaps)
+
+    def summary(self) -> dict[str, float | None]:
+        """All headline improvement numbers keyed by metric name."""
+        info: dict[str, float | None] = {}
+        for relay_type in RELAY_TYPE_ORDER:
+            name = relay_type.value
+            info[f"improved_frac_{name}"] = round(self.improved_fraction(relay_type), 4)
+            med = self.median_improvement(relay_type)
+            info[f"median_improvement_ms_{name}"] = round(med, 2) if med is not None else None
+            info[f"frac_gt100ms_of_improved_{name}"] = round(
+                self.fraction_above(relay_type, 100.0), 4
+            )
+            info[f"median_num_improving_{name}"] = self.median_num_improving(relay_type)
+        return info

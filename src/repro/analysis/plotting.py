@@ -1,0 +1,128 @@
+"""Terminal plots for the paper's figures.
+
+The published artifact includes visualisation scripts; since this
+reproduction is terminal-first, the plots are rendered as Unicode text:
+CDF step plots (Fig. 2) and multi-series line charts (Figs. 3-4).  The
+renderers are deterministic pure functions of their inputs, which also
+makes them easy to test.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import AnalysisError
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = int(round((value - lo) / (hi - lo) * (size - 1)))
+    return max(0, min(size - 1, pos))
+
+
+def render_cdf(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+) -> str:
+    """Render one or more CDFs as a text chart.
+
+    ``series`` maps a legend label to ``(x, F(x))`` points (as produced by
+    :func:`repro.util.stats.cdf_points`).  The y-axis is always [0, 1].
+
+    Raises:
+        AnalysisError: if no series or a series is empty.
+    """
+    if not series:
+        raise AnalysisError("render_cdf() needs at least one series")
+    for label, points in series.items():
+        if not points:
+            raise AnalysisError(f"series {label!r} is empty")
+    x_lo = min(points[0][0] for points in series.values())
+    x_hi = max(points[-1][0] for points in series.values())
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, f in points:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(f, 0.0, 1.0, height)
+            grid[row][col] = glyph
+    lines = []
+    for i, row in enumerate(grid):
+        y_value = 1.0 - i / (height - 1)
+        prefix = f"{y_value:4.2f} |" if i % 4 == 0 or i == height - 1 else "     |"
+        lines.append(prefix + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_lo:<10.1f}{x_label:^{max(0, width - 22)}}{x_hi:>10.1f}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append("      " + legend)
+    return "\n".join(lines)
+
+
+def render_lines(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render multi-series (x, y) line data as a text chart.
+
+    Raises:
+        AnalysisError: if no series or a series is empty.
+    """
+    if not series:
+        raise AnalysisError("render_lines() needs at least one series")
+    for label, points in series.items():
+        if not points:
+            raise AnalysisError(f"series {label!r} is empty")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, points) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in points:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = glyph
+    lines = [f"{y_label} (range {y_lo:.1f} .. {y_hi:.1f})"]
+    for i, row in enumerate(grid):
+        y_value = y_hi - (y_hi - y_lo) * i / (height - 1)
+        prefix = f"{y_value:6.1f} |" if i % 4 == 0 or i == height - 1 else "       |"
+        lines.append(prefix + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        {x_lo:<10.1f}{x_label:^{max(0, width - 22)}}{x_hi:>10.1f}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def render_funnel(stage_counts: Sequence[tuple[str, int]], width: int = 50) -> str:
+    """Render a filter funnel as horizontal bars.
+
+    Raises:
+        AnalysisError: on empty input or a zero first stage.
+    """
+    if not stage_counts:
+        raise AnalysisError("render_funnel() needs at least one stage")
+    first = stage_counts[0][1]
+    if first <= 0:
+        raise AnalysisError("funnel must start with a positive count")
+    label_width = max(len(name) for name, _ in stage_counts)
+    lines = []
+    for name, count in stage_counts:
+        bar = "#" * max(1, int(round(width * count / first))) if count else ""
+        lines.append(f"{name:<{label_width}} {count:>7} |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Top-relay analysis: "how many relays are enough?" (Figs. 3 & 4).
+
+Relays are ranked, per type, by their *frequency of improvement* — in how
+many cases they beat the direct path.  Fig. 3 asks what fraction of all
+cases the top-N relays cover; Fig. 4 sweeps an improvement threshold and
+compares the top-10 subset against the full relay set.  The paper's
+punchline lives here: ~10 Colo relays in ~6 facilities match the coverage
+that takes RIPE Atlas hundreds of relays.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import CampaignResult
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import AnalysisError
+
+
+class TopRelayAnalysis:
+    """Frequency ranking and coverage curves over a campaign result."""
+
+    def __init__(self, result: CampaignResult) -> None:
+        if result.total_cases == 0:
+            raise AnalysisError("campaign result has no observations")
+        self._result = result
+        self._freq: dict[RelayType, dict[int, int]] = {t: {} for t in RELAY_TYPE_ORDER}
+        for obs in result.observations():
+            for relay_type in RELAY_TYPE_ORDER:
+                for idx, _ in obs.improving_by_type.get(relay_type, ()):
+                    freq = self._freq[relay_type]
+                    freq[idx] = freq.get(idx, 0) + 1
+        self._ranked: dict[RelayType, list[int]] = {
+            t: sorted(freq, key=lambda i: (-freq[i], i))
+            for t, freq in self._freq.items()
+        }
+
+    # ----------------------------------------------------------------- rank
+
+    def improvement_frequency(self, relay_type: RelayType) -> dict[int, int]:
+        """Relay index -> number of cases it improved."""
+        return dict(self._freq[relay_type])
+
+    def top_relays(self, relay_type: RelayType, n: int) -> list[int]:
+        """The ``n`` most frequently improving relay indices of a type."""
+        return self._ranked[relay_type][:n]
+
+    def num_ranked(self, relay_type: RelayType) -> int:
+        """How many relays of the type ever improved a case."""
+        return len(self._ranked[relay_type])
+
+    def facilities_of_top(self, n: int) -> set[int]:
+        """Distinct facilities hosting the top-``n`` COR relays
+        (paper: the top-10 CORs sit in ~6 facilities)."""
+        registry = self._result.registry
+        return {
+            registry.get(idx).facility_id
+            for idx in self.top_relays(RelayType.COR, n)
+            if registry.get(idx).facility_id is not None
+        }
+
+    # ---------------------------------------------------------------- Fig 3
+
+    def fig3_curve(self, relay_type: RelayType, max_n: int = 100) -> list[tuple[int, float]]:
+        """(N, % of total cases improved using only the top-N relays).
+
+        A case counts as covered by top-N if at least one of its improving
+        relays ranks within the top N.
+        """
+        rank_of = {idx: rank for rank, idx in enumerate(self._ranked[relay_type], start=1)}
+        total = self._result.total_cases
+        # per case: the best (lowest) rank among its improving relays
+        best_ranks = []
+        for obs in self._result.observations():
+            entries = obs.improving_by_type.get(relay_type, ())
+            if entries:
+                best_ranks.append(min(rank_of[idx] for idx, _ in entries))
+        curve = []
+        for n in range(1, max_n + 1):
+            covered = sum(1 for rank in best_ranks if rank <= n)
+            curve.append((n, 100.0 * covered / total))
+        return curve
+
+    def coverage_of_top(self, relay_type: RelayType, n: int) -> float:
+        """Fraction of total cases improved using only the top-N relays."""
+        if n < 1:
+            raise AnalysisError(f"top-N requires n >= 1, got {n}")
+        curve = self.fig3_curve(relay_type, max_n=n)
+        return curve[-1][1] / 100.0
+
+    # ---------------------------------------------------------------- Fig 4
+
+    def fig4_curve(
+        self,
+        relay_type: RelayType,
+        thresholds_ms: list[float],
+        top_n: int | None = None,
+    ) -> list[tuple[float, float]]:
+        """(threshold, % of total cases improved by more than threshold).
+
+        ``top_n`` restricts the usable relays to the type's top-N by
+        improvement frequency; None uses every relay (the "-ALL" series).
+        The best improvement within the allowed subset decides each case.
+        """
+        allowed: set[int] | None = None
+        if top_n is not None:
+            allowed = set(self.top_relays(relay_type, top_n))
+        total = self._result.total_cases
+        best_gains = []
+        for obs in self._result.observations():
+            entries = obs.improving_by_type.get(relay_type, ())
+            gains = [
+                gain for idx, gain in entries if allowed is None or idx in allowed
+            ]
+            if gains:
+                best_gains.append(max(gains))
+        curve = []
+        for threshold in thresholds_ms:
+            count = sum(1 for gain in best_gains if gain > threshold)
+            curve.append((threshold, 100.0 * count / total))
+        return curve

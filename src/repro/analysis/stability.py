@@ -1,0 +1,116 @@
+"""Temporal stability (Sec 3, last analysis).
+
+Two results: (i) per-round improvement fractions stay consistent across
+the campaign (COR >75%, RAR_other >50%, PLR/RAR_eye <50% in the paper's
+every round), and (ii) per-pair RTT medians are stable over time — the
+coefficient of variation across rounds is below 10% for 90% of pairs,
+"indicating stable, usable overlays".
+"""
+
+from __future__ import annotations
+
+from repro.core.results import CampaignResult
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import AnalysisError
+from repro.util.stats import coefficient_of_variation
+
+
+class StabilityAnalysis:
+    """CV-over-time and per-round consistency of a campaign result."""
+
+    def __init__(self, result: CampaignResult, min_occurrences: int = 3) -> None:
+        if len(result.rounds) < 2:
+            raise AnalysisError("stability analysis needs at least 2 rounds")
+        if min_occurrences < 2:
+            raise AnalysisError("min_occurrences must be >= 2")
+        self._result = result
+        self._min_occ = min_occurrences
+
+    # -------------------------------------------------------------- CV side
+
+    def direct_pair_cvs(self) -> list[float]:
+        """CV of each recurring direct pair's per-round medians."""
+        series: dict[tuple[str, str], list[float]] = {}
+        for rnd in self._result.rounds:
+            for key, value in rnd.direct_medians.items():
+                series.setdefault(key, []).append(value)
+        return [
+            coefficient_of_variation(values)
+            for values in series.values()
+            if len(values) >= self._min_occ
+        ]
+
+    def relay_pair_cvs(self) -> list[float]:
+        """CV of each recurring (endpoint, relay) leg's medians.
+
+        Raises:
+            AnalysisError: if the campaign did not record relay medians.
+        """
+        series: dict[tuple[str, int], list[float]] = {}
+        for rnd in self._result.rounds:
+            if rnd.relay_medians is None:
+                raise AnalysisError(
+                    "campaign was configured with record_relay_medians=False"
+                )
+            for key, value in rnd.relay_medians.items():
+                series.setdefault(key, []).append(value)
+        return [
+            coefficient_of_variation(values)
+            for values in series.values()
+            if len(values) >= self._min_occ
+        ]
+
+    def all_cvs(self, include_relay_legs: bool = True) -> list[float]:
+        """CVs of all recurring pairs (direct plus, optionally, legs)."""
+        cvs = self.direct_pair_cvs()
+        if include_relay_legs:
+            cvs.extend(self.relay_pair_cvs())
+        return cvs
+
+    def fraction_below(self, cv_threshold: float = 0.10) -> float:
+        """Fraction of recurring pairs with CV under the threshold
+        (paper: <10% CV for 90% of pairs).
+
+        Raises:
+            AnalysisError: if no pair recurred often enough.
+        """
+        cvs = self.all_cvs(include_relay_legs=self._result.rounds[0].relay_medians is not None)
+        if not cvs:
+            raise AnalysisError(
+                f"no pair was measured in >= {self._min_occ} rounds; "
+                "run more rounds or lower min_occurrences"
+            )
+        return sum(1 for cv in cvs if cv < cv_threshold) / len(cvs)
+
+    # ------------------------------------------------------- per-round side
+
+    def per_round_improved_fractions(
+        self, relay_type: RelayType
+    ) -> list[tuple[int, float]]:
+        """(round, improved fraction of the round's cases) series."""
+        out = []
+        for rnd in self._result.rounds:
+            if not rnd.observations:
+                continue
+            improved = sum(1 for obs in rnd.observations if obs.improved(relay_type))
+            out.append((rnd.round_index, improved / len(rnd.observations)))
+        return out
+
+    def summary(self) -> dict[str, float]:
+        """CV headline plus per-type min/max round fractions."""
+        info: dict[str, float] = {}
+        cvs = self.all_cvs(
+            include_relay_legs=self._result.rounds[0].relay_medians is not None
+        )
+        if cvs:
+            info["num_recurring_pairs"] = float(len(cvs))
+            info["frac_cv_below_10pct"] = round(
+                sum(1 for cv in cvs if cv < 0.10) / len(cvs), 4
+            )
+            info["max_cv"] = round(max(cvs), 4)
+        for relay_type in RELAY_TYPE_ORDER:
+            series = [f for _, f in self.per_round_improved_fractions(relay_type)]
+            if series:
+                info[f"round_min_frac_{relay_type.value}"] = round(min(series), 4)
+                info[f"round_max_frac_{relay_type.value}"] = round(max(series), 4)
+        return info

@@ -1,0 +1,38 @@
+"""Ping-direction symmetry check (Sec 2.5, first observation).
+
+Before trusting single-direction pings, the paper verified that for ~80%
+of endpoint pairs, initiating the ping from one side instead of the other
+changes the measured RTT by at most 5%, averaging out to ~0% under the
+randomised pair selection.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+
+class SymmetryAnalysis:
+    """Statistics over bidirectional RTT measurements."""
+
+    def __init__(self, pairs: list[tuple[float, float]]) -> None:
+        if not pairs:
+            raise AnalysisError("no bidirectional measurements supplied")
+        for fwd, rev in pairs:
+            if fwd <= 0 or rev <= 0:
+                raise AnalysisError(f"non-positive RTTs ({fwd}, {rev})")
+        self._pairs = list(pairs)
+
+    def relative_differences(self) -> list[float]:
+        """|fwd - rev| / min(fwd, rev) for every pair."""
+        return [abs(f - r) / min(f, r) for f, r in self._pairs]
+
+    def fraction_within(self, tolerance: float = 0.05) -> float:
+        """Fraction of pairs whose directions agree within ``tolerance``
+        (paper: ~80% within 5%)."""
+        diffs = self.relative_differences()
+        return sum(1 for d in diffs if d <= tolerance) / len(diffs)
+
+    def mean_signed_difference(self) -> float:
+        """Mean of (fwd - rev) / rev; near zero under randomised direction
+        choice (the paper's "averaged out to ~0%")."""
+        return sum((f - r) / r for f, r in self._pairs) / len(self._pairs)

@@ -1,0 +1,61 @@
+"""VoIP-quality analysis (Sec 3, in-text).
+
+ITU G.114 treats one-way delays beyond ~160 ms (RTT 320 ms) as poor for
+interactive voice.  The paper reports 19% of direct paths above 320 ms,
+dropping to 11% when each pair may route through its best Colo relay.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import CampaignResult
+from repro.core.types import RelayType
+from repro.errors import AnalysisError
+
+#: RTT above which a path is considered unusable for VoIP (ITU G.114).
+VOIP_RTT_THRESHOLD_MS = 320.0
+
+
+class VoipAnalysis:
+    """Fraction of paths exceeding the VoIP threshold, before/after relays."""
+
+    def __init__(
+        self, result: CampaignResult, threshold_ms: float = VOIP_RTT_THRESHOLD_MS
+    ) -> None:
+        if result.total_cases == 0:
+            raise AnalysisError("campaign result has no observations")
+        if threshold_ms <= 0:
+            raise AnalysisError(f"threshold must be positive, got {threshold_ms}")
+        self._result = result
+        self._threshold = threshold_ms
+
+    def direct_poor_fraction(self) -> float:
+        """Fraction of direct paths above the threshold (paper: 19%)."""
+        total = self._result.total_cases
+        poor = sum(
+            1
+            for obs in self._result.observations()
+            if obs.direct_rtt_ms > self._threshold
+        )
+        return poor / total
+
+    def relayed_poor_fraction(self, relay_type: RelayType = RelayType.COR) -> float:
+        """Fraction still above the threshold when each pair may use its
+        best relay of ``relay_type`` (paper: 11% with COR)."""
+        total = self._result.total_cases
+        poor = 0
+        for obs in self._result.observations():
+            effective = obs.direct_rtt_ms
+            stitched = obs.best_stitched(relay_type)
+            if stitched is not None and stitched < effective:
+                effective = stitched
+            if effective > self._threshold:
+                poor += 1
+        return poor / total
+
+    def summary(self) -> dict[str, float]:
+        """Direct vs COR-relayed poor-path fractions."""
+        return {
+            "threshold_ms": self._threshold,
+            "direct_poor_frac": round(self.direct_poor_fraction(), 4),
+            "cor_relayed_poor_frac": round(self.relayed_poor_fraction(), 4),
+        }

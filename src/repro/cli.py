@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+Mirrors how the paper's published artifact is used: run the measurement
+campaign, store the raw results, and run each analysis/figure over the
+stored data.
+
+Usage (also via ``python -m repro``)::
+
+    repro summary   --seed 11 [--countries 24]
+    repro funnel    --seed 11
+    repro campaign  --seed 11 --rounds 4 --out result.json
+    repro analyze   result.json --report fig2
+    repro analyze   result.json --report table1 --seed 11
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.campaign import MeasurementCampaign
+from repro.core.colo import ColoRelayPipeline
+from repro.core.config import CampaignConfig
+from repro.core.io import load_result, save_result
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import ReproError
+from repro.topology.config import TopologyConfig
+from repro.world import WorldConfig, build_world
+
+_REPORTS = ("fig2", "fig3", "fig4", "table1", "countries", "voip", "stability", "summary", "full")
+
+
+def _build_world_from_args(args: argparse.Namespace):
+    topology = TopologyConfig(country_limit=args.countries)
+    return build_world(seed=args.seed, config=WorldConfig(topology=topology))
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    world = _build_world_from_args(args)
+    for key, value in world.summary().items():
+        print(f"{key:>28}: {value}")
+    return 0
+
+
+def _cmd_funnel(args: argparse.Namespace) -> int:
+    from repro.analysis.plotting import render_funnel
+
+    world = _build_world_from_args(args)
+    pipeline = ColoRelayPipeline(world)
+    _, report = pipeline.run()
+    stages = [("initial", report.initial)] + list(report.stages)
+    print(render_funnel(stages))
+    facilities = pipeline.facilities_covered()
+    cities = {world.peeringdb.city_of(f) for f in facilities}
+    print(f"\nverified pool: {report.funnel()[-1]} IPs / {len(facilities)} "
+          f"facilities / {len(cities)} cities")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    world = _build_world_from_args(args)
+    config = CampaignConfig(num_rounds=args.rounds, max_countries=args.max_countries)
+    campaign = MeasurementCampaign(world, config)
+    result = campaign.run(
+        progress=lambda i, rnd: print(
+            f"round {i}: {rnd.num_pairs()} pairs, {rnd.pings_sent} pings",
+            file=sys.stderr,
+        )
+    )
+    save_result(result, args.out)
+    print(f"wrote {result.total_cases} observations to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    result = load_result(args.result)
+    report = args.report
+    if report == "summary":
+        for key, value in result.summary().items():
+            print(f"{key:>28}: {value}")
+    elif report == "fig2":
+        from repro.analysis.improvements import ImprovementAnalysis
+        from repro.analysis.plotting import render_cdf
+
+        analysis = ImprovementAnalysis(result)
+        for key, value in analysis.summary().items():
+            print(f"{key:>36}: {value}")
+        series = {
+            t.display_name: analysis.fig2_cdf(t)
+            for t in RELAY_TYPE_ORDER
+            if analysis.fig2_cdf(t)
+        }
+        if series:
+            print()
+            print(render_cdf(series, x_label="improvement (ms)"))
+    elif report == "fig3":
+        from repro.analysis.plotting import render_lines
+        from repro.analysis.ranking import TopRelayAnalysis
+
+        analysis = TopRelayAnalysis(result)
+        series = {
+            t.display_name: analysis.fig3_curve(t, max_n=args.top_n)
+            for t in RELAY_TYPE_ORDER
+        }
+        print(
+            render_lines(
+                series, x_label="top-N relays", y_label="% of total cases improved"
+            )
+        )
+    elif report == "fig4":
+        from repro.analysis.ranking import TopRelayAnalysis
+
+        analysis = TopRelayAnalysis(result)
+        thresholds = [0.0, 10.0, 20.0, 50.0, 100.0]
+        print(f"{'series':>16} " + " ".join(f">{int(t):>3}ms" for t in thresholds))
+        for relay_type in RELAY_TYPE_ORDER:
+            for top_n, label in ((10, "TOP10"), (None, "ALL")):
+                curve = dict(analysis.fig4_curve(relay_type, thresholds, top_n=top_n))
+                print(
+                    f"{relay_type.value + '-' + label:>16} "
+                    + " ".join(f"{curve[t]:>5.1f}" for t in thresholds)
+                )
+    elif report == "table1":
+        if args.seed is None:
+            print("--seed is required for table1 (rebuilds the world)", file=sys.stderr)
+            return 2
+        from repro.analysis.facilities import FacilityTable
+
+        world = _build_world_from_args(args)
+        print(FacilityTable(result, world).render())
+    elif report == "countries":
+        from repro.analysis.countries import CountryChangeAnalysis
+
+        analysis = CountryChangeAnalysis(result)
+        for relay_type in RELAY_TYPE_ORDER:
+            rates = analysis.group_rates(relay_type)
+            print(
+                f"{relay_type.value:>10}: different-country "
+                f"{rates.different_rate} vs same-country {rates.same_rate}"
+            )
+        print(f"intercontinental: {analysis.intercontinental_fraction():.3f}")
+    elif report == "voip":
+        from repro.analysis.voip import VoipAnalysis
+
+        for key, value in VoipAnalysis(result).summary().items():
+            print(f"{key:>28}: {value}")
+    elif report == "stability":
+        from repro.analysis.stability import StabilityAnalysis
+
+        for key, value in StabilityAnalysis(result, min_occurrences=2).summary().items():
+            print(f"{key:>28}: {value}")
+    elif report == "full":
+        from repro.analysis.report import full_report
+
+        world = _build_world_from_args(args) if args.seed is not None else None
+        print(full_report(result, world))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Shortcuts through Colocation Facilities' (IMC 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=11, help="world seed")
+        p.add_argument(
+            "--countries", type=int, default=None,
+            help="limit the world to N countries (default: all)",
+        )
+
+    p_summary = sub.add_parser("summary", help="print world entity counts")
+    add_world_args(p_summary)
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_funnel = sub.add_parser("funnel", help="run the Sec 2.2 relay filter pipeline")
+    add_world_args(p_funnel)
+    p_funnel.set_defaults(func=_cmd_funnel)
+
+    p_campaign = sub.add_parser("campaign", help="run a measurement campaign")
+    add_world_args(p_campaign)
+    p_campaign.add_argument("--rounds", type=int, default=4)
+    p_campaign.add_argument(
+        "--max-countries", type=int, default=None, help="endpoint countries per round"
+    )
+    p_campaign.add_argument("--out", required=True, help="output JSON path")
+    p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_analyze = sub.add_parser("analyze", help="analyse a stored campaign result")
+    p_analyze.add_argument("result", help="result JSON written by 'campaign'")
+    p_analyze.add_argument("--report", choices=_REPORTS, default="summary")
+    p_analyze.add_argument("--top-n", type=int, default=50, help="fig3 x-range")
+    p_analyze.add_argument("--seed", type=int, default=None, help="for table1")
+    p_analyze.add_argument("--countries", type=int, default=None, help="for table1")
+    p_analyze.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""The paper's methodology: endpoint selection at eyeballs (Sec 2.1), relay
+selection at Colos (2.2) and elsewhere (2.3), speed-of-light feasibility
+(2.4), and the round-based measurement campaign with overlay stitching
+(2.5)."""
+
+from repro.core.types import RelayType
+from repro.core.config import CampaignConfig
+from repro.core.eyeballs import EyeballSelector
+from repro.core.colo import ColoRelayPipeline, FilterReport, VerifiedColoRelay
+from repro.core.relays import AtlasRelaySelector, PlanetLabRelaySelector
+from repro.core.feasibility import feasible_relays, is_feasible
+from repro.core.stitching import stitch_rtt, is_tiv
+from repro.core.results import CampaignResult, PairObservation, RelayRecord, RoundResult
+from repro.core.campaign import MeasurementCampaign
+
+__all__ = [
+    "RelayType",
+    "CampaignConfig",
+    "EyeballSelector",
+    "ColoRelayPipeline",
+    "FilterReport",
+    "VerifiedColoRelay",
+    "AtlasRelaySelector",
+    "PlanetLabRelaySelector",
+    "is_feasible",
+    "feasible_relays",
+    "stitch_rtt",
+    "is_tiv",
+    "RelayRecord",
+    "PairObservation",
+    "RoundResult",
+    "CampaignResult",
+    "MeasurementCampaign",
+]

@@ -1,0 +1,363 @@
+"""The measurement campaign: Sec 2.5's 4-step round workflow.
+
+Each round, repeated every 12 simulated hours:
+
+1. sample the round's endpoint set (one eyeball probe per country);
+2. measure the direct RTT of every endpoint pair (median of 6 pings);
+3. assemble the round's relay sets (COR / PLR / RAR_eye / RAR_other) and
+   keep, per pair, only relays passing the speed-of-light bound computed
+   from step 2's medians;
+4. re-measure the direct paths (so direct and relayed numbers are in
+   sync), measure every needed endpoint-relay leg, and stitch the overlay
+   RTTs per pair.
+
+The campaign accounts every ping against the Atlas emulator's round budget,
+mirroring the paper's constraint of operating within platform limits.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.colo import ColoRelayPipeline
+from repro.core.config import CampaignConfig
+from repro.core.eyeballs import EyeballSelector
+from repro.core.feasibility import is_feasible
+from repro.core.relays import AtlasRelaySelector, PlanetLabRelaySelector
+from repro.core.results import (
+    CampaignResult,
+    PairObservation,
+    RelayRegistry,
+    RoundResult,
+)
+from repro.core.stitching import stitch_rtt
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.latency.model import Endpoint
+from repro.measurement.atlas import AtlasProbe
+from repro.world import World
+
+
+class MeasurementCampaign:
+    """Runs the paper's measurement methodology against a world."""
+
+    def __init__(self, world: World, config: CampaignConfig | None = None) -> None:
+        self._world = world
+        self._cfg = config or CampaignConfig()
+        self._eyeballs = EyeballSelector(world, self._cfg)
+        self._colo = ColoRelayPipeline(world, self._cfg)
+        self._atlas_relays = AtlasRelaySelector(world, self._cfg)
+        self._plr = PlanetLabRelaySelector(world, self._cfg)
+        self._registry = RelayRegistry()
+
+    @property
+    def config(self) -> CampaignConfig:
+        """The campaign configuration."""
+        return self._cfg
+
+    @property
+    def world(self) -> World:
+        """The world being measured."""
+        return self._world
+
+    @property
+    def colo_pipeline(self) -> ColoRelayPipeline:
+        """The Sec 2.2 filter pipeline (shared with analyses)."""
+        return self._colo
+
+    @property
+    def eyeball_selector(self) -> EyeballSelector:
+        """The Sec 2.1 endpoint selector (shared with analyses)."""
+        return self._eyeballs
+
+    # ------------------------------------------------------------------- run
+
+    def run(
+        self, progress: Callable[[int, RoundResult], None] | None = None
+    ) -> CampaignResult:
+        """Run all configured rounds and return the collected results.
+
+        ``progress``, if given, is called after each round with
+        ``(round_index, round_result)``.
+        """
+        rounds = []
+        for round_index in range(self._cfg.num_rounds):
+            result = self.run_round(round_index)
+            rounds.append(result)
+            if progress is not None:
+                progress(round_index, result)
+        return CampaignResult(
+            rounds=rounds,
+            registry=self._registry,
+            verified_eyeball_tuples=len(self._eyeballs.verified_tuples()),
+            colo_filter_funnel=tuple(self._colo.report().funnel()),
+        )
+
+    # ----------------------------------------------------------------- round
+
+    def run_round(self, round_index: int) -> RoundResult:
+        """Execute one 4-step measurement round."""
+        world = self._world
+        cfg = self._cfg
+        rng = world.seeds.rng(f"campaign.round.{round_index}")
+        world.atlas.begin_round()
+        pings_sent = 0
+
+        # step 1: endpoints
+        endpoints = self._eyeballs.sample_endpoints(rng)
+        endpoint_ids = {p.probe_id for p in endpoints}
+
+        # step 2: direct medians (drive feasibility)
+        step2_direct, sent = self._measure_direct(endpoints, rng)
+        pings_sent += sent
+
+        # step 3: relay sets + per-pair feasibility
+        relays = self._assemble_relays(round_index, rng, endpoint_ids)
+        relay_endpoints = {idx: ep for idx, ep in relays}
+        feasible: dict[tuple[str, str], list[int]] = {}
+        for (id1, id2), direct in step2_direct.items():
+            e1 = self._probe_endpoint(id1, endpoints)
+            e2 = self._probe_endpoint(id2, endpoints)
+            feasible[(id1, id2)] = [
+                idx
+                for idx, relay_ep in relays
+                if is_feasible(relay_ep, e1, e2, direct)
+            ]
+
+        # step 4: synced re-measurement + legs + stitching
+        step4_direct, sent = self._measure_direct(endpoints, rng)
+        pings_sent += sent
+        needed: dict[str, set[int]] = {}
+        for (id1, id2), relay_indices in feasible.items():
+            if (id1, id2) not in step4_direct:
+                continue
+            for idx in relay_indices:
+                needed.setdefault(id1, set()).add(idx)
+                needed.setdefault(id2, set()).add(idx)
+        leg_medians, sent = self._measure_legs(endpoints, needed, relay_endpoints, rng)
+        pings_sent += sent
+
+        observations = self._stitch_observations(
+            round_index, endpoints, step4_direct, feasible, leg_medians
+        )
+
+        return RoundResult(
+            round_index=round_index,
+            timestamp_hours=round_index * cfg.round_interval_hours,
+            endpoint_ids=tuple(sorted(endpoint_ids)),
+            relay_indices_by_type=self._indices_by_type(relays),
+            observations=observations,
+            direct_medians=step4_direct,
+            relay_medians=dict(leg_medians) if cfg.record_relay_medians else None,
+            pings_sent=pings_sent,
+        )
+
+    # --------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _probe_endpoint(probe_id: str, endpoints: list[AtlasProbe]) -> Endpoint:
+        for probe in endpoints:
+            if probe.probe_id == probe_id:
+                return probe.node.endpoint
+        raise KeyError(probe_id)
+
+    def _measure_direct(
+        self, endpoints: list[AtlasProbe], rng: np.random.Generator
+    ) -> tuple[dict[tuple[str, str], float], int]:
+        """Median direct RTT per endpoint pair (ping direction randomised)."""
+        cfg = self._cfg
+        engine = self._world.ping_engine
+        medians: dict[tuple[str, str], float] = {}
+        sent = 0
+        for i, p1 in enumerate(endpoints):
+            for p2 in endpoints[i + 1 :]:
+                src, dst = (p1, p2) if rng.random() < 0.5 else (p2, p1)
+                result = engine.ping(
+                    src.node.endpoint, dst.node.endpoint, rng, count=cfg.pings_per_pair
+                )
+                sent += cfg.pings_per_pair
+                med = result.median_rtt(cfg.min_valid_rtts)
+                if med is not None:
+                    medians[self._pair_key(p1.probe_id, p2.probe_id)] = med
+        self._world.atlas.charge(sent)
+        return medians, sent
+
+    @staticmethod
+    def _pair_key(id1: str, id2: str) -> tuple[str, str]:
+        return (id1, id2) if id1 <= id2 else (id2, id1)
+
+    def _assemble_relays(
+        self, round_index: int, rng: np.random.Generator, endpoint_ids: set[str]
+    ) -> list[tuple[int, Endpoint]]:
+        """The round's relay sample, registered in the campaign registry."""
+        world = self._world
+        relays: list[tuple[int, Endpoint]] = []
+
+        for colo in self._colo.sample_relays(rng):
+            node = colo.node
+            idx = self._registry.register(
+                node.node_id,
+                RelayType.COR,
+                node.asn,
+                node.cc,
+                node.city_key,
+                facility_id=colo.facility_id,
+            )
+            relays.append((idx, node.endpoint))
+
+        for pl_node in self._plr.sample(round_index, rng):
+            node = pl_node.node
+            idx = self._registry.register(
+                node.node_id,
+                RelayType.PLR,
+                node.asn,
+                node.cc,
+                node.city_key,
+                site_id=pl_node.site_id,
+            )
+            relays.append((idx, node.endpoint))
+
+        for probe in self._atlas_relays.sample_other(rng, endpoint_ids):
+            node = probe.node
+            idx = self._registry.register(
+                node.node_id, RelayType.RAR_OTHER, node.asn, node.cc, node.city_key
+            )
+            relays.append((idx, node.endpoint))
+
+        for probe in self._atlas_relays.sample_eye(rng, endpoint_ids):
+            node = probe.node
+            idx = self._registry.register(
+                node.node_id, RelayType.RAR_EYE, node.asn, node.cc, node.city_key
+            )
+            relays.append((idx, node.endpoint))
+
+        return relays
+
+    def _measure_legs(
+        self,
+        endpoints: list[AtlasProbe],
+        needed: dict[str, set[int]],
+        relay_endpoints: dict[int, Endpoint],
+        rng: np.random.Generator,
+    ) -> tuple[dict[tuple[str, int], float], int]:
+        """Median RTT for every needed (endpoint, relay) leg."""
+        cfg = self._cfg
+        engine = self._world.ping_engine
+        by_id = {p.probe_id: p for p in endpoints}
+        medians: dict[tuple[str, int], float] = {}
+        sent = 0
+        for probe_id in sorted(needed):
+            probe = by_id[probe_id]
+            for idx in sorted(needed[probe_id]):
+                result = engine.ping(
+                    probe.node.endpoint,
+                    relay_endpoints[idx],
+                    rng,
+                    count=cfg.pings_per_pair,
+                )
+                sent += cfg.pings_per_pair
+                med = result.median_rtt(cfg.min_valid_rtts)
+                if med is not None:
+                    medians[(probe_id, idx)] = med
+        self._world.atlas.charge(sent)
+        return medians, sent
+
+    def _stitch_observations(
+        self,
+        round_index: int,
+        endpoints: list[AtlasProbe],
+        direct: dict[tuple[str, str], float],
+        feasible: dict[tuple[str, str], list[int]],
+        legs: dict[tuple[str, int], float],
+    ) -> list[PairObservation]:
+        by_id = {p.probe_id: p for p in endpoints}
+        observations = []
+        for (id1, id2), direct_rtt in direct.items():
+            p1, p2 = by_id[id1], by_id[id2]
+            best: dict[RelayType, tuple[int, float]] = {}
+            improving: dict[RelayType, list[tuple[int, float]]] = {
+                t: [] for t in RELAY_TYPE_ORDER
+            }
+            feasible_counts: dict[RelayType, int] = {t: 0 for t in RELAY_TYPE_ORDER}
+            # (usable_same, improving_same, usable_diff, improving_diff)
+            groups: dict[RelayType, list[bool]] = {
+                t: [False, False, False, False] for t in RELAY_TYPE_ORDER
+            }
+            for idx in feasible.get((id1, id2), ()):
+                record = self._registry.get(idx)
+                relay_type = record.relay_type
+                feasible_counts[relay_type] += 1
+                leg1 = legs.get((id1, idx))
+                leg2 = legs.get((id2, idx))
+                if leg1 is None or leg2 is None:
+                    continue
+                stitched = stitch_rtt(leg1, leg2)
+                same_country = record.cc in (p1.cc, p2.cc)
+                flags = groups[relay_type]
+                flags[0 if same_country else 2] = True
+                current = best.get(relay_type)
+                if current is None or stitched < current[1]:
+                    best[relay_type] = (idx, stitched)
+                if stitched < direct_rtt:
+                    improving[relay_type].append((idx, direct_rtt - stitched))
+                    flags[1 if same_country else 3] = True
+            observations.append(
+                PairObservation(
+                    round_index=round_index,
+                    e1_id=id1,
+                    e2_id=id2,
+                    e1_cc=p1.cc,
+                    e2_cc=p2.cc,
+                    e1_city=p1.node.city_key,
+                    e2_city=p2.node.city_key,
+                    direct_rtt_ms=direct_rtt,
+                    best_by_type=best,
+                    improving_by_type={
+                        t: tuple(entries) for t, entries in improving.items()
+                    },
+                    feasible_by_type=feasible_counts,
+                    country_groups_by_type={
+                        t: tuple(flags) for t, flags in groups.items()
+                    },
+                )
+            )
+        return observations
+
+    def _indices_by_type(
+        self, relays: list[tuple[int, Endpoint]]
+    ) -> dict[RelayType, tuple[int, ...]]:
+        grouped: dict[RelayType, list[int]] = {t: [] for t in RELAY_TYPE_ORDER}
+        for idx, _ in relays:
+            grouped[self._registry.get(idx).relay_type].append(idx)
+        return {t: tuple(indices) for t, indices in grouped.items()}
+
+    # ------------------------------------------------------------- symmetry
+
+    def measure_direction_symmetry(
+        self, round_index: int = 0
+    ) -> list[tuple[float, float]]:
+        """Measure every endpoint pair in *both* directions once.
+
+        Supports the Sec 2.5 sanity check that ping direction barely
+        matters (~80% of pairs differ by <5%).  Returns ``(rtt_ab,
+        rtt_ba)`` tuples for pairs where both directions produced a valid
+        median.
+        """
+        world = self._world
+        cfg = self._cfg
+        rng = world.seeds.rng(f"campaign.symmetry.{round_index}")
+        endpoints = self._eyeballs.sample_endpoints(rng)
+        engine = world.ping_engine
+        out = []
+        for i, p1 in enumerate(endpoints):
+            for p2 in endpoints[i + 1 :]:
+                fwd = engine.ping(
+                    p1.node.endpoint, p2.node.endpoint, rng, cfg.pings_per_pair
+                ).median_rtt(cfg.min_valid_rtts)
+                rev = engine.ping(
+                    p2.node.endpoint, p1.node.endpoint, rng, cfg.pings_per_pair
+                ).median_rtt(cfg.min_valid_rtts)
+                if fwd is not None and rev is not None:
+                    out.append((fwd, rev))
+        return out

@@ -1,0 +1,99 @@
+"""Endpoint selection at eyeball networks (Sec 2.1).
+
+The selection runs in three stages, mirroring the paper:
+
+1. **Coverage cutoff** — keep (ASN, country) tuples whose APNIC user
+   coverage reaches the cutoff (the paper uses 10%, justified by the Fig. 1
+   curve);
+2. **Eyeball verification** — the paper manually checked each candidate's
+   website for end-user services; our stand-in for that ground-truth check
+   is the topology's AS role (enterprise networks face web users and appear
+   in the coverage data, but are not eyeballs and fail this stage);
+3. **Probe filtering and 2-step sampling** — keep RIPE Atlas probes with
+   current firmware, publicly listed, connected, geolocated and stable over
+   30 days; then, per round, sample one eyeball AS per country and one
+   probe per sampled AS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CampaignConfig
+from repro.measurement.atlas import AtlasProbe
+from repro.topology.types import ASType
+from repro.world import World
+
+
+class EyeballSelector:
+    """Implements the Sec 2.1 endpoint-selection methodology."""
+
+    def __init__(self, world: World, config: CampaignConfig) -> None:
+        self._world = world
+        self._cfg = config
+        self._verified: set[tuple[int, str]] | None = None
+        self._eligible: list[AtlasProbe] | None = None
+
+    # ------------------------------------------------------------ stage 1+2
+
+    def candidate_tuples(self) -> list[tuple[int, str]]:
+        """(ASN, CC) tuples at or above the coverage cutoff (stage 1)."""
+        return self._world.apnic.tuples_above(self._cfg.eyeball_cutoff_pct)
+
+    def verified_tuples(self) -> set[tuple[int, str]]:
+        """Tuples that also pass eyeball verification (stage 2)."""
+        if self._verified is None:
+            graph = self._world.graph
+            self._verified = {
+                (asn, cc)
+                for asn, cc in self.candidate_tuples()
+                if graph.get_as(asn).as_type is ASType.EYEBALL
+            }
+        return self._verified
+
+    # --------------------------------------------------------------- stage 3
+
+    def eligible_probes(self) -> list[AtlasProbe]:
+        """Probes in verified eyeball tuples passing all platform filters."""
+        if self._eligible is None:
+            verified_asns = {asn for asn, _ in self.verified_tuples()}
+            cfg = self._cfg
+            atlas = self._world.atlas
+            self._eligible = atlas.probes(
+                min_firmware=self._world.config.infrastructure.latest_firmware,
+                public_only=True,
+                connected_only=True,
+                geolocated_only=True,
+                min_stability=cfg.min_probe_stability,
+                asns=verified_asns,
+            )
+        return list(self._eligible)
+
+    def covered_countries(self) -> list[str]:
+        """Countries with at least one eligible endpoint probe."""
+        return sorted({p.cc for p in self.eligible_probes()})
+
+    def sample_endpoints(self, rng: np.random.Generator) -> list[AtlasProbe]:
+        """One probe per country via the paper's 2-step sampling.
+
+        Step (i): pick one eyeball AS per country uniformly among the
+        country's represented ASes; step (ii): pick one probe uniformly
+        inside the chosen AS.  This bounds endpoints per round to the
+        number of covered countries while avoiding the bias of densely
+        deployed eyeballs.
+        """
+        by_country: dict[str, dict[int, list[AtlasProbe]]] = {}
+        for probe in self.eligible_probes():
+            by_country.setdefault(probe.cc, {}).setdefault(probe.asn, []).append(probe)
+        countries = sorted(by_country)
+        if self._cfg.max_countries is not None and len(countries) > self._cfg.max_countries:
+            idx = rng.choice(len(countries), size=self._cfg.max_countries, replace=False)
+            countries = [countries[i] for i in sorted(idx)]
+        sampled: list[AtlasProbe] = []
+        for cc in countries:
+            asn_map = by_country[cc]
+            asns = sorted(asn_map)
+            asn = asns[int(rng.integers(len(asns)))]
+            probes = asn_map[asn]
+            sampled.append(probes[int(rng.integers(len(probes)))])
+        return sampled

@@ -1,0 +1,46 @@
+"""Speed-of-light relay feasibility (Sec 2.4).
+
+A relay ``f`` can only beat the direct path between endpoints ``n1`` and
+``n2`` if, even in an idealised "speed-of-light Internet", the detour
+through it is no longer than the measured direct RTT::
+
+    2 * [t(n1, f) + t(f, n2)] <= RTT(n1, n2)
+
+with ``t(a, b) = d(a, b) / (c * 2/3)`` the one-way fiber-light propagation
+between the nodes' geolocations.  Everything else about the relay is
+ignored at this stage — the filter is a pure geometry bound, so it can
+never discard a relay that would actually have improved the pair.
+"""
+
+from __future__ import annotations
+
+from repro.geo.cities import city as city_of
+from repro.geo.distance import propagation_delay_ms
+from repro.latency.model import Endpoint
+
+#: Memoised city-to-city one-way light-in-fiber delays.
+_DELAY_CACHE: dict[tuple[str, str], float] = {}
+
+
+def _city_delay_ms(a_key: str, b_key: str) -> float:
+    key = (a_key, b_key) if a_key <= b_key else (b_key, a_key)
+    cached = _DELAY_CACHE.get(key)
+    if cached is None:
+        cached = propagation_delay_ms(city_of(key[0]).location, city_of(key[1]).location)
+        _DELAY_CACHE[key] = cached
+    return cached
+
+
+def is_feasible(relay: Endpoint, n1: Endpoint, n2: Endpoint, direct_rtt_ms: float) -> bool:
+    """True if the relay passes the speed-of-light bound for the pair."""
+    detour = _city_delay_ms(n1.city_key, relay.city_key) + _city_delay_ms(
+        relay.city_key, n2.city_key
+    )
+    return 2.0 * detour <= direct_rtt_ms
+
+
+def feasible_relays(
+    relays: list[Endpoint], n1: Endpoint, n2: Endpoint, direct_rtt_ms: float
+) -> list[Endpoint]:
+    """The subset of ``relays`` passing the bound for the pair."""
+    return [r for r in relays if is_feasible(r, n1, n2, direct_rtt_ms)]

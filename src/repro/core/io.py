@@ -1,0 +1,190 @@
+"""Campaign result persistence.
+
+The paper publishes its measurement data alongside the software; this
+module provides the equivalent: a versioned JSON representation of a
+:class:`~repro.core.results.CampaignResult` that round-trips exactly, so a
+campaign can be run once and analysed many times (or shared).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.core.results import (
+    CampaignResult,
+    PairObservation,
+    RelayRecord,
+    RelayRegistry,
+    RoundResult,
+)
+from repro.core.types import RelayType
+from repro.errors import AnalysisError
+
+#: Format version written into every file; bumped on breaking changes.
+FORMAT_VERSION = 1
+
+
+def _relay_to_json(record: RelayRecord) -> dict[str, Any]:
+    return {
+        "index": record.index,
+        "node_id": record.node_id,
+        "relay_type": record.relay_type.value,
+        "asn": record.asn,
+        "cc": record.cc,
+        "city_key": record.city_key,
+        "facility_id": record.facility_id,
+        "site_id": record.site_id,
+    }
+
+
+def _obs_to_json(obs: PairObservation) -> dict[str, Any]:
+    return {
+        "round": obs.round_index,
+        "e1": [obs.e1_id, obs.e1_cc, obs.e1_city],
+        "e2": [obs.e2_id, obs.e2_cc, obs.e2_city],
+        "direct": obs.direct_rtt_ms,
+        "best": {t.value: list(v) for t, v in obs.best_by_type.items()},
+        "improving": {
+            t.value: [list(entry) for entry in entries]
+            for t, entries in obs.improving_by_type.items()
+            if entries
+        },
+        "feasible": {t.value: n for t, n in obs.feasible_by_type.items() if n},
+        "groups": {
+            t.value: list(flags) for t, flags in obs.country_groups_by_type.items()
+        },
+    }
+
+
+def _obs_from_json(data: dict[str, Any]) -> PairObservation:
+    improving = {
+        RelayType(t): tuple((e[0], e[1]) for e in entries)
+        for t, entries in data["improving"].items()
+    }
+    feasible = {RelayType(t): n for t, n in data["feasible"].items()}
+    # empty entries are elided on save; restore them for exact round-trips
+    for relay_type in RelayType:
+        improving.setdefault(relay_type, ())
+        feasible.setdefault(relay_type, 0)
+    return PairObservation(
+        round_index=data["round"],
+        e1_id=data["e1"][0],
+        e2_id=data["e2"][0],
+        e1_cc=data["e1"][1],
+        e2_cc=data["e2"][1],
+        e1_city=data["e1"][2],
+        e2_city=data["e2"][2],
+        direct_rtt_ms=data["direct"],
+        best_by_type={
+            RelayType(t): (v[0], v[1]) for t, v in data["best"].items()
+        },
+        improving_by_type=improving,
+        feasible_by_type=feasible,
+        country_groups_by_type={
+            RelayType(t): tuple(bool(f) for f in flags)
+            for t, flags in data.get("groups", {}).items()
+        },
+    )
+
+
+def save_result(result: CampaignResult, path: str | pathlib.Path) -> None:
+    """Write a campaign result to ``path`` as versioned JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "verified_eyeball_tuples": result.verified_eyeball_tuples,
+        "colo_filter_funnel": list(result.colo_filter_funnel),
+        "relays": [_relay_to_json(r) for r in result.registry],
+        "rounds": [
+            {
+                "round_index": rnd.round_index,
+                "timestamp_hours": rnd.timestamp_hours,
+                "endpoint_ids": list(rnd.endpoint_ids),
+                "relay_indices_by_type": {
+                    t.value: list(indices)
+                    for t, indices in rnd.relay_indices_by_type.items()
+                },
+                "observations": [_obs_to_json(o) for o in rnd.observations],
+                "direct_medians": [
+                    [k[0], k[1], v] for k, v in rnd.direct_medians.items()
+                ],
+                "relay_medians": (
+                    [[k[0], k[1], v] for k, v in rnd.relay_medians.items()]
+                    if rnd.relay_medians is not None
+                    else None
+                ),
+                "pings_sent": rnd.pings_sent,
+            }
+            for rnd in result.rounds
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload))
+
+
+def load_result(path: str | pathlib.Path) -> CampaignResult:
+    """Read a campaign result previously written by :func:`save_result`.
+
+    Raises:
+        AnalysisError: on a missing file, bad JSON, or an unsupported
+            format version.
+    """
+    file_path = pathlib.Path(path)
+    if not file_path.exists():
+        raise AnalysisError(f"no such result file: {file_path}")
+    try:
+        payload = json.loads(file_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"{file_path} is not valid JSON: {exc}") from exc
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise AnalysisError(
+            f"{file_path} has format version {version}; this build reads "
+            f"{FORMAT_VERSION}"
+        )
+
+    registry = RelayRegistry()
+    for relay in payload["relays"]:
+        index = registry.register(
+            relay["node_id"],
+            RelayType(relay["relay_type"]),
+            relay["asn"],
+            relay["cc"],
+            relay["city_key"],
+            facility_id=relay["facility_id"],
+            site_id=relay["site_id"],
+        )
+        if index != relay["index"]:
+            raise AnalysisError(
+                f"relay index mismatch in {file_path}: {index} != {relay['index']}"
+            )
+
+    rounds = []
+    for rnd in payload["rounds"]:
+        rounds.append(
+            RoundResult(
+                round_index=rnd["round_index"],
+                timestamp_hours=rnd["timestamp_hours"],
+                endpoint_ids=tuple(rnd["endpoint_ids"]),
+                relay_indices_by_type={
+                    RelayType(t): tuple(indices)
+                    for t, indices in rnd["relay_indices_by_type"].items()
+                },
+                observations=[_obs_from_json(o) for o in rnd["observations"]],
+                direct_medians={
+                    (entry[0], entry[1]): entry[2] for entry in rnd["direct_medians"]
+                },
+                relay_medians=(
+                    {(entry[0], entry[1]): entry[2] for entry in rnd["relay_medians"]}
+                    if rnd["relay_medians"] is not None
+                    else None
+                ),
+                pings_sent=rnd["pings_sent"],
+            )
+        )
+    return CampaignResult(
+        rounds=rounds,
+        registry=registry,
+        verified_eyeball_tuples=payload["verified_eyeball_tuples"],
+        colo_filter_funnel=tuple(payload["colo_filter_funnel"]),
+    )

@@ -1,0 +1,119 @@
+"""History-based relay prediction (VIA-style baseline).
+
+VIA (Jiang et al., SIGCOMM 2016) improves call quality by picking relays
+from *history*: even when prediction misses the optimal relay, the optimal
+one is usually among the top few predicted.  The paper cites this as the
+practical way a real overlay would use its measurements, so we provide the
+baseline: rank relays per endpoint-country-pair by how often they improved
+that pair in past rounds, predict the top-k for the next round, and score
+the prediction against that round's oracle-best relay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import CampaignResult, PairObservation
+from repro.core.types import RelayType
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class PredictionScore:
+    """Outcome of evaluating history-based prediction on one round.
+
+    Attributes:
+        evaluated: Pairs with both history and an improving relay in the
+            evaluation round.
+        hit_at_k: Pairs where the oracle-best relay was among the top-k
+            predictions.
+        captured_gain_frac: Fraction of the oracle-achievable improvement
+            captured by the best *predicted* relay, averaged over pairs.
+    """
+
+    evaluated: int
+    hit_at_k: int
+    captured_gain_frac: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of evaluated pairs where prediction contained the
+        oracle-best relay."""
+        if self.evaluated == 0:
+            return 0.0
+        return self.hit_at_k / self.evaluated
+
+
+class RelayPredictor:
+    """Frequency-based relay prediction over campaign history."""
+
+    def __init__(self, relay_type: RelayType = RelayType.COR) -> None:
+        self._relay_type = relay_type
+        # (cc1, cc2) -> relay index -> improvement count
+        self._history: dict[tuple[str, str], dict[int, int]] = {}
+
+    @staticmethod
+    def _pair_key(obs: PairObservation) -> tuple[str, str]:
+        return (
+            (obs.e1_cc, obs.e2_cc) if obs.e1_cc <= obs.e2_cc else (obs.e2_cc, obs.e1_cc)
+        )
+
+    def observe(self, obs: PairObservation) -> None:
+        """Fold one observation into the history."""
+        counts = self._history.setdefault(self._pair_key(obs), {})
+        for idx, _ in obs.improving_by_type.get(self._relay_type, ()):
+            counts[idx] = counts.get(idx, 0) + 1
+
+    def predict(self, obs: PairObservation, k: int = 3) -> list[int]:
+        """Top-k relay indices predicted for the observation's country pair.
+
+        Raises:
+            AnalysisError: if ``k`` is not positive.
+        """
+        if k < 1:
+            raise AnalysisError(f"k must be >= 1, got {k}")
+        counts = self._history.get(self._pair_key(obs), {})
+        ranked = sorted(counts, key=lambda idx: (-counts[idx], idx))
+        return ranked[:k]
+
+    def has_history(self, obs: PairObservation) -> bool:
+        """True if the observation's country pair has any history."""
+        return bool(self._history.get(self._pair_key(obs)))
+
+
+def evaluate_prediction(
+    result: CampaignResult,
+    relay_type: RelayType = RelayType.COR,
+    k: int = 3,
+) -> PredictionScore:
+    """Train on all rounds but the last; evaluate on the last round.
+
+    Raises:
+        AnalysisError: with fewer than 2 rounds.
+    """
+    if len(result.rounds) < 2:
+        raise AnalysisError("prediction evaluation needs >= 2 rounds")
+    predictor = RelayPredictor(relay_type)
+    for rnd in result.rounds[:-1]:
+        for obs in rnd.observations:
+            predictor.observe(obs)
+
+    evaluated = hits = 0
+    captured = 0.0
+    for obs in result.rounds[-1].observations:
+        entries = obs.improving_by_type.get(relay_type, ())
+        if not entries or not predictor.has_history(obs):
+            continue
+        evaluated += 1
+        gains = dict(entries)
+        oracle_idx = max(gains, key=lambda idx: gains[idx])
+        predicted = predictor.predict(obs, k)
+        if oracle_idx in predicted:
+            hits += 1
+        predicted_gain = max((gains.get(idx, 0.0) for idx in predicted), default=0.0)
+        captured += predicted_gain / gains[oracle_idx]
+    return PredictionScore(
+        evaluated=evaluated,
+        hit_at_k=hits,
+        captured_gain_frac=captured / evaluated if evaluated else 0.0,
+    )

@@ -1,0 +1,137 @@
+"""Relay selection at PlanetLab and RIPE Atlas networks (Sec 2.3).
+
+* **PLR** — PlanetLab nodes: before each round, keep nodes that are up
+  *and* consistently accessible (long-run availability above a threshold)
+  *and* answer pings, then sample 1-2 per site.
+* **RAR_eye** — Atlas probes at verified eyeball (ASN, CC) tuples, sampled
+  one per country with the Sec 2.1 methodology (endpoints of the current
+  round are excluded so a node never relays for itself).
+* **RAR_other** — Atlas probes at all remaining tuples (core/transit
+  networks, enterprises, sub-cutoff ISPs), one per country.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import CampaignConfig
+from repro.core.eyeballs import EyeballSelector
+from repro.latency.model import Endpoint
+from repro.measurement.atlas import AtlasProbe
+from repro.measurement.planetlab import PlanetLabNode
+from repro.topology.types import ASType
+from repro.world import World
+
+
+class PlanetLabRelaySelector:
+    """Per-round PlanetLab relay sampling with liveness checks."""
+
+    def __init__(self, world: World, config: CampaignConfig) -> None:
+        self._world = world
+        self._cfg = config
+        tier1s = world.topology.asns_of_type(ASType.TRANSIT_GLOBAL)
+        asys = world.graph.get_as(tier1s[0])
+        self._monitor = Endpoint(
+            node_id="plr-monitor",
+            asn=asys.asn,
+            city_key=asys.primary_city,
+            access_ms=1.0,
+            loss_prob=0.001,
+        )
+
+    def sample(self, round_index: int, rng: np.random.Generator) -> list[PlanetLabNode]:
+        """Sample 1-2 consistently-accessible, pingable nodes per site."""
+        cfg = self._cfg
+        candidates = [
+            node
+            for node in self._world.planetlab.available_nodes(round_index)
+            if node.availability >= cfg.plr_consistency_threshold
+        ]
+        by_site: dict[str, list[PlanetLabNode]] = {}
+        for node in candidates:
+            by_site.setdefault(node.site_id, []).append(node)
+        low, high = cfg.plr_per_site
+        sampled: list[PlanetLabNode] = []
+        for site_id in sorted(by_site):
+            pool = by_site[site_id]
+            want = int(rng.integers(low, high + 1))
+            take = min(want, len(pool))
+            idx = rng.choice(len(pool), size=take, replace=False)
+            for i in sorted(idx):
+                node = pool[i]
+                if self._world.ping_engine.is_responsive(
+                    self._monitor, node.node.endpoint, rng
+                ):
+                    sampled.append(node)
+        return sampled
+
+
+class AtlasRelaySelector:
+    """Per-round RAR_eye / RAR_other sampling."""
+
+    def __init__(self, world: World, config: CampaignConfig) -> None:
+        self._world = world
+        self._cfg = config
+        self._eyeballs = EyeballSelector(world, config)
+        self._other_pool: list[AtlasProbe] | None = None
+
+    def _eligible_other(self) -> list[AtlasProbe]:
+        """Probes passing platform filters in *non-verified* tuples."""
+        if self._other_pool is None:
+            verified = self._eyeballs.verified_tuples()
+            cfg = self._cfg
+            candidates = self._world.atlas.probes(
+                min_firmware=self._world.config.infrastructure.latest_firmware,
+                public_only=True,
+                connected_only=True,
+                geolocated_only=True,
+                min_stability=cfg.min_probe_stability,
+            )
+            self._other_pool = [
+                p for p in candidates if (p.asn, self._as_cc(p)) not in verified
+            ]
+        return list(self._other_pool)
+
+    def _as_cc(self, probe: AtlasProbe) -> str:
+        return self._world.graph.get_as(probe.asn).cc
+
+    def sample_eye(
+        self, rng: np.random.Generator, exclude_ids: set[str]
+    ) -> list[AtlasProbe]:
+        """One verified-eyeball probe per country, excluding endpoints."""
+        probes = [
+            p for p in self._eyeballs.eligible_probes() if p.probe_id not in exclude_ids
+        ]
+        return self._one_per_country(probes, rng)
+
+    def sample_other(
+        self, rng: np.random.Generator, exclude_ids: set[str]
+    ) -> list[AtlasProbe]:
+        """One non-eyeball-tuple probe per country, excluding endpoints.
+
+        Anchors are preferred within each country: the paper's RAR_other
+        description points at the public anchors list ("potentially in core
+        locations"), and anchors are the platform's well-connected,
+        server-grade vantage points.
+        """
+        probes = [p for p in self._eligible_other() if p.probe_id not in exclude_ids]
+        return self._one_per_country(probes, rng, anchor_preference=0.6)
+
+    @staticmethod
+    def _one_per_country(
+        probes: list[AtlasProbe],
+        rng: np.random.Generator,
+        anchor_preference: float = 0.0,
+    ) -> list[AtlasProbe]:
+        by_country: dict[str, list[AtlasProbe]] = {}
+        for probe in probes:
+            by_country.setdefault(probe.cc, []).append(probe)
+        sampled = []
+        for cc in sorted(by_country):
+            pool = by_country[cc]
+            if anchor_preference > 0.0 and rng.random() < anchor_preference:
+                anchors = [p for p in pool if p.is_anchor]
+                if anchors:
+                    pool = anchors
+            sampled.append(pool[int(rng.integers(len(pool)))])
+        return sampled

@@ -1,0 +1,253 @@
+"""Result containers of the measurement campaign.
+
+Storage is deliberately compact: relays live once in a registry and are
+referenced by integer index; each endpoint pair stores, per relay type, the
+best stitched RTT and the list of *(relay, improvement)* entries for relays
+that beat the direct path.  That is exactly the information Figures 2-4,
+Table 1 and the in-text analyses consume.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import AnalysisError
+from repro.geo.countries import continent_of
+
+
+@dataclass(frozen=True, slots=True)
+class RelayRecord:
+    """One relay's identity in the campaign's registry.
+
+    Attributes:
+        index: Registry index (the id observations refer to).
+        node_id: The underlying node id.
+        relay_type: COR / PLR / RAR_OTHER / RAR_EYE.
+        asn: Hosting AS.
+        cc: Country code of the relay's city.
+        city_key: The relay's city.
+        facility_id: Hosting facility (COR only).
+        site_id: PlanetLab site (PLR only).
+    """
+
+    index: int
+    node_id: str
+    relay_type: RelayType
+    asn: int
+    cc: str
+    city_key: str
+    facility_id: int | None = None
+    site_id: str | None = None
+
+
+class RelayRegistry:
+    """Deduplicating registry of every relay the campaign ever used."""
+
+    def __init__(self) -> None:
+        self._records: list[RelayRecord] = []
+        self._by_node_id: dict[str, int] = {}
+
+    def register(
+        self,
+        node_id: str,
+        relay_type: RelayType,
+        asn: int,
+        cc: str,
+        city_key: str,
+        facility_id: int | None = None,
+        site_id: str | None = None,
+    ) -> int:
+        """Register a relay (idempotent per node id) and return its index.
+
+        Raises:
+            AnalysisError: if the same node is re-registered under a
+                different relay type (a node has exactly one role).
+        """
+        existing = self._by_node_id.get(node_id)
+        if existing is not None:
+            if self._records[existing].relay_type is not relay_type:
+                raise AnalysisError(
+                    f"node {node_id} registered as {self._records[existing].relay_type}"
+                    f" and again as {relay_type}"
+                )
+            return existing
+        index = len(self._records)
+        self._records.append(
+            RelayRecord(
+                index=index,
+                node_id=node_id,
+                relay_type=relay_type,
+                asn=asn,
+                cc=cc,
+                city_key=city_key,
+                facility_id=facility_id,
+                site_id=site_id,
+            )
+        )
+        self._by_node_id[node_id] = index
+        return index
+
+    def get(self, index: int) -> RelayRecord:
+        """The record at a registry index."""
+        return self._records[index]
+
+    def by_node_id(self, node_id: str) -> RelayRecord:
+        """Find a relay by node id.
+
+        Raises:
+            KeyError: if the node was never registered.
+        """
+        return self._records[self._by_node_id[node_id]]
+
+    def of_type(self, relay_type: RelayType) -> list[RelayRecord]:
+        """All relays of a type, in registration order."""
+        return [r for r in self._records if r.relay_type is relay_type]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RelayRecord]:
+        return iter(self._records)
+
+
+@dataclass(frozen=True, slots=True)
+class PairObservation:
+    """One endpoint pair in one round — the campaign's unit of analysis
+    (a "case" in the paper's terminology).
+
+    Attributes:
+        round_index: The round the pair was measured in.
+        e1_id / e2_id: Endpoint probe ids.
+        e1_cc / e2_cc: Endpoint countries (always different, Sec 2.1).
+        e1_city / e2_city: Endpoint cities.
+        direct_rtt_ms: Median direct-path RTT (step 4 re-measurement).
+        best_by_type: Per relay type, ``(relay_index, stitched_rtt_ms)`` of
+            the minimum-latency *feasible* relay with valid legs.
+        improving_by_type: Per relay type, ``(relay_index,
+            improvement_ms)`` for every relay that beat the direct path.
+        feasible_by_type: Per relay type, how many sampled relays passed
+            the speed-of-light bound for this pair.
+        country_groups_by_type: Per relay type, four booleans supporting
+            the "Changing Countries and Paths" analysis:
+            ``(usable_same_cc, improving_same_cc, usable_diff_cc,
+            improving_diff_cc)`` — whether a relay sharing a country with
+            an endpoint (resp. in a third country) was usable (feasible
+            with both legs measured) and whether one improved the pair.
+    """
+
+    round_index: int
+    e1_id: str
+    e2_id: str
+    e1_cc: str
+    e2_cc: str
+    e1_city: str
+    e2_city: str
+    direct_rtt_ms: float
+    best_by_type: dict[RelayType, tuple[int, float]]
+    improving_by_type: dict[RelayType, tuple[tuple[int, float], ...]]
+    feasible_by_type: dict[RelayType, int]
+    country_groups_by_type: dict[RelayType, tuple[bool, bool, bool, bool]] = field(
+        default_factory=dict
+    )
+
+    def best_stitched(self, relay_type: RelayType) -> float | None:
+        """Best stitched RTT for a type, or None if no usable relay."""
+        entry = self.best_by_type.get(relay_type)
+        return entry[1] if entry else None
+
+    def best_improvement(self, relay_type: RelayType) -> float | None:
+        """Improvement of the type's best relay (may be negative), or None."""
+        stitched = self.best_stitched(relay_type)
+        if stitched is None:
+            return None
+        return self.direct_rtt_ms - stitched
+
+    def improved(self, relay_type: RelayType) -> bool:
+        """True if any relay of the type beat the direct path."""
+        return bool(self.improving_by_type.get(relay_type))
+
+    def num_improving(self, relay_type: RelayType) -> int:
+        """How many relays of the type beat the direct path."""
+        return len(self.improving_by_type.get(relay_type, ()))
+
+    @property
+    def is_intercontinental(self) -> bool:
+        """True if the endpoints are on different continents."""
+        return continent_of(self.e1_cc) != continent_of(self.e2_cc)
+
+
+@dataclass(slots=True)
+class RoundResult:
+    """Everything measured in one campaign round.
+
+    ``direct_medians`` / ``relay_medians`` keep the raw per-pair medians so
+    the temporal-stability analysis can compute per-pair CVs across rounds;
+    ``relay_medians`` may be None when the campaign is configured not to
+    record them.
+    """
+
+    round_index: int
+    timestamp_hours: float
+    endpoint_ids: tuple[str, ...]
+    relay_indices_by_type: dict[RelayType, tuple[int, ...]]
+    observations: list[PairObservation]
+    direct_medians: dict[tuple[str, str], float]
+    relay_medians: dict[tuple[str, int], float] | None
+    pings_sent: int
+
+    def num_pairs(self) -> int:
+        """Endpoint pairs with a valid direct measurement this round."""
+        return len(self.observations)
+
+
+@dataclass(slots=True)
+class CampaignResult:
+    """The full campaign: all rounds plus the shared relay registry."""
+
+    rounds: list[RoundResult]
+    registry: RelayRegistry
+    verified_eyeball_tuples: int = 0
+    colo_filter_funnel: tuple[int, ...] = field(default=())
+
+    def observations(self) -> Iterator[PairObservation]:
+        """Every pair observation across every round."""
+        for rnd in self.rounds:
+            yield from rnd.observations
+
+    @property
+    def total_cases(self) -> int:
+        """Total pair observations (the paper's "total cases")."""
+        return sum(len(rnd.observations) for rnd in self.rounds)
+
+    @property
+    def total_pings(self) -> int:
+        """Pings sent across the campaign."""
+        return sum(rnd.pings_sent for rnd in self.rounds)
+
+    def improved_fraction(self, relay_type: RelayType) -> float:
+        """Fraction of total cases the type's relays improved.
+
+        Raises:
+            AnalysisError: if the campaign has no observations.
+        """
+        total = self.total_cases
+        if total == 0:
+            raise AnalysisError("campaign produced no observations")
+        improved = sum(1 for obs in self.observations() if obs.improved(relay_type))
+        return improved / total
+
+    def summary(self) -> dict[str, float | int]:
+        """Headline numbers: totals plus per-type improved fractions."""
+        info: dict[str, float | int] = {
+            "rounds": len(self.rounds),
+            "total_cases": self.total_cases,
+            "total_pings": self.total_pings,
+            "relays_registered": len(self.registry),
+        }
+        for relay_type in RELAY_TYPE_ORDER:
+            info[f"improved_frac_{relay_type.value}"] = round(
+                self.improved_fraction(relay_type), 4
+            )
+        return info

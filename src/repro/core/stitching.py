@@ -1,0 +1,35 @@
+"""Overlay path stitching and TIV detection (Sec 2.5, step 4).
+
+The RTT of a single-relay overlay path ``(n1, relay, n2)`` is inferred by
+*stitching*: adding the measured median RTTs of its two legs.  A stitched
+path that undercuts the direct path is a Triangle Inequality Violation of
+the Internet's latency space — the phenomenon the whole study quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+
+
+def stitch_rtt(leg1_rtt_ms: float, leg2_rtt_ms: float) -> float:
+    """RTT of the stitched overlay path from its two leg RTTs.
+
+    Raises:
+        AnalysisError: on non-positive leg RTTs (a median over valid pings
+            can never be <= 0; such input indicates a caller bug).
+    """
+    if leg1_rtt_ms <= 0 or leg2_rtt_ms <= 0:
+        raise AnalysisError(
+            f"leg RTTs must be positive, got {leg1_rtt_ms} and {leg2_rtt_ms}"
+        )
+    return leg1_rtt_ms + leg2_rtt_ms
+
+
+def is_tiv(direct_rtt_ms: float, stitched_rtt_ms: float) -> bool:
+    """True if the relayed path beats the direct path (a TIV)."""
+    return stitched_rtt_ms < direct_rtt_ms
+
+
+def improvement_ms(direct_rtt_ms: float, stitched_rtt_ms: float) -> float:
+    """Latency improvement of the relayed path (positive when faster)."""
+    return direct_rtt_ms - stitched_rtt_ms

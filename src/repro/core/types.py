@@ -1,0 +1,36 @@
+"""Shared core vocabulary: the paper's four relay types."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RelayType(enum.Enum):
+    """The relay categories the paper compares (Sec 2.2-2.3)."""
+
+    COR = "COR"
+    """Colo relay: interface located in a colocation facility."""
+
+    PLR = "PLR"
+    """PlanetLab relay: node at a research site."""
+
+    RAR_OTHER = "RAR_OTHER"
+    """RIPE Atlas relay in a network *not* verified as an eyeball
+    (often core/transit networks)."""
+
+    RAR_EYE = "RAR_EYE"
+    """RIPE Atlas relay in a verified eyeball network."""
+
+    @property
+    def display_name(self) -> str:
+        """Label used in figures ("COR", "PLR", "RAR OTHER", "RAR EYE")."""
+        return self.value.replace("_", " ")
+
+
+#: Plot/report order used throughout (matches the paper's legends).
+RELAY_TYPE_ORDER = (
+    RelayType.COR,
+    RelayType.PLR,
+    RelayType.RAR_OTHER,
+    RelayType.RAR_EYE,
+)

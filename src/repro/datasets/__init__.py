@@ -1,0 +1,22 @@
+"""Dataset substrates: synthetic equivalents of the external data sources
+the paper consumes (APNIC user coverage, PeeringDB, CAIDA prefix2as, the
+Giotsas et al. facility-mapping dataset, and Periscope looking glasses)."""
+
+from repro.datasets.config import DatasetConfig
+from repro.datasets.apnic import ApnicCoverage, CoverageRecord
+from repro.datasets.peeringdb import PeeringDB
+from repro.datasets.prefix2as import Prefix2AS
+from repro.datasets.facility_mapping import FacilityMappingDataset, FacilityMappingRecord
+from repro.datasets.periscope import LookingGlass, Periscope
+
+__all__ = [
+    "DatasetConfig",
+    "ApnicCoverage",
+    "CoverageRecord",
+    "PeeringDB",
+    "Prefix2AS",
+    "FacilityMappingDataset",
+    "FacilityMappingRecord",
+    "Periscope",
+    "LookingGlass",
+]

@@ -1,0 +1,113 @@
+"""APNIC-style per-(AS, country) Internet-user coverage estimates.
+
+The paper selects eyeball networks from APNIC's measurement campaign:
+per-country percentages of the Internet-user population served by each
+measured AS (Sec 2.1).  This substrate derives equivalent coverage figures
+from the generated topology: eyeball ASes split most of each country's
+users Zipf-style, while enterprise and research networks appear in the data
+with small coverages — they face web users, but fail the paper's 10%
+"actual eyeball" cutoff, which is exactly the distinction Fig. 1 is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+from repro.geo.countries import all_countries
+from repro.topology.builder import Topology
+from repro.topology.types import ASType
+from repro.util.rand import SeedSequenceFactory
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageRecord:
+    """Coverage of one AS in one country.
+
+    Attributes:
+        asn: The measured AS.
+        cc: Country of operation.
+        coverage_pct: Percentage (0-100) of the country's Internet users
+            the AS serves.
+    """
+
+    asn: int
+    cc: str
+    coverage_pct: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.coverage_pct <= 100.0:
+            raise DatasetError(f"coverage {self.coverage_pct} outside [0, 100]")
+
+
+class ApnicCoverage:
+    """The synthetic APNIC coverage dataset."""
+
+    def __init__(self, topology: Topology, seeds: SeedSequenceFactory) -> None:
+        self._records: list[CoverageRecord] = []
+        self._by_key: dict[tuple[int, str], float] = {}
+        self._generate(topology, seeds.rng("apnic.generate"))
+
+    def _generate(self, topology: Topology, rng) -> None:
+        graph = topology.graph
+        by_country: dict[str, list[int]] = {}
+        for asn in topology.asns_of_type(ASType.EYEBALL):
+            by_country.setdefault(graph.get_as(asn).cc, []).append(asn)
+        small_players: dict[str, list[int]] = {}
+        for as_type in (ASType.ENTERPRISE, ASType.RESEARCH):
+            for asn in topology.asns_of_type(as_type):
+                small_players.setdefault(graph.get_as(asn).cc, []).append(asn)
+
+        for ctry in all_countries():
+            eyeballs = by_country.get(ctry.code, [])
+            if eyeballs:
+                # Zipf-like market shares covering 75-95% of the country.
+                total_share = float(rng.uniform(75.0, 95.0))
+                weights = [1.0 / (rank + 1) ** float(rng.uniform(0.9, 1.4))
+                           for rank in range(len(eyeballs))]
+                weight_sum = sum(weights)
+                order = list(eyeballs)
+                rng.shuffle(order)
+                for asn, weight in zip(order, weights):
+                    pct = total_share * weight / weight_sum
+                    self._add(CoverageRecord(asn, ctry.code, round(pct, 2)))
+            for asn in small_players.get(ctry.code, []):
+                pct = float(rng.uniform(0.05, 3.0))
+                self._add(CoverageRecord(asn, ctry.code, round(pct, 2)))
+
+    def _add(self, record: CoverageRecord) -> None:
+        key = (record.asn, record.cc)
+        if key in self._by_key:
+            raise DatasetError(f"duplicate coverage record for {key}")
+        self._records.append(record)
+        self._by_key[key] = record.coverage_pct
+
+    # ----------------------------------------------------------------- query
+
+    def records(self) -> tuple[CoverageRecord, ...]:
+        """All coverage records (stable order)."""
+        return tuple(self._records)
+
+    def coverage(self, asn: int, cc: str) -> float | None:
+        """Coverage of an (AS, country) tuple, or None if unmeasured."""
+        return self._by_key.get((asn, cc))
+
+    def tuples_above(self, cutoff_pct: float) -> list[tuple[int, str]]:
+        """(ASN, CC) tuples at or above the coverage cutoff."""
+        return [
+            (r.asn, r.cc) for r in self._records if r.coverage_pct >= cutoff_pct
+        ]
+
+    def fig1_curve(self, cutoffs: list[float]) -> list[tuple[float, int, int]]:
+        """The Fig. 1 series: for each cutoff, (cutoff, #ASes, #countries).
+
+        A country is *covered* at a cutoff if at least one of its measured
+        ASes reaches that coverage level.
+        """
+        out = []
+        for cutoff in cutoffs:
+            selected = self.tuples_above(cutoff)
+            num_ases = len({asn for asn, _ in selected})
+            num_countries = len({cc for _, cc in selected})
+            out.append((cutoff, num_ases, num_countries))
+        return out

@@ -1,0 +1,109 @@
+"""The aged, Giotsas-style IP-to-facility dataset (2015 vintage).
+
+Giotsas et al. ("Mapping peering interconnections to a facility", CoNEXT
+2015) inferred, from traceroutes, which facility each interconnection IP
+lives in; the paper starts from their published dataset and filters out two
+years of staleness (Sec 2.2).  This substrate derives the same *kind* of
+records from the ground-truth colo interface pool, injecting every defect
+class the filters check:
+
+* non-converged records list 2-3 candidate facilities instead of one;
+* some candidate facilities have since closed (checked against PeeringDB);
+* some interfaces are dead (fail the pingability filter);
+* some addresses changed hands, so the recorded ASN disagrees with today's
+  prefix2as origin;
+* some ASes left the facility (checked against current PeeringDB
+  membership);
+* some interfaces were physically relocated (caught by RTT geolocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.config import DatasetConfig
+from repro.measurement.colo import ColoInterfacePool
+from repro.net.ipv4 import IPv4Address
+from repro.topology.builder import Topology
+from repro.util.rand import SeedSequenceFactory
+
+
+@dataclass(frozen=True, slots=True)
+class FacilityMappingRecord:
+    """One row of the 2015 dataset.
+
+    Attributes:
+        ip: The interconnection IP address.
+        recorded_asn: The ASN the 2015 dataset attributed the IP to.
+        candidate_facility_ids: The facility (or, when the constrained
+            facility search did not converge, facilities) the IP was mapped
+            to.
+        neighbour_ixp_ids: IXPs adjacent to the interface in 2015.
+    """
+
+    ip: IPv4Address
+    recorded_asn: int
+    candidate_facility_ids: frozenset[int]
+    neighbour_ixp_ids: frozenset[int]
+
+    @property
+    def is_single_facility(self) -> bool:
+        """True if the facility search converged to exactly one facility."""
+        return len(self.candidate_facility_ids) == 1
+
+
+class FacilityMappingDataset:
+    """Generates and serves the aged facility-mapping records."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        pool: ColoInterfacePool,
+        config: DatasetConfig,
+        seeds: SeedSequenceFactory,
+    ) -> None:
+        self._records: list[FacilityMappingRecord] = []
+        self._generate(topology, pool, config, seeds.rng("facility_mapping.generate"))
+
+    def _generate(self, topology: Topology, pool: ColoInterfacePool, cfg, rng) -> None:
+        all_fac_ids = sorted(topology.facilities)
+        all_asns = topology.graph.asns()
+        by_city: dict[str, list[int]] = {}
+        for fac_id, fac in topology.facilities.items():
+            by_city.setdefault(fac.city_key, []).append(fac_id)
+
+        for interface in pool.interfaces():
+            if rng.random() >= cfg.dataset_coverage:
+                continue  # the 2015 crawl missed this interface
+            true_fac = interface.facility_id
+            candidates = {true_fac}
+            if rng.random() < cfg.multi_facility_prob:
+                # non-convergence: add facilities from the same metro when
+                # possible (the realistic ambiguity), else anywhere
+                same_city = [f for f in by_city.get(
+                    topology.facilities[true_fac].city_key, []) if f != true_fac]
+                extra_pool = same_city if same_city else [
+                    f for f in all_fac_ids if f != true_fac]
+                n_extra = int(rng.integers(1, 3))
+                for _ in range(min(n_extra, len(extra_pool))):
+                    candidates.add(extra_pool[int(rng.integers(len(extra_pool)))])
+            recorded_asn = interface.node.asn
+            if rng.random() < cfg.asn_churn_prob:
+                other = all_asns[int(rng.integers(len(all_asns)))]
+                if other != recorded_asn:
+                    recorded_asn = other
+            self._records.append(
+                FacilityMappingRecord(
+                    ip=interface.node.ip,
+                    recorded_asn=recorded_asn,
+                    candidate_facility_ids=frozenset(candidates),
+                    neighbour_ixp_ids=topology.facilities[true_fac].ixp_ids,
+                )
+            )
+
+    def records(self) -> tuple[FacilityMappingRecord, ...]:
+        """All dataset rows (stable order)."""
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)

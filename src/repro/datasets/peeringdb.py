@@ -1,0 +1,113 @@
+"""PeeringDB substrate: the *current* view of facilities, memberships and
+IXPs.
+
+The ground-truth topology is a 2015-style snapshot; PeeringDB presents
+what still exists *today*: facilities that have shut down since are absent,
+and ASes that left a facility are no longer listed there.  The Sec 2.2
+filters and Table 1's feature columns (#Nets, #IXPs, cloud services,
+PeeringDB top-10) all read from here.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.config import DatasetConfig
+from repro.errors import DatasetError
+from repro.topology.builder import Topology
+from repro.topology.facilities import IXP, Facility
+from repro.util.rand import SeedSequenceFactory
+
+
+class PeeringDB:
+    """Query interface over the current facility/IXP ecosystem."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: DatasetConfig,
+        seeds: SeedSequenceFactory,
+    ) -> None:
+        rng = seeds.rng("peeringdb.generate")
+        self._closed: set[int] = {
+            fac_id
+            for fac_id in topology.facilities
+            if rng.random() < config.closed_facility_prob
+        }
+        # membership churn: (facility, asn) pairs that dissolved since 2015
+        self._departed: set[tuple[int, int]] = set()
+        for fac_id, fac in topology.facilities.items():
+            if fac_id in self._closed:
+                continue
+            for asn in fac.members:
+                if rng.random() < config.membership_churn_prob:
+                    self._departed.add((fac_id, asn))
+        self._facilities = topology.facilities
+        self._ixps = topology.ixps
+
+    # ------------------------------------------------------------ facilities
+
+    def has_facility(self, fac_id: int) -> bool:
+        """True if the facility exists and is still open."""
+        return fac_id in self._facilities and fac_id not in self._closed
+
+    def facility(self, fac_id: int) -> Facility:
+        """The facility record.
+
+        Raises:
+            DatasetError: if unknown or closed.
+        """
+        if not self.has_facility(fac_id):
+            raise DatasetError(f"facility {fac_id} not present in PeeringDB")
+        return self._facilities[fac_id]
+
+    def facilities(self) -> list[Facility]:
+        """Every open facility."""
+        return [f for fid, f in self._facilities.items() if fid not in self._closed]
+
+    def closed_facility_ids(self) -> frozenset[int]:
+        """Facilities that existed in 2015 but are gone today."""
+        return frozenset(self._closed)
+
+    # ------------------------------------------------------------ membership
+
+    def current_members(self, fac_id: int) -> frozenset[int]:
+        """ASNs present at the facility today.
+
+        Raises:
+            DatasetError: if the facility is unknown or closed.
+        """
+        fac = self.facility(fac_id)
+        return frozenset(
+            asn for asn in fac.members if (fac_id, asn) not in self._departed
+        )
+
+    def is_present(self, asn: int, fac_id: int) -> bool:
+        """True if ``asn`` is listed at the facility today."""
+        return self.has_facility(fac_id) and asn in self.current_members(fac_id)
+
+    def network_count(self, fac_id: int) -> int:
+        """Table 1 ``#Nets``: networks currently at the facility."""
+        return len(self.current_members(fac_id))
+
+    # ----------------------------------------------------------------- IXPs
+
+    def ixps_at(self, fac_id: int) -> list[IXP]:
+        """IXPs whose fabric reaches into the facility."""
+        fac = self.facility(fac_id)
+        return [self._ixps[ixp_id] for ixp_id in sorted(fac.ixp_ids)]
+
+    def ixp_count(self, fac_id: int) -> int:
+        """Table 1 ``#IXPs``."""
+        return len(self.facility(fac_id).ixp_ids)
+
+    # ------------------------------------------------------------- rankings
+
+    def top_facility_ids(self, n: int = 10) -> list[int]:
+        """The ``n`` largest open facilities by current network count
+        (the paper's "top-10 of PeeringDB w.r.t. colocated networks")."""
+        open_ids = [fid for fid in self._facilities if fid not in self._closed]
+        open_ids.sort(key=lambda fid: (-self.network_count(fid), fid))
+        return open_ids[:n]
+
+    def city_of(self, fac_id: int) -> str:
+        """City key of a facility (used by RTT-based geolocation)."""
+        return self.facility(fac_id).city_key

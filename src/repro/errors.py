@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers can catch one type at an API boundary.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A configuration object contains an invalid or inconsistent value."""
+
+
+class GeoError(ReproError):
+    """Invalid geographic input (bad coordinates, unknown country/city)."""
+
+
+class AddressError(ReproError):
+    """Invalid IPv4 address or prefix input."""
+
+
+class TopologyError(ReproError):
+    """The AS-level topology is missing an entity or violates an invariant."""
+
+
+class RoutingError(ReproError):
+    """No valid route exists, or routing state is inconsistent."""
+
+
+class MeasurementError(ReproError):
+    """A measurement request is invalid or violates platform constraints."""
+
+
+class DatasetError(ReproError):
+    """A dataset substrate received an invalid query or record."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked to operate on unsuitable result data."""

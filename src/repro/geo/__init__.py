@@ -1,0 +1,33 @@
+"""Geographic substrate: coordinates, great-circle distances, fiber delay,
+and the embedded world-city / country databases the topology is placed on."""
+
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import (
+    FIBER_PATH_STRETCH,
+    SPEED_OF_LIGHT_FIBER_KM_PER_MS,
+    fiber_delay_ms,
+    great_circle_km,
+    min_rtt_ms,
+    propagation_delay_ms,
+)
+from repro.geo.countries import Country, continent_of, country, all_countries
+from repro.geo.cities import City, all_cities, cities_in_country, city, hub_cities
+
+__all__ = [
+    "GeoPoint",
+    "great_circle_km",
+    "fiber_delay_ms",
+    "propagation_delay_ms",
+    "min_rtt_ms",
+    "SPEED_OF_LIGHT_FIBER_KM_PER_MS",
+    "FIBER_PATH_STRETCH",
+    "Country",
+    "country",
+    "continent_of",
+    "all_countries",
+    "City",
+    "city",
+    "all_cities",
+    "cities_in_country",
+    "hub_cities",
+]

@@ -1,0 +1,110 @@
+"""Submarine cable landing points.
+
+Future-work item (iii) of the paper: correlate relayed-path latency with
+the proximity of endpoints/relays to submarine cable landing points
+(TeleGeography's map is the cited source).  We embed a static table of
+major landing stations — coastal metros where intercontinental capacity
+actually lands — and a nearest-landing-point index used by
+:mod:`repro.analysis.cables`.
+
+Coordinates are approximate; only relative distances matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import great_circle_km
+
+
+@dataclass(frozen=True, slots=True)
+class LandingPoint:
+    """A submarine cable landing station."""
+
+    name: str
+    cc: str
+    location: GeoPoint
+    #: Rough count of cable systems landing there (weights importance).
+    systems: int
+
+    def __post_init__(self) -> None:
+        if self.systems < 1:
+            raise GeoError(f"landing point {self.name} must land >= 1 system")
+
+
+def _lp(name: str, cc: str, lat: float, lon: float, systems: int) -> LandingPoint:
+    return LandingPoint(name, cc, GeoPoint(lat, lon), systems)
+
+
+_LANDING_POINTS: tuple[LandingPoint, ...] = (
+    # Atlantic / Europe
+    _lp("Bude", "GB", 50.83, -4.55, 8),
+    _lp("Marseille", "FR", 43.30, 5.37, 14),
+    _lp("Lisbon", "PT", 38.72, -9.14, 9),
+    _lp("Bilbao", "ES", 43.26, -2.93, 4),
+    _lp("Amsterdam Zandvoort", "NL", 52.37, 4.53, 5),
+    _lp("Genoa", "IT", 44.41, 8.93, 5),
+    _lp("Athens Chania", "GR", 35.51, 24.02, 6),
+    # North America
+    _lp("New York Wall Township", "US", 40.18, -74.03, 10),
+    _lp("Virginia Beach", "US", 36.85, -75.98, 5),
+    _lp("Miami Boca Raton", "US", 26.36, -80.07, 9),
+    _lp("Los Angeles Hermosa", "US", 33.86, -118.40, 7),
+    _lp("Seattle Nedonna", "US", 45.63, -123.94, 4),
+    _lp("Halifax", "CA", 44.65, -63.57, 3),
+    # South America
+    _lp("Fortaleza", "BR", -3.73, -38.52, 10),
+    _lp("Santos", "BR", -23.96, -46.33, 6),
+    _lp("Buenos Aires Las Toninas", "AR", -36.49, -56.70, 5),
+    _lp("Valparaiso", "CL", -33.05, -71.62, 4),
+    _lp("Barranquilla", "CO", 10.99, -74.80, 4),
+    # Africa
+    _lp("Alexandria", "EG", 31.20, 29.92, 11),
+    _lp("Mombasa", "KE", -4.04, 39.67, 5),
+    _lp("Lagos", "NG", 6.42, 3.40, 6),
+    _lp("Cape Town Melkbosstrand", "ZA", -33.72, 18.44, 5),
+    _lp("Dakar", "SN", 14.72, -17.48, 4),
+    _lp("Djibouti", "ET", 11.60, 43.15, 9),
+    # Asia / Middle East
+    _lp("Mumbai Versova", "IN", 19.13, 72.81, 11),
+    _lp("Chennai", "IN", 13.05, 80.28, 6),
+    _lp("Singapore Tuas", "SG", 1.30, 103.64, 15),
+    _lp("Hong Kong Deep Water Bay", "HK", 22.24, 114.16, 11),
+    _lp("Tokyo Chikura", "JP", 34.95, 139.95, 9),
+    _lp("Busan", "KR", 35.10, 129.04, 6),
+    _lp("Taipei Toucheng", "TW", 24.85, 121.82, 6),
+    _lp("Fujairah", "AE", 25.12, 56.33, 8),
+    _lp("Jeddah", "SA", 21.49, 39.18, 6),
+    _lp("Manila Batangas", "PH", 13.76, 121.06, 5),
+    # Oceania
+    _lp("Sydney Alexandria", "AU", -33.92, 151.19, 7),
+    _lp("Perth Floreat", "AU", -31.94, 115.75, 4),
+    _lp("Auckland Takapuna", "NZ", -36.79, 174.77, 4),
+)
+
+
+def all_landing_points() -> tuple[LandingPoint, ...]:
+    """Every landing point in the embedded table (stable order)."""
+    return _LANDING_POINTS
+
+
+class LandingPointIndex:
+    """Nearest-landing-point queries over the embedded table."""
+
+    def __init__(self, points: tuple[LandingPoint, ...] | None = None) -> None:
+        self._points = points if points is not None else _LANDING_POINTS
+        if not self._points:
+            raise GeoError("landing point index needs at least one point")
+
+    def nearest(self, location: GeoPoint) -> tuple[LandingPoint, float]:
+        """The closest landing point to ``location`` and its distance (km)."""
+        best = min(
+            self._points, key=lambda lp: great_circle_km(location, lp.location)
+        )
+        return best, great_circle_km(location, best.location)
+
+    def distance_km(self, location: GeoPoint) -> float:
+        """Distance from ``location`` to the nearest landing point, km."""
+        return self.nearest(location)[1]

@@ -1,0 +1,234 @@
+"""Embedded world-city database.
+
+Every PoP, facility, IXP, probe and relay in the simulation sits in one of
+these cities.  Hub cities (``is_hub=True``) model the major interconnection
+metros the paper's Table 1 facilities live in (London, Amsterdam, Frankfurt,
+New York, ...): the facility generator concentrates large Colos there, and
+valley-free transit routes are forced through them, which is the physical
+origin of path inflation in the simulation.
+
+Coordinates are approximate city centres; the simulation only needs them to
+be mutually consistent, not survey-grade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+from repro.geo.coords import GeoPoint
+from repro.geo.countries import country as _country
+
+
+@dataclass(frozen=True, slots=True)
+class City:
+    """A city the simulated Internet has infrastructure in."""
+
+    name: str
+    cc: str
+    location: GeoPoint
+    #: Metro population in millions; weights probe placement.
+    population_m: float
+    #: True for the major interconnection metros (large Colos, IXPs, transit
+    #: PoPs concentrate here).
+    is_hub: bool = False
+
+    def __post_init__(self) -> None:
+        _country(self.cc)  # validates the country code
+        if self.population_m <= 0:
+            raise GeoError(f"non-positive population for {self.name}")
+
+    @property
+    def continent(self) -> str:
+        """Continent code of the city's country."""
+        return _country(self.cc).continent
+
+    @property
+    def key(self) -> str:
+        """Stable unique key, e.g. ``'London/GB'``."""
+        return f"{self.name}/{self.cc}"
+
+
+def _c(name: str, cc: str, lat: float, lon: float, pop: float, hub: bool = False) -> City:
+    return City(name, cc, GeoPoint(lat, lon), pop, hub)
+
+
+_CITIES: tuple[City, ...] = (
+    # --- Europe ---
+    _c("London", "GB", 51.507, -0.128, 14.0, hub=True),
+    _c("Manchester", "GB", 53.483, -2.244, 2.9),
+    _c("Amsterdam", "NL", 52.373, 4.892, 2.5, hub=True),
+    _c("Frankfurt", "DE", 50.110, 8.682, 2.4, hub=True),
+    _c("Berlin", "DE", 52.520, 13.405, 3.8),
+    _c("Munich", "DE", 48.135, 11.582, 2.6),
+    _c("Hamburg", "DE", 53.551, 9.994, 1.9, hub=True),
+    _c("Paris", "FR", 48.857, 2.352, 11.0, hub=True),
+    _c("Marseille", "FR", 43.296, 5.370, 1.6, hub=True),
+    _c("Madrid", "ES", 40.417, -3.704, 6.7, hub=True),
+    _c("Barcelona", "ES", 41.385, 2.173, 5.6),
+    _c("Milan", "IT", 45.464, 9.190, 4.3, hub=True),
+    _c("Rome", "IT", 41.903, 12.496, 4.3),
+    _c("Stockholm", "SE", 59.329, 18.069, 2.4, hub=True),
+    _c("Oslo", "NO", 59.914, 10.752, 1.7),
+    _c("Helsinki", "FI", 60.170, 24.938, 1.5),
+    _c("Copenhagen", "DK", 55.676, 12.568, 2.1),
+    _c("Warsaw", "PL", 52.230, 21.012, 3.1, hub=True),
+    _c("Prague", "CZ", 50.076, 14.437, 2.7, hub=True),
+    _c("Vienna", "AT", 48.208, 16.373, 2.9, hub=True),
+    _c("Zurich", "CH", 47.377, 8.541, 1.4, hub=True),
+    _c("Geneva", "CH", 46.204, 6.143, 0.6),
+    _c("Brussels", "BE", 50.850, 4.352, 2.1, hub=True),
+    _c("Dublin", "IE", 53.349, -6.260, 1.9, hub=True),
+    _c("Lisbon", "PT", 38.722, -9.139, 2.9),
+    _c("Athens", "GR", 37.984, 23.728, 3.2),
+    _c("Bucharest", "RO", 44.427, 26.102, 2.3),
+    _c("Budapest", "HU", 47.498, 19.040, 2.5),
+    _c("Sofia", "BG", 42.698, 23.322, 1.7),
+    _c("Bratislava", "SK", 48.149, 17.107, 0.7),
+    _c("Ljubljana", "SI", 46.056, 14.506, 0.5),
+    _c("Zagreb", "HR", 45.815, 15.982, 1.1),
+    _c("Belgrade", "RS", 44.787, 20.449, 1.7),
+    _c("Kyiv", "UA", 50.450, 30.524, 3.5),
+    _c("Moscow", "RU", 55.756, 37.617, 17.0, hub=True),
+    _c("Saint Petersburg", "RU", 59.931, 30.360, 5.5),
+    _c("Istanbul", "TR", 41.008, 28.978, 15.0),
+    _c("Ankara", "TR", 39.934, 32.860, 5.5),
+    _c("Tallinn", "EE", 59.437, 24.754, 0.6),
+    _c("Riga", "LV", 56.950, 24.105, 0.9),
+    _c("Vilnius", "LT", 54.687, 25.280, 0.8),
+    _c("Reykjavik", "IS", 64.147, -21.943, 0.23),
+    _c("Luxembourg City", "LU", 49.612, 6.130, 0.13),
+    # --- North America ---
+    _c("New York", "US", 40.713, -74.006, 19.0, hub=True),
+    _c("Ashburn", "US", 39.044, -77.488, 0.4, hub=True),
+    _c("Chicago", "US", 41.878, -87.630, 9.5, hub=True),
+    _c("Dallas", "US", 32.777, -96.797, 7.6, hub=True),
+    _c("Miami", "US", 25.762, -80.192, 6.2, hub=True),
+    _c("Atlanta", "US", 33.749, -84.388, 6.1, hub=True),
+    _c("Los Angeles", "US", 34.052, -118.244, 13.0, hub=True),
+    _c("San Jose", "US", 37.339, -121.895, 2.0, hub=True),
+    _c("Seattle", "US", 47.606, -122.332, 4.0, hub=True),
+    _c("Denver", "US", 39.739, -104.990, 2.9),
+    _c("Houston", "US", 29.760, -95.370, 7.1),
+    _c("Boston", "US", 42.360, -71.059, 4.9),
+    _c("Phoenix", "US", 33.448, -112.074, 4.9),
+    _c("Minneapolis", "US", 44.978, -93.265, 3.7),
+    _c("Toronto", "CA", 43.653, -79.383, 6.2, hub=True),
+    _c("Montreal", "CA", 45.502, -73.567, 4.3),
+    _c("Vancouver", "CA", 49.283, -123.121, 2.6),
+    _c("Mexico City", "MX", 19.433, -99.133, 22.0),
+    _c("Guadalajara", "MX", 20.660, -103.350, 5.3),
+    _c("Guatemala City", "GT", 14.634, -90.507, 3.0),
+    _c("San Jose CR", "CR", 9.928, -84.091, 1.4),
+    _c("Panama City", "PA", 8.983, -79.519, 1.9),
+    _c("Santo Domingo", "DO", 18.486, -69.931, 3.3),
+    _c("Havana", "CU", 23.113, -82.366, 2.1),
+    # --- South America ---
+    _c("Sao Paulo", "BR", -23.551, -46.633, 22.0, hub=True),
+    _c("Rio de Janeiro", "BR", -22.907, -43.173, 13.0),
+    _c("Fortaleza", "BR", -3.732, -38.527, 4.1, hub=True),
+    _c("Buenos Aires", "AR", -34.604, -58.382, 15.0, hub=True),
+    _c("Santiago", "CL", -33.449, -70.669, 6.8),
+    _c("Bogota", "CO", 4.711, -74.072, 11.0),
+    _c("Lima", "PE", -12.046, -77.043, 11.0),
+    _c("Caracas", "VE", 10.480, -66.904, 2.9),
+    _c("Quito", "EC", -0.180, -78.468, 2.0),
+    _c("Montevideo", "UY", -34.901, -56.164, 1.8),
+    _c("La Paz", "BO", -16.490, -68.119, 1.9),
+    _c("Asuncion", "PY", -25.264, -57.576, 2.3),
+    # --- Asia ---
+    _c("Tokyo", "JP", 35.677, 139.650, 37.0, hub=True),
+    _c("Osaka", "JP", 34.694, 135.502, 19.0),
+    _c("Seoul", "KR", 37.566, 126.978, 26.0, hub=True),
+    _c("Beijing", "CN", 39.904, 116.407, 21.0),
+    _c("Shanghai", "CN", 31.230, 121.474, 27.0),
+    _c("Guangzhou", "CN", 23.129, 113.264, 14.0),
+    _c("Mumbai", "IN", 19.076, 72.878, 21.0, hub=True),
+    _c("Delhi", "IN", 28.614, 77.209, 31.0),
+    _c("Chennai", "IN", 13.083, 80.270, 11.0, hub=True),
+    _c("Bangalore", "IN", 12.972, 77.594, 13.0),
+    _c("Singapore", "SG", 1.352, 103.820, 5.9, hub=True),
+    _c("Hong Kong", "HK", 22.319, 114.169, 7.5, hub=True),
+    _c("Taipei", "TW", 25.033, 121.565, 7.0),
+    _c("Bangkok", "TH", 13.756, 100.502, 11.0),
+    _c("Kuala Lumpur", "MY", 3.139, 101.687, 8.0),
+    _c("Jakarta", "ID", -6.209, 106.846, 11.0),
+    _c("Manila", "PH", 14.599, 120.984, 14.0),
+    _c("Hanoi", "VN", 21.028, 105.804, 8.1),
+    _c("Ho Chi Minh City", "VN", 10.823, 106.630, 9.3),
+    _c("Karachi", "PK", 24.861, 67.010, 16.0),
+    _c("Dhaka", "BD", 23.811, 90.412, 22.0),
+    _c("Colombo", "LK", 6.927, 79.861, 0.8),
+    _c("Tel Aviv", "IL", 32.085, 34.782, 4.2),
+    _c("Dubai", "AE", 25.205, 55.271, 3.5, hub=True),
+    _c("Riyadh", "SA", 24.714, 46.675, 7.7),
+    _c("Doha", "QA", 25.285, 51.531, 2.4),
+    _c("Amman", "JO", 31.946, 35.928, 4.0),
+    _c("Almaty", "KZ", 43.222, 76.851, 2.0),
+    _c("Tehran", "IR", 35.689, 51.389, 9.5),
+    _c("Baghdad", "IQ", 33.315, 44.366, 7.5),
+    _c("Kathmandu", "NP", 27.717, 85.324, 1.5),
+    _c("Phnom Penh", "KH", 11.544, 104.892, 2.2),
+    _c("Yangon", "MM", 16.840, 96.173, 5.4),
+    # --- Africa ---
+    _c("Johannesburg", "ZA", -26.204, 28.047, 10.0, hub=True),
+    _c("Cape Town", "ZA", -33.925, 18.424, 4.8),
+    _c("Cairo", "EG", 30.044, 31.236, 21.0),
+    _c("Lagos", "NG", 6.524, 3.379, 15.0),
+    _c("Nairobi", "KE", -1.292, 36.822, 5.0),
+    _c("Casablanca", "MA", 33.573, -7.590, 3.8),
+    _c("Tunis", "TN", 36.806, 10.181, 2.4),
+    _c("Algiers", "DZ", 36.754, 3.059, 2.9),
+    _c("Accra", "GH", 5.603, -0.187, 2.6),
+    _c("Dar es Salaam", "TZ", -6.793, 39.208, 7.4),
+    _c("Kampala", "UG", 0.348, 32.582, 3.6),
+    _c("Dakar", "SN", 14.716, -17.467, 3.3),
+    _c("Abidjan", "CI", 5.359, -4.008, 5.6),
+    _c("Addis Ababa", "ET", 9.024, 38.747, 5.2),
+    _c("Lusaka", "ZM", -15.387, 28.323, 3.0),
+    _c("Port Louis", "MU", -20.161, 57.500, 0.15),
+    # --- Oceania ---
+    _c("Sydney", "AU", -33.869, 151.209, 5.4, hub=True),
+    _c("Melbourne", "AU", -37.814, 144.963, 5.2),
+    _c("Perth", "AU", -31.953, 115.857, 2.1),
+    _c("Brisbane", "AU", -27.470, 153.025, 2.6),
+    _c("Auckland", "NZ", -36.849, 174.763, 1.7),
+    _c("Wellington", "NZ", -41.287, 174.776, 0.4),
+    _c("Suva", "FJ", -18.141, 178.442, 0.19),
+    _c("Port Moresby", "PG", -9.443, 147.180, 0.4),
+)
+
+_BY_KEY: dict[str, City] = {c.key: c for c in _CITIES}
+_BY_COUNTRY: dict[str, tuple[City, ...]] = {}
+for _city in _CITIES:
+    _BY_COUNTRY.setdefault(_city.cc, ())
+for _city in _CITIES:
+    _BY_COUNTRY[_city.cc] = _BY_COUNTRY[_city.cc] + (_city,)
+del _city
+
+
+def city(key: str) -> City:
+    """Return the :class:`City` for a ``'Name/CC'`` key.
+
+    Raises:
+        GeoError: if the key is not in the embedded database.
+    """
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise GeoError(f"unknown city key {key!r}") from None
+
+
+def all_cities() -> tuple[City, ...]:
+    """Return every city in the embedded database (stable order)."""
+    return _CITIES
+
+
+def cities_in_country(cc: str) -> tuple[City, ...]:
+    """Return the cities located in country ``cc`` (possibly empty)."""
+    return _BY_COUNTRY.get(cc, ())
+
+
+def hub_cities() -> tuple[City, ...]:
+    """Return the interconnection-hub cities (stable order)."""
+    return tuple(c for c in _CITIES if c.is_hub)

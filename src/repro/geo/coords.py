@@ -1,0 +1,35 @@
+"""WGS-84 point type used for every geolocated entity in the simulation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A latitude/longitude pair in decimal degrees (WGS-84).
+
+    Instances are immutable and hashable so they can key caches of pairwise
+    distances.
+    """
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise GeoError(f"latitude {self.lat} outside [-90, 90]")
+        if not -180.0 <= self.lon <= 180.0:
+            raise GeoError(f"longitude {self.lon} outside [-180, 180]")
+
+    def as_radians(self) -> tuple[float, float]:
+        """Return ``(lat, lon)`` converted to radians."""
+        return math.radians(self.lat), math.radians(self.lon)
+
+    def __str__(self) -> str:
+        ns = "N" if self.lat >= 0 else "S"
+        ew = "E" if self.lon >= 0 else "W"
+        return f"{abs(self.lat):.4f}{ns},{abs(self.lon):.4f}{ew}"

@@ -1,0 +1,167 @@
+"""Embedded country database (ISO-3166 alpha-2 code, name, continent).
+
+The topology generator assigns every AS a country of operation and the
+analyses join on country/continent (e.g. the "Changing Countries and Paths"
+result, Sec 3).  We embed a static table of the countries the simulation
+places infrastructure in; it is not an exhaustive ISO list, but it spans all
+inhabited continents with realistic Internet-market diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeoError
+
+#: Continent codes used throughout: EU, NA, SA, AS, AF, OC.
+CONTINENTS = ("EU", "NA", "SA", "AS", "AF", "OC")
+
+
+@dataclass(frozen=True, slots=True)
+class Country:
+    """A country the simulated Internet has presence in."""
+
+    code: str
+    name: str
+    continent: str
+    #: Rough Internet-user population in millions; drives how many eyeball
+    #: ASes the topology generator creates and the APNIC coverage dataset.
+    internet_users_m: float
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 2 or not self.code.isupper():
+            raise GeoError(f"country code {self.code!r} is not ISO alpha-2 uppercase")
+        if self.continent not in CONTINENTS:
+            raise GeoError(f"unknown continent {self.continent!r} for {self.code}")
+        if self.internet_users_m <= 0:
+            raise GeoError(f"non-positive user population for {self.code}")
+
+
+_COUNTRIES: tuple[Country, ...] = (
+    # Europe
+    Country("GB", "United Kingdom", "EU", 65.0),
+    Country("DE", "Germany", "EU", 78.0),
+    Country("NL", "Netherlands", "EU", 16.5),
+    Country("FR", "France", "EU", 60.0),
+    Country("ES", "Spain", "EU", 43.0),
+    Country("IT", "Italy", "EU", 51.0),
+    Country("SE", "Sweden", "EU", 9.8),
+    Country("NO", "Norway", "EU", 5.2),
+    Country("FI", "Finland", "EU", 5.3),
+    Country("DK", "Denmark", "EU", 5.6),
+    Country("PL", "Poland", "EU", 33.0),
+    Country("CZ", "Czechia", "EU", 9.5),
+    Country("AT", "Austria", "EU", 8.1),
+    Country("CH", "Switzerland", "EU", 8.0),
+    Country("BE", "Belgium", "EU", 10.5),
+    Country("IE", "Ireland", "EU", 4.6),
+    Country("PT", "Portugal", "EU", 8.6),
+    Country("GR", "Greece", "EU", 8.3),
+    Country("RO", "Romania", "EU", 15.0),
+    Country("HU", "Hungary", "EU", 8.4),
+    Country("BG", "Bulgaria", "EU", 4.9),
+    Country("SK", "Slovakia", "EU", 4.6),
+    Country("SI", "Slovenia", "EU", 1.7),
+    Country("HR", "Croatia", "EU", 3.2),
+    Country("RS", "Serbia", "EU", 5.6),
+    Country("UA", "Ukraine", "EU", 29.0),
+    Country("RU", "Russia", "EU", 110.0),
+    Country("TR", "Turkey", "EU", 56.0),
+    Country("EE", "Estonia", "EU", 1.2),
+    Country("LV", "Latvia", "EU", 1.6),
+    Country("LT", "Lithuania", "EU", 2.3),
+    Country("IS", "Iceland", "EU", 0.33),
+    Country("LU", "Luxembourg", "EU", 0.56),
+    # North America
+    Country("US", "United States", "NA", 287.0),
+    Country("CA", "Canada", "NA", 33.0),
+    Country("MX", "Mexico", "NA", 76.0),
+    Country("GT", "Guatemala", "NA", 7.0),
+    Country("CR", "Costa Rica", "NA", 3.7),
+    Country("PA", "Panama", "NA", 2.4),
+    Country("DO", "Dominican Republic", "NA", 6.8),
+    Country("CU", "Cuba", "NA", 4.0),
+    # South America
+    Country("BR", "Brazil", "SA", 150.0),
+    Country("AR", "Argentina", "SA", 34.0),
+    Country("CL", "Chile", "SA", 14.0),
+    Country("CO", "Colombia", "SA", 31.0),
+    Country("PE", "Peru", "SA", 17.0),
+    Country("VE", "Venezuela", "SA", 17.0),
+    Country("EC", "Ecuador", "SA", 9.8),
+    Country("UY", "Uruguay", "SA", 2.9),
+    Country("BO", "Bolivia", "SA", 4.8),
+    Country("PY", "Paraguay", "SA", 4.0),
+    # Asia
+    Country("JP", "Japan", "AS", 116.0),
+    Country("KR", "South Korea", "AS", 48.0),
+    Country("CN", "China", "AS", 750.0),
+    Country("IN", "India", "AS", 460.0),
+    Country("SG", "Singapore", "AS", 4.9),
+    Country("HK", "Hong Kong", "AS", 6.4),
+    Country("TW", "Taiwan", "AS", 20.0),
+    Country("TH", "Thailand", "AS", 45.0),
+    Country("MY", "Malaysia", "AS", 25.0),
+    Country("ID", "Indonesia", "AS", 130.0),
+    Country("PH", "Philippines", "AS", 60.0),
+    Country("VN", "Vietnam", "AS", 60.0),
+    Country("PK", "Pakistan", "AS", 55.0),
+    Country("BD", "Bangladesh", "AS", 50.0),
+    Country("LK", "Sri Lanka", "AS", 7.0),
+    Country("IL", "Israel", "AS", 6.8),
+    Country("AE", "United Arab Emirates", "AS", 9.0),
+    Country("SA", "Saudi Arabia", "AS", 26.0),
+    Country("QA", "Qatar", "AS", 2.6),
+    Country("JO", "Jordan", "AS", 6.0),
+    Country("KZ", "Kazakhstan", "AS", 13.0),
+    Country("IR", "Iran", "AS", 53.0),
+    Country("IQ", "Iraq", "AS", 15.0),
+    Country("NP", "Nepal", "AS", 9.0),
+    Country("KH", "Cambodia", "AS", 6.0),
+    Country("MM", "Myanmar", "AS", 15.0),
+    # Africa
+    Country("ZA", "South Africa", "AF", 31.0),
+    Country("EG", "Egypt", "AF", 45.0),
+    Country("NG", "Nigeria", "AF", 90.0),
+    Country("KE", "Kenya", "AF", 21.0),
+    Country("MA", "Morocco", "AF", 21.0),
+    Country("TN", "Tunisia", "AF", 7.5),
+    Country("DZ", "Algeria", "AF", 21.0),
+    Country("GH", "Ghana", "AF", 10.0),
+    Country("TZ", "Tanzania", "AF", 10.0),
+    Country("UG", "Uganda", "AF", 8.5),
+    Country("SN", "Senegal", "AF", 4.0),
+    Country("CI", "Ivory Coast", "AF", 6.3),
+    Country("ET", "Ethiopia", "AF", 16.0),
+    Country("ZM", "Zambia", "AF", 4.0),
+    Country("MU", "Mauritius", "AF", 0.8),
+    # Oceania
+    Country("AU", "Australia", "OC", 21.0),
+    Country("NZ", "New Zealand", "OC", 4.2),
+    Country("FJ", "Fiji", "OC", 0.45),
+    Country("PG", "Papua New Guinea", "OC", 1.0),
+)
+
+_BY_CODE: dict[str, Country] = {c.code: c for c in _COUNTRIES}
+
+
+def country(code: str) -> Country:
+    """Return the :class:`Country` for an ISO alpha-2 code.
+
+    Raises:
+        GeoError: if the code is not in the embedded database.
+    """
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise GeoError(f"unknown country code {code!r}") from None
+
+
+def continent_of(code: str) -> str:
+    """Return the continent code of a country code."""
+    return country(code).continent
+
+
+def all_countries() -> tuple[Country, ...]:
+    """Return every country in the embedded database (stable order)."""
+    return _COUNTRIES

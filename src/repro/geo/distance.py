@@ -1,0 +1,66 @@
+"""Great-circle distance and speed-of-light-in-fiber delay.
+
+The paper's feasibility filter (Sec 2.4) computes the propagation delay
+between two nodes as ``t = d / (c * 2/3)`` where ``d`` is the geographic
+distance and ``c * 2/3`` is the speed of light in optical fiber (citing
+Singla et al., "The Internet at the speed of light").  We use the same
+constant here for both the feasibility filter and the latency model, so the
+filter is exact with respect to the simulated physics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geo.coords import GeoPoint
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+#: Speed of light in vacuum, km per millisecond.
+SPEED_OF_LIGHT_KM_PER_MS = 299_792.458 / 1000.0
+
+#: Speed of light in optical fiber (refractive index ~1.5 -> 2/3 c), km/ms.
+SPEED_OF_LIGHT_FIBER_KM_PER_MS = SPEED_OF_LIGHT_KM_PER_MS * (2.0 / 3.0)
+
+#: Real fiber does not follow the geodesic; cable routes add slack.  The
+#: latency model multiplies geodesic distances by this stretch when computing
+#: *actual* path delay.  The feasibility filter deliberately does NOT apply
+#: it (the paper's filter is an idealised "speed-of-light Internet" bound).
+FIBER_PATH_STRETCH = 1.2
+
+
+def great_circle_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Return the great-circle (haversine) distance between two points, km."""
+    lat1, lon1 = a.as_radians()
+    lat2, lon2 = b.as_radians()
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def propagation_delay_ms(a: GeoPoint, b: GeoPoint) -> float:
+    """One-way idealised propagation delay between two points, ms.
+
+    This is the paper's ``t(n1, n2) = d(n1, n2) / (c * 2/3)``: geodesic
+    distance over fiber light speed, with no route stretch.  Used by the
+    feasibility filter (Sec 2.4).
+    """
+    return great_circle_km(a, b) / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+
+
+def fiber_delay_ms(a: GeoPoint, b: GeoPoint, stretch: float = FIBER_PATH_STRETCH) -> float:
+    """One-way delay over a realistic fiber route between two points, ms.
+
+    Applies ``stretch`` to the geodesic to account for cable routing slack.
+    Used by the latency model for each segment of a waypoint path.
+    """
+    if stretch < 1.0:
+        raise ValueError(f"fiber stretch {stretch} < 1 would beat light in fiber")
+    return great_circle_km(a, b) * stretch / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+
+
+def min_rtt_ms(a: GeoPoint, b: GeoPoint) -> float:
+    """Round-trip idealised lower bound between two points, ms (2x one-way)."""
+    return 2.0 * propagation_delay_ms(a, b)

@@ -1,0 +1,19 @@
+"""RTT model over the routed topology: deterministic base latency from
+geography + BGP, stochastic per-packet jitter/loss, and the ping and
+traceroute engines the measurement layer drives."""
+
+from repro.latency.backbone import BackboneStretch
+from repro.latency.model import Endpoint, LatencyConfig, LatencyModel
+from repro.latency.ping import PingEngine, PingResult
+from repro.latency.traceroute import TracerouteEngine, TracerouteHop
+
+__all__ = [
+    "BackboneStretch",
+    "Endpoint",
+    "LatencyConfig",
+    "LatencyModel",
+    "PingEngine",
+    "PingResult",
+    "TracerouteEngine",
+    "TracerouteHop",
+]

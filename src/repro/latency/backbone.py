@@ -1,0 +1,57 @@
+"""Per-AS backbone stretch factors.
+
+Between two interconnection points, traffic rides the carrying AS's
+*backbone*, which never follows the geodesic exactly: real networks route
+over their own fiber topology, with detours that differ per operator.  The
+stretch factor scales the geodesic fiber delay of every intra-AS segment.
+
+Factors are deterministic (hashed from the ASN) and drawn from a range
+characteristic of the operator class: content/cloud backbones are
+engineered for latency, tier-1s are good, regional carriers and eyeball
+ISPs meander more.  This heterogeneity is what produces the paper's many
+*small* latency improvements — a relayed path hopping between efficient
+core backbones shaves a few milliseconds off a direct path that rides two
+national carriers, even when both follow the same geography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.topology.graph import ASGraph
+from repro.topology.types import ASType
+
+#: Stretch ranges (low, high) per AS role, multiplying geodesic fiber delay.
+STRETCH_RANGES: dict[ASType, tuple[float, float]] = {
+    ASType.TRANSIT_GLOBAL: (1.10, 1.30),
+    ASType.TRANSIT_REGIONAL: (1.15, 1.50),
+    ASType.CONTENT: (1.05, 1.20),
+    ASType.CLOUD: (1.05, 1.22),
+    ASType.RESEARCH: (1.05, 1.20),
+    ASType.EYEBALL: (1.20, 1.60),
+    ASType.ENTERPRISE: (1.30, 1.60),
+}
+
+
+def _unit_hash(asn: int) -> float:
+    digest = hashlib.blake2b(str(asn).encode("ascii"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+class BackboneStretch:
+    """Deterministic per-AS stretch factors over an :class:`ASGraph`."""
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        self._cache: dict[int, float] = {}
+
+    def factor(self, asn: int) -> float:
+        """Stretch factor (>= 1) for the AS's backbone segments."""
+        cached = self._cache.get(asn)
+        if cached is not None:
+            return cached
+        as_type = self._graph.get_as(asn).as_type
+        low, high = STRETCH_RANGES[as_type]
+        value = low + (high - low) * _unit_hash(asn)
+        self._cache[asn] = value
+        return value

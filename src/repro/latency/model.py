@@ -1,0 +1,217 @@
+"""The RTT model.
+
+An RTT between two endpoints decomposes as::
+
+    rtt = 2 * (propagation + per_hop_processing + access_src + access_dst)
+          * (1 +- direction_asymmetry)
+          + jitter                                  (per packet)
+
+* **propagation** — fiber delay along the geographic waypoints of the BGP
+  path between the endpoints' ASes (:mod:`repro.routing.geopath`);
+* **per-hop processing** — a small per-AS-hop cost (router processing and
+  intra-AS queueing);
+* **access** — the endpoint's host/last-mile latency: large for home
+  probes, tiny for router interfaces inside a facility.  This term is why
+  eyeball-hosted relays underperform in the paper: a relayed path pays the
+  relay's access latency twice (once per stitched segment);
+* **asymmetry** — a deterministic, pair-specific few-percent skew between
+  the two ping directions, matching the paper's observation that direction
+  changes the measured RTT by <5% in ~80% of cases;
+* **jitter** — per-packet multiplicative noise plus exponential queueing
+  and rare heavy spikes (the outliers that justify median-of-6 batches).
+
+Base RTTs are deterministic given the world seed; only the per-packet terms
+consume random numbers at measurement time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.routing.bgp import BGPRouting
+from repro.routing.geopath import GeoPathWalker
+
+
+@dataclass(frozen=True, slots=True)
+class Endpoint:
+    """A pingable interface somewhere in the simulated Internet.
+
+    Attributes:
+        node_id: Stable unique identifier (used for deterministic hashing).
+        asn: AS originating the interface's address.
+        city_key: City the interface is physically in.
+        access_ms: One-way host/access latency added at this endpoint.
+        loss_prob: Per-packet loss probability contributed by this endpoint.
+    """
+
+    node_id: str
+    asn: int
+    city_key: str
+    access_ms: float
+    loss_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.access_ms < 0:
+            raise ConfigError(f"negative access_ms for {self.node_id}")
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ConfigError(f"loss_prob {self.loss_prob} outside [0, 1) for {self.node_id}")
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyConfig:
+    """Tunables of the RTT model."""
+
+    per_hop_ms: float = 0.35
+    """One-way processing cost per AS-level hop."""
+
+    jitter_sigma: float = 0.025
+    """Sigma of the per-packet lognormal multiplicative jitter."""
+
+    queueing_scale_ms: float = 0.4
+    """Scale of the per-packet exponential queueing term (ms)."""
+
+    spike_prob: float = 0.015
+    """Probability a packet hits a congestion spike."""
+
+    spike_range_ms: tuple[float, float] = (30.0, 300.0)
+    """Uniform range of spike magnitude (ms)."""
+
+    base_loss_prob: float = 0.004
+    """Path loss probability independent of the endpoints."""
+
+    asymmetry_frac: float = 0.045
+    """Maximum deterministic per-direction measurement skew (host timer and
+    scheduling effects).  Each ordered pair gets an independent skew in
+    [-frac, +frac]; with 0.045 the two directions of a pair agree within 5%
+    for ~80% of pairs, matching the paper's Sec 2.5 observation."""
+
+    def __post_init__(self) -> None:
+        if self.per_hop_ms < 0 or self.queueing_scale_ms < 0:
+            raise ConfigError("per-hop and queueing costs must be non-negative")
+        if not 0.0 <= self.spike_prob < 1.0:
+            raise ConfigError(f"spike_prob {self.spike_prob} outside [0, 1)")
+        if not 0.0 <= self.base_loss_prob < 1.0:
+            raise ConfigError(f"base_loss_prob {self.base_loss_prob} outside [0, 1)")
+        if self.spike_range_ms[0] > self.spike_range_ms[1]:
+            raise ConfigError("spike_range_ms must be (low, high)")
+        if not 0.0 <= self.asymmetry_frac < 0.5:
+            raise ConfigError(f"asymmetry_frac {self.asymmetry_frac} outside [0, 0.5)")
+
+
+def _pair_unit_hash(a: str, b: str) -> float:
+    """Deterministic value in [0, 1) specific to the ordered pair (a, b)."""
+    digest = hashlib.blake2b(f"{a}|{b}".encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+class LatencyModel:
+    """Computes base and sampled RTTs between :class:`Endpoint` objects."""
+
+    def __init__(
+        self,
+        routing: BGPRouting,
+        walker: GeoPathWalker,
+        config: LatencyConfig | None = None,
+    ) -> None:
+        self._routing = routing
+        self._walker = walker
+        self._cfg = config or LatencyConfig()
+        # path-RTT cache keyed by (src_asn, src_city, dst_asn, dst_city)
+        self._path_cache: dict[tuple[int, str, int, str], float | None] = {}
+
+    @property
+    def config(self) -> LatencyConfig:
+        """The model's tunables."""
+        return self._cfg
+
+    # ----------------------------------------------------------- base RTT
+
+    def path_one_way_ms(
+        self, src_asn: int, src_city: str, dst_asn: int, dst_city: str
+    ) -> float | None:
+        """One-way network delay between two (ASN, city) attachment points.
+
+        Excludes endpoint access latency.  Returns None when no valley-free
+        route exists.  Cached; deterministic.
+        """
+        key = (src_asn, src_city, dst_asn, dst_city)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        as_path = self._routing.path(src_asn, dst_asn)
+        if as_path is None:
+            self._path_cache[key] = None
+            return None
+        delay = self._walker.propagation_ms(src_city, as_path, dst_city)
+        delay += self._cfg.per_hop_ms * max(0, len(as_path) - 1)
+        self._path_cache[key] = delay
+        return delay
+
+    def base_rtt_ms(self, src: Endpoint, dst: Endpoint) -> float | None:
+        """Deterministic RTT between two endpoints, before jitter.
+
+        The round trip rides the forward BGP path *and* the (possibly
+        different) reverse path — the same wire path regardless of which
+        side initiates the ping — plus both endpoints' access latency twice.
+        A small ordered-pair-specific skew models host-side measurement
+        effects, which is all that distinguishes the two ping directions.
+        Returns None when either direction lacks a valley-free route.
+        """
+        forward = self.path_one_way_ms(src.asn, src.city_key, dst.asn, dst.city_key)
+        if forward is None:
+            return None
+        reverse = self.path_one_way_ms(dst.asn, dst.city_key, src.asn, src.city_key)
+        if reverse is None:
+            return None
+        rtt = forward + reverse + 2.0 * (src.access_ms + dst.access_ms)
+        skew = (2.0 * _pair_unit_hash(src.node_id, dst.node_id) - 1.0) * self._cfg.asymmetry_frac
+        return rtt * (1.0 + skew)
+
+    # --------------------------------------------------------- sampled RTT
+
+    def loss_probability(self, src: Endpoint, dst: Endpoint) -> float:
+        """Per-packet loss probability for the pair."""
+        p_deliver = (
+            (1.0 - self._cfg.base_loss_prob)
+            * (1.0 - src.loss_prob)
+            * (1.0 - dst.loss_prob)
+        )
+        return 1.0 - p_deliver
+
+    def sample_rtt_ms(
+        self, src: Endpoint, dst: Endpoint, rng: np.random.Generator
+    ) -> float | None:
+        """One ping outcome: an RTT in ms, or None for a lost packet.
+
+        ``rng`` is advanced exactly once per loss decision and per delivered
+        packet's jitter draw, so the caller controls determinism by handing
+        in a named stream.
+        """
+        base = self.base_rtt_ms(src, dst)
+        if base is None:
+            return None
+        if rng.random() < self.loss_probability(src, dst):
+            return None
+        cfg = self._cfg
+        rtt = base * float(rng.lognormal(mean=0.0, sigma=cfg.jitter_sigma))
+        rtt += float(rng.exponential(cfg.queueing_scale_ms))
+        if rng.random() < cfg.spike_prob:
+            low, high = cfg.spike_range_ms
+            rtt += float(rng.uniform(low, high))
+        return rtt
+
+    # ------------------------------------------------------------- insight
+
+    def as_path(self, src: Endpoint, dst: Endpoint) -> list[int] | None:
+        """The BGP AS path the pair's traffic follows (None if unrouted)."""
+        return self._routing.path(src.asn, dst.asn)
+
+    def waypoints(self, src: Endpoint, dst: Endpoint) -> list[str] | None:
+        """The city waypoints the pair's traffic follows (None if unrouted)."""
+        as_path = self._routing.path(src.asn, dst.asn)
+        if as_path is None:
+            return None
+        return self._walker.waypoints(src.city_key, as_path, dst.city_key)

@@ -1,0 +1,95 @@
+"""Ping engine: batches of single-packet probes between endpoints.
+
+The campaign workflow (Sec 2.5) sends 6 single-packet pings per pair per
+30-minute window, 5 minutes apart, and summarises each batch by its median,
+requiring at least 3 valid replies.  The engine implements the batch
+semantics; the *policy* (how many batches, when) lives in the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.latency.model import Endpoint, LatencyModel
+from repro.util.stats import median
+
+
+@dataclass(frozen=True, slots=True)
+class PingResult:
+    """Outcome of a batch of pings between one pair of endpoints.
+
+    Attributes:
+        src_id: Pinging node id.
+        dst_id: Target node id.
+        rtts_ms: One entry per packet; None marks a lost packet.
+    """
+
+    src_id: str
+    dst_id: str
+    rtts_ms: tuple[float | None, ...]
+
+    @property
+    def valid_rtts(self) -> tuple[float, ...]:
+        """The delivered packets' RTTs."""
+        return tuple(r for r in self.rtts_ms if r is not None)
+
+    @property
+    def num_sent(self) -> int:
+        """Packets sent."""
+        return len(self.rtts_ms)
+
+    @property
+    def num_received(self) -> int:
+        """Packets answered."""
+        return len(self.valid_rtts)
+
+    def median_rtt(self, min_valid: int = 3) -> float | None:
+        """Median RTT of the batch, or None with fewer than ``min_valid``
+        replies (the paper's ">= 3 valid RTTs per window" rule)."""
+        valid = self.valid_rtts
+        if len(valid) < min_valid:
+            return None
+        return median(valid)
+
+
+class PingEngine:
+    """Executes ping batches against a :class:`LatencyModel`."""
+
+    def __init__(self, model: LatencyModel) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> LatencyModel:
+        """The latency model answering the probes."""
+        return self._model
+
+    def ping(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        rng: np.random.Generator,
+        count: int = 6,
+    ) -> PingResult:
+        """Send ``count`` single-packet pings from ``src`` to ``dst``.
+
+        Raises:
+            MeasurementError: if ``count`` is not positive.
+        """
+        if count <= 0:
+            raise MeasurementError(f"ping count must be positive, got {count}")
+        rtts = tuple(self._model.sample_rtt_ms(src, dst, rng) for _ in range(count))
+        return PingResult(src_id=src.node_id, dst_id=dst.node_id, rtts_ms=rtts)
+
+    def is_responsive(
+        self,
+        src: Endpoint,
+        dst: Endpoint,
+        rng: np.random.Generator,
+        count: int = 3,
+    ) -> bool:
+        """True if at least one of ``count`` probe packets is answered."""
+        result = self.ping(src, dst, rng, count=count)
+        return result.num_received > 0

@@ -1,0 +1,23 @@
+"""Measurement-infrastructure emulators: node registries, the RIPE Atlas
+probe platform, PlanetLab, and the ground-truth colocation interface pool
+that the (aged) Giotsas-style dataset is derived from."""
+
+from repro.measurement.nodes import HostAddressBook, MeasurementNode, NodeKind
+from repro.measurement.config import InfrastructureConfig
+from repro.measurement.atlas import AtlasProbe, RipeAtlasEmulator
+from repro.measurement.planetlab import PlanetLabEmulator, PlanetLabNode, PlanetLabSite
+from repro.measurement.colo import ColoInterface, ColoInterfacePool
+
+__all__ = [
+    "NodeKind",
+    "MeasurementNode",
+    "HostAddressBook",
+    "InfrastructureConfig",
+    "RipeAtlasEmulator",
+    "AtlasProbe",
+    "PlanetLabEmulator",
+    "PlanetLabSite",
+    "PlanetLabNode",
+    "ColoInterfacePool",
+    "ColoInterface",
+]

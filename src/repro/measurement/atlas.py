@@ -1,0 +1,227 @@
+"""RIPE Atlas platform emulator.
+
+Generates a worldwide probe population with the metadata the paper's
+endpoint-selection filters read (Sec 2.1): firmware version, public
+availability, connectivity, geolocation tags and 30-day stability.  Serves
+probe queries in the style of the Atlas API, and enforces the platform's
+measurement budget so the campaign has real constraints to work under
+(Sec 2.5 principle (i)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.latency.model import Endpoint
+from repro.measurement.config import InfrastructureConfig
+from repro.measurement.nodes import HostAddressBook, MeasurementNode, NodeKind
+from repro.topology.builder import Topology
+from repro.topology.types import ASType
+from repro.util.rand import SeedSequenceFactory
+
+
+@dataclass(frozen=True, slots=True)
+class AtlasProbe:
+    """A RIPE Atlas probe or anchor with its selection-relevant metadata.
+
+    Attributes:
+        node: The underlying pingable vantage point.
+        firmware: Installed firmware version.
+        is_public: Listed in the public probe API.
+        is_connected: Currently connected to the platform.
+        is_geolocated: Tagged with geolocation coordinates.
+        stability_30d: Fraction of the last 30 days the probe was connected.
+        is_anchor: True for anchors.
+    """
+
+    node: MeasurementNode
+    firmware: int
+    is_public: bool
+    is_connected: bool
+    is_geolocated: bool
+    stability_30d: float
+    is_anchor: bool
+
+    @property
+    def probe_id(self) -> str:
+        """The probe's node id."""
+        return self.node.node_id
+
+    @property
+    def asn(self) -> int:
+        """AS hosting the probe."""
+        return self.node.asn
+
+    @property
+    def cc(self) -> str:
+        """Country of the probe."""
+        return self.node.cc
+
+
+class RipeAtlasEmulator:
+    """Probe registry + measurement budget of the emulated Atlas platform."""
+
+    #: Ping results a single campaign round may request (generous but finite,
+    #: standing in for Atlas credits/rate limits).
+    ROUND_PING_BUDGET = 6_000_000
+
+    def __init__(
+        self,
+        topology: Topology,
+        address_book: HostAddressBook,
+        config: InfrastructureConfig,
+        seeds: SeedSequenceFactory,
+    ) -> None:
+        self._topology = topology
+        self._cfg = config
+        self._probes: list[AtlasProbe] = []
+        self._round_budget_used = 0
+        self._generate(address_book, seeds.rng("atlas.generate"))
+
+    # ------------------------------------------------------------ generation
+
+    def _generate(self, book: HostAddressBook, rng) -> None:
+        cfg = self._cfg
+        graph = self._topology.graph
+        counter = 0
+        for asys in graph:
+            core_types = (
+                ASType.TRANSIT_REGIONAL,
+                ASType.TRANSIT_GLOBAL,
+                ASType.CONTENT,
+                ASType.CLOUD,
+            )
+            if asys.as_type is ASType.EYEBALL:
+                count = int(rng.poisson(cfg.probes_per_eyeball_lambda))
+                is_core = False
+            elif asys.as_type in core_types:
+                # core operators host probes/anchors at several of their
+                # PoPs (RIPE Atlas has substantial core deployment)
+                is_core = True
+                count = 0
+                if rng.random() < cfg.core_probe_prob:
+                    count = 1 + int(rng.poisson(2.2))
+            else:
+                host_prob = (
+                    cfg.research_probe_prob
+                    if asys.as_type is ASType.RESEARCH
+                    else cfg.enterprise_probe_prob
+                )
+                count = 1 if rng.random() < host_prob else 0
+                is_core = True
+            # spread multi-probe hosts across distinct PoP cities
+            count = min(count, len(asys.pop_cities)) if is_core else count
+            if is_core and count:
+                city_picks = rng.choice(len(asys.pop_cities), size=count, replace=False)
+            else:
+                city_picks = None
+            for probe_index in range(count):
+                counter += 1
+                if city_picks is not None:
+                    city_key = asys.pop_cities[int(city_picks[probe_index])]
+                else:
+                    city_key = asys.pop_cities[int(rng.integers(len(asys.pop_cities)))]
+                anchor = is_core and asys.as_type in (
+                    ASType.TRANSIT_REGIONAL,
+                    ASType.TRANSIT_GLOBAL,
+                    ASType.CONTENT,
+                ) and rng.random() < cfg.anchor_prob
+                if is_core or anchor:
+                    low, high = cfg.anchor_access_ms
+                else:
+                    low, high = cfg.probe_access_ms
+                access = float(rng.uniform(low, high))
+                loss = float(rng.uniform(*cfg.probe_loss_prob))
+                node_id = f"probe-{counter:05d}"
+                node = MeasurementNode(
+                    node_id=node_id,
+                    kind=NodeKind.RA_ANCHOR if anchor else NodeKind.RA_PROBE,
+                    ip=book.next_address(asys.asn),
+                    endpoint=Endpoint(
+                        node_id=node_id,
+                        asn=asys.asn,
+                        city_key=city_key,
+                        access_ms=access,
+                        loss_prob=loss,
+                    ),
+                )
+                firmware = cfg.latest_firmware
+                if rng.random() < cfg.old_firmware_prob:
+                    firmware -= int(rng.integers(1, 40))
+                stability = float(rng.beta(14.0, 1.0))
+                self._probes.append(
+                    AtlasProbe(
+                        node=node,
+                        firmware=firmware,
+                        is_public=rng.random() >= cfg.unlisted_probe_prob,
+                        is_connected=rng.random() >= cfg.disconnected_probe_prob,
+                        is_geolocated=rng.random() >= cfg.ungeolocated_probe_prob,
+                        stability_30d=stability,
+                        is_anchor=anchor,
+                    )
+                )
+
+    # ----------------------------------------------------------------- query
+
+    def all_probes(self) -> tuple[AtlasProbe, ...]:
+        """Every registered probe, including unusable ones."""
+        return tuple(self._probes)
+
+    def probes(
+        self,
+        *,
+        min_firmware: int | None = None,
+        public_only: bool = False,
+        connected_only: bool = False,
+        geolocated_only: bool = False,
+        min_stability: float | None = None,
+        asns: set[int] | None = None,
+    ) -> list[AtlasProbe]:
+        """Filter the probe population, API-style.
+
+        All filters are conjunctive; omitted filters match everything.
+        """
+        out = []
+        for probe in self._probes:
+            if min_firmware is not None and probe.firmware < min_firmware:
+                continue
+            if public_only and not probe.is_public:
+                continue
+            if connected_only and not probe.is_connected:
+                continue
+            if geolocated_only and not probe.is_geolocated:
+                continue
+            if min_stability is not None and probe.stability_30d < min_stability:
+                continue
+            if asns is not None and probe.asn not in asns:
+                continue
+            out.append(probe)
+        return out
+
+    # ----------------------------------------------------------------- budget
+
+    def begin_round(self) -> None:
+        """Reset the per-round measurement budget."""
+        self._round_budget_used = 0
+
+    def charge(self, num_pings: int) -> None:
+        """Account for scheduled pings against the round budget.
+
+        Raises:
+            MeasurementError: if the budget would be exceeded — the caller
+                scheduled an unrealistically heavy round.
+        """
+        if num_pings < 0:
+            raise MeasurementError("cannot charge a negative ping count")
+        if self._round_budget_used + num_pings > self.ROUND_PING_BUDGET:
+            raise MeasurementError(
+                f"round ping budget exceeded: {self._round_budget_used} + {num_pings} "
+                f"> {self.ROUND_PING_BUDGET}"
+            )
+        self._round_budget_used += num_pings
+
+    @property
+    def round_budget_used(self) -> int:
+        """Pings charged in the current round."""
+        return self._round_budget_used

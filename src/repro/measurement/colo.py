@@ -1,0 +1,129 @@
+"""Ground-truth colocation interface pool.
+
+For every facility, tenant ASes (transit/content/cloud) expose a few
+pingable router/server interfaces located *physically at the facility*.
+This pool is the reality the aged Giotsas-style dataset
+(:mod:`repro.datasets.facility_mapping`) is a noisy 2015 snapshot of, and
+the reality the paper's Sec 2.2 filter pipeline tries to recover.
+
+A small fraction of interfaces is generated with deliberate defects that
+individual filters must catch: *dead* interfaces no longer answer pings,
+and *relocated* interfaces have been physically moved to a different metro
+since the snapshot (caught by RTT-based geolocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.cities import all_cities, city as city_of
+from repro.latency.model import Endpoint
+from repro.measurement.config import InfrastructureConfig
+from repro.measurement.nodes import HostAddressBook, MeasurementNode, NodeKind
+from repro.topology.builder import Topology
+from repro.topology.types import COLO_TENANT_TYPES
+from repro.util.rand import SeedSequenceFactory
+
+
+@dataclass(frozen=True, slots=True)
+class ColoInterface:
+    """A pingable interface inside (or formerly inside) a facility.
+
+    Attributes:
+        node: The vantage point (its ``city_key`` is where the interface
+            *currently* is — for relocated interfaces that differs from the
+            facility's city).
+        facility_id: Ground-truth facility the interface was deployed at.
+        is_dead: True if the interface no longer answers (decommissioned).
+        relocated: True if the interface moved metro since deployment.
+    """
+
+    node: MeasurementNode
+    facility_id: int
+    is_dead: bool
+    relocated: bool
+
+
+class ColoInterfacePool:
+    """Generates and serves the ground-truth facility interface pool."""
+
+    DEAD_PROB = 0.24
+    RELOCATED_PROB = 0.07
+
+    def __init__(
+        self,
+        topology: Topology,
+        address_book: HostAddressBook,
+        config: InfrastructureConfig,
+        seeds: SeedSequenceFactory,
+    ) -> None:
+        self._topology = topology
+        self._cfg = config
+        self._interfaces: list[ColoInterface] = []
+        self._generate(address_book, seeds.rng("colo.generate"))
+
+    def _generate(self, book: HostAddressBook, rng) -> None:
+        cfg = self._cfg
+        graph = self._topology.graph
+        counter = 0
+        non_hub_cities = [c for c in all_cities() if not c.is_hub]
+        for fac in self._topology.facilities.values():
+            for asn in sorted(fac.members):
+                asys = graph.get_as(asn)
+                if asys.as_type not in COLO_TENANT_TYPES:
+                    continue
+                if rng.random() >= cfg.colo_member_interface_prob:
+                    continue
+                lo, hi = cfg.interfaces_per_member
+                for _ in range(int(rng.integers(lo, hi + 1))):
+                    counter += 1
+                    node_id = f"colo-{counter:05d}"
+                    is_dead = rng.random() < self.DEAD_PROB
+                    relocated = (not is_dead) and rng.random() < self.RELOCATED_PROB
+                    if relocated:
+                        city_key = non_hub_cities[int(rng.integers(len(non_hub_cities)))].key
+                    else:
+                        city_key = fac.city_key
+                    # dead interfaces stop answering: modelled as ~total
+                    # packet loss so the pingability filter catches them
+                    # through the same ping path as everything else
+                    loss = 0.9999 if is_dead else float(rng.uniform(*cfg.colo_loss_prob))
+                    node = MeasurementNode(
+                        node_id=node_id,
+                        kind=NodeKind.COLO_IP,
+                        ip=book.next_address(asn),
+                        endpoint=Endpoint(
+                            node_id=node_id,
+                            asn=asn,
+                            city_key=city_key,
+                            access_ms=float(rng.uniform(*cfg.colo_access_ms)),
+                            loss_prob=loss,
+                        ),
+                    )
+                    self._interfaces.append(
+                        ColoInterface(
+                            node=node,
+                            facility_id=fac.fac_id,
+                            is_dead=is_dead,
+                            relocated=relocated,
+                        )
+                    )
+
+    def interfaces(self) -> tuple[ColoInterface, ...]:
+        """Every interface ever deployed (including dead/relocated ones)."""
+        return tuple(self._interfaces)
+
+    def live_interfaces(self) -> list[ColoInterface]:
+        """Interfaces that still answer pings."""
+        return [itf for itf in self._interfaces if not itf.is_dead]
+
+    def by_node_id(self, node_id: str) -> ColoInterface:
+        """Look an interface up by node id.
+
+        Raises:
+            KeyError: if no such interface exists.
+        """
+        for itf in self._interfaces:
+            if itf.node.node_id == node_id:
+                return itf
+        raise KeyError(node_id)

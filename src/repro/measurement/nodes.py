@@ -1,0 +1,92 @@
+"""Measurement node primitives shared by all infrastructure emulators."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError, TopologyError
+from repro.latency.model import Endpoint
+from repro.net.ipv4 import IPv4Address
+from repro.topology.graph import ASGraph
+
+
+class NodeKind(enum.Enum):
+    """What kind of vantage point a node is."""
+
+    RA_PROBE = "ra_probe"  #: RIPE Atlas probe (usually behind a home link)
+    RA_ANCHOR = "ra_anchor"  #: RIPE Atlas anchor (well-connected server)
+    PLANETLAB = "planetlab"  #: PlanetLab node at a research site
+    COLO_IP = "colo_ip"  #: router/server interface inside a facility
+    LOOKING_GLASS = "looking_glass"  #: LG server used by Periscope
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementNode:
+    """A pingable vantage point: identity plus its latency endpoint.
+
+    Attributes:
+        node_id: Globally unique id, e.g. ``'probe-0042'``.
+        kind: Vantage-point kind.
+        ip: The node's IPv4 address.
+        endpoint: Latency-model endpoint (ASN, city, access delay, loss).
+    """
+
+    node_id: str
+    kind: NodeKind
+    ip: IPv4Address
+    endpoint: Endpoint
+
+    def __post_init__(self) -> None:
+        if self.node_id != self.endpoint.node_id:
+            raise MeasurementError(
+                f"node_id {self.node_id!r} != endpoint id {self.endpoint.node_id!r}"
+            )
+
+    @property
+    def asn(self) -> int:
+        """AS hosting the node."""
+        return self.endpoint.asn
+
+    @property
+    def city_key(self) -> str:
+        """City the node is in."""
+        return self.endpoint.city_key
+
+    @property
+    def cc(self) -> str:
+        """Country code of the node's city."""
+        return self.city_key.rsplit("/", 1)[1]
+
+
+class HostAddressBook:
+    """Assigns deterministic host addresses inside each AS's prefixes.
+
+    Every emulator asks the same shared book for addresses, so the world's
+    addressing plan has no collisions and is reproducible for a given
+    creation order.
+    """
+
+    def __init__(self, graph: ASGraph) -> None:
+        self._graph = graph
+        self._cursor: dict[int, int] = {}
+
+    def next_address(self, asn: int) -> IPv4Address:
+        """Return the next unused host address originated by ``asn``.
+
+        Raises:
+            TopologyError: if the AS is unknown.
+            MeasurementError: if the AS's prefixes are exhausted.
+        """
+        asys = self._graph.get_as(asn)
+        if not asys.prefixes:
+            raise MeasurementError(f"AS{asn} originates no prefixes")
+        cursor = self._cursor.get(asn, 0)
+        offset = cursor + 1  # skip each prefix's network address
+        for prefix in asys.prefixes:
+            usable = prefix.num_addresses() - 1
+            if offset <= usable:
+                self._cursor[asn] = cursor + 1
+                return prefix.host(offset)
+            offset -= usable
+        raise MeasurementError(f"AS{asn} has no free host addresses left")

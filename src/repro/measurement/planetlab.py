@@ -1,0 +1,126 @@
+"""PlanetLab emulator.
+
+PlanetLab sites live at research institutions connected through NRENs; the
+paper allocates 500 nodes at 62 sites and, before every round, keeps only
+nodes that are *consistently accessible and pingable* (Sec 2.3.1).  The
+emulator reproduces the platform's defining operational property — flaky
+node availability — so that per-round liveness filtering does real work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.latency.model import Endpoint
+from repro.measurement.config import InfrastructureConfig
+from repro.measurement.nodes import HostAddressBook, MeasurementNode, NodeKind
+from repro.topology.builder import Topology
+from repro.topology.types import ASType
+from repro.util.rand import SeedSequenceFactory
+
+
+@dataclass(frozen=True, slots=True)
+class PlanetLabNode:
+    """One PlanetLab machine.
+
+    Attributes:
+        node: The underlying vantage point.
+        site_id: Site the machine belongs to.
+        availability: Long-run probability the node is up in a given round.
+    """
+
+    node: MeasurementNode
+    site_id: str
+    availability: float
+
+
+@dataclass(frozen=True, slots=True)
+class PlanetLabSite:
+    """A PlanetLab site: an institution hosting several nodes."""
+
+    site_id: str
+    asn: int
+    city_key: str
+    nodes: tuple[PlanetLabNode, ...]
+
+
+class PlanetLabEmulator:
+    """Site/node registry with per-round availability sampling."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        address_book: HostAddressBook,
+        config: InfrastructureConfig,
+        seeds: SeedSequenceFactory,
+    ) -> None:
+        self._cfg = config
+        self._seeds = seeds
+        self._sites: list[PlanetLabSite] = []
+        self._generate(topology, address_book, seeds.rng("planetlab.generate"))
+
+    def _generate(self, topology: Topology, book: HostAddressBook, rng) -> None:
+        cfg = self._cfg
+        node_counter = 0
+        site_counter = 0
+        for asn in topology.asns_of_type(ASType.RESEARCH):
+            asys = topology.graph.get_as(asn)
+            if "Backbone" in asys.name:
+                continue  # backbones carry traffic; sites live at members
+            lo, hi = cfg.sites_per_research_as
+            for _ in range(int(rng.integers(lo, hi + 1))):
+                site_counter += 1
+                site_id = f"site-{site_counter:03d}"
+                city_key = asys.pop_cities[int(rng.integers(len(asys.pop_cities)))]
+                nodes = []
+                n_lo, n_hi = cfg.nodes_per_site
+                for _ in range(int(rng.integers(n_lo, n_hi + 1))):
+                    node_counter += 1
+                    node_id = f"pl-{node_counter:04d}"
+                    node = MeasurementNode(
+                        node_id=node_id,
+                        kind=NodeKind.PLANETLAB,
+                        ip=book.next_address(asn),
+                        endpoint=Endpoint(
+                            node_id=node_id,
+                            asn=asn,
+                            city_key=city_key,
+                            access_ms=float(rng.uniform(*cfg.planetlab_access_ms)),
+                            loss_prob=float(rng.uniform(*cfg.planetlab_loss_prob)),
+                        ),
+                    )
+                    availability = float(
+                        rng.beta(cfg.planetlab_avail_alpha, cfg.planetlab_avail_beta)
+                    )
+                    nodes.append(
+                        PlanetLabNode(node=node, site_id=site_id, availability=availability)
+                    )
+                self._sites.append(
+                    PlanetLabSite(
+                        site_id=site_id, asn=asn, city_key=city_key, nodes=tuple(nodes)
+                    )
+                )
+
+    # ----------------------------------------------------------------- query
+
+    def sites(self) -> tuple[PlanetLabSite, ...]:
+        """All sites (stable order)."""
+        return tuple(self._sites)
+
+    def all_nodes(self) -> list[PlanetLabNode]:
+        """All nodes across all sites."""
+        return [node for site in self._sites for node in site.nodes]
+
+    def available_nodes(self, round_index: int) -> list[PlanetLabNode]:
+        """Nodes that are up in the given round.
+
+        Availability is sampled from a per-round named stream, so the same
+        round of the same world always sees the same liveness pattern.
+        """
+        rng = self._seeds.rng(f"planetlab.round.{round_index}")
+        return [
+            node
+            for site in self._sites
+            for node in site.nodes
+            if rng.random() < node.availability
+        ]

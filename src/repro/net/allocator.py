@@ -1,0 +1,59 @@
+"""Deterministic IPv4 prefix allocation for the synthetic topology.
+
+Every AS in the generated world is assigned one or more /20-/24 prefixes out
+of a private supernet, and every node (probe, relay, router interface) gets
+a host address inside one of its AS's prefixes.  Allocation order is
+deterministic, so the same seed always yields the same addressing plan.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AddressError
+from repro.net.ipv4 import IPv4Address, IPv4Prefix
+
+
+class PrefixAllocator:
+    """Sequentially carves prefixes and host addresses out of a supernet."""
+
+    def __init__(self, supernet: IPv4Prefix | str = "10.0.0.0/8") -> None:
+        if isinstance(supernet, str):
+            supernet = IPv4Prefix.parse(supernet)
+        self._supernet = supernet
+        self._next_network = supernet.network.value
+        self._limit = supernet.network.value + supernet.num_addresses()
+        self._host_cursor: dict[IPv4Prefix, int] = {}
+
+    @property
+    def supernet(self) -> IPv4Prefix:
+        """The pool every allocation comes from."""
+        return self._supernet
+
+    def allocate_prefix(self, length: int) -> IPv4Prefix:
+        """Return the next free prefix of ``length`` bits.
+
+        Raises:
+            AddressError: if the supernet is exhausted or ``length`` is
+                shorter than the supernet's own length.
+        """
+        if length < self._supernet.length:
+            raise AddressError(
+                f"cannot allocate /{length} out of {self._supernet}"
+            )
+        size = 1 << (32 - length)
+        # align the cursor to the requested size
+        aligned = (self._next_network + size - 1) & ~(size - 1)
+        if aligned + size > self._limit:
+            raise AddressError(f"supernet {self._supernet} exhausted")
+        self._next_network = aligned + size
+        return IPv4Prefix(IPv4Address(aligned), length)
+
+    def allocate_host(self, prefix: IPv4Prefix) -> IPv4Address:
+        """Return the next free host address inside ``prefix``.
+
+        Skips the network address (offset 0); raises when full.
+        """
+        cursor = self._host_cursor.get(prefix, 1)
+        if cursor >= prefix.num_addresses():
+            raise AddressError(f"prefix {prefix} has no free host addresses")
+        self._host_cursor[prefix] = cursor + 1
+        return prefix.host(cursor)

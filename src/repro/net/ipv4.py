@@ -1,0 +1,141 @@
+"""IPv4 address and prefix value types.
+
+Both types are immutable, hashable and totally ordered, so they can be used
+as dict keys and sorted into routing-table order.  Internally an address is
+a 32-bit integer; prefixes are ``(network_int, length)`` with the host bits
+required to be zero (strict CIDR form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.errors import AddressError
+
+_MAX32 = 0xFFFFFFFF
+
+
+def _parse_dotted_quad(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"{text!r} is not a dotted-quad IPv4 address")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"{text!r} contains non-numeric octet {part!r}")
+        if len(part) > 1 and part[0] == "0":
+            raise AddressError(f"{text!r} contains zero-padded octet {part!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"{text!r} contains octet {octet} > 255")
+        value = (value << 8) | octet
+    return value
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class IPv4Address:
+    """A single IPv4 address backed by a 32-bit integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, int):
+            raise AddressError(f"address value must be int, got {type(self.value).__name__}")
+        if not 0 <= self.value <= _MAX32:
+            raise AddressError(f"address value {self.value:#x} outside 32-bit range")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse a dotted-quad string such as ``'192.0.2.7'``."""
+        return cls(_parse_dotted_quad(text))
+
+    def bit(self, index: int) -> int:
+        """Return bit ``index`` (0 = most significant) of the address."""
+        if not 0 <= index <= 31:
+            raise AddressError(f"bit index {index} outside [0, 31]")
+        return (self.value >> (31 - index)) & 1
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Address):
+            return NotImplemented
+        return self.value < other.value
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class IPv4Prefix:
+    """A CIDR prefix in strict form (host bits zero)."""
+
+    network: IPv4Address
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"prefix length {self.length} outside [0, 32]")
+        if self.network.value & ~self.netmask_int() & _MAX32:
+            raise AddressError(
+                f"{self.network}/{self.length} has host bits set; not a valid CIDR prefix"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Prefix":
+        """Parse ``'a.b.c.d/len'`` notation."""
+        if "/" not in text:
+            raise AddressError(f"{text!r} is missing a /length")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise AddressError(f"{text!r} has non-numeric prefix length")
+        return cls(IPv4Address.parse(addr_text), int(len_text))
+
+    def netmask_int(self) -> int:
+        """Return the netmask as a 32-bit integer."""
+        if self.length == 0:
+            return 0
+        return (_MAX32 << (32 - self.length)) & _MAX32
+
+    def contains(self, address: IPv4Address) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        return (address.value & self.netmask_int()) == self.network.value
+
+    def contains_prefix(self, other: "IPv4Prefix") -> bool:
+        """True if ``other`` is equal to or more specific than this prefix."""
+        return other.length >= self.length and self.contains(other.network)
+
+    def num_addresses(self) -> int:
+        """Number of addresses covered (2^(32-length))."""
+        return 1 << (32 - self.length)
+
+    def host(self, offset: int) -> IPv4Address:
+        """Return the address at ``offset`` within the prefix.
+
+        Raises:
+            AddressError: if ``offset`` does not fit in the prefix.
+        """
+        if not 0 <= offset < self.num_addresses():
+            raise AddressError(f"host offset {offset} outside {self}")
+        return IPv4Address(self.network.value + offset)
+
+    def subnets(self, new_length: int) -> list["IPv4Prefix"]:
+        """Split into all subnets of ``new_length`` (>= current length)."""
+        if new_length < self.length:
+            raise AddressError(f"cannot split /{self.length} into shorter /{new_length}")
+        if new_length > 32:
+            raise AddressError(f"prefix length {new_length} > 32")
+        step = 1 << (32 - new_length)
+        count = 1 << (new_length - self.length)
+        base = self.network.value
+        return [IPv4Prefix(IPv4Address(base + i * step), new_length) for i in range(count)]
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.length}"
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Prefix):
+            return NotImplemented
+        return (self.network.value, self.length) < (other.network.value, other.length)

@@ -1,0 +1,113 @@
+"""Binary prefix trie with longest-prefix-match lookup.
+
+This is the routing-table data structure behind the CAIDA prefix2as
+substrate (:mod:`repro.datasets.prefix2as`): insert ``IPv4Prefix -> value``
+bindings, then ask for the most specific prefix covering an address.
+Multiple inserts of the same prefix accumulate values, which is how MOAS
+(multi-origin AS) prefixes are represented.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, TypeVar
+
+from repro.net.ipv4 import IPv4Address, IPv4Prefix
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "values", "prefix")
+
+    def __init__(self) -> None:
+        self.children: list["_Node[V] | None"] = [None, None]
+        self.values: list[V] | None = None
+        self.prefix: IPv4Prefix | None = None
+
+
+class PrefixTrie(Generic[V]):
+    """Maps IPv4 prefixes to lists of values with longest-prefix-match."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        """Number of distinct prefixes stored."""
+        return self._size
+
+    def insert(self, prefix: IPv4Prefix, value: V) -> None:
+        """Bind ``value`` to ``prefix``; repeated inserts accumulate values."""
+        node = self._root
+        for i in range(prefix.length):
+            bit = prefix.network.bit(i)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if node.values is None:
+            node.values = []
+            node.prefix = prefix
+            self._size += 1
+        node.values.append(value)
+
+    def exact(self, prefix: IPv4Prefix) -> list[V] | None:
+        """Return the values bound to exactly ``prefix``, or None."""
+        node = self._root
+        for i in range(prefix.length):
+            child = node.children[prefix.network.bit(i)]
+            if child is None:
+                return None
+            node = child
+        return list(node.values) if node.values is not None else None
+
+    def longest_match(self, address: IPv4Address) -> tuple[IPv4Prefix, list[V]] | None:
+        """Return the most specific ``(prefix, values)`` covering ``address``.
+
+        Returns None when no stored prefix covers the address.
+        """
+        node = self._root
+        best: tuple[IPv4Prefix, list[V]] | None = None
+        if node.values is not None and node.prefix is not None:
+            best = (node.prefix, node.values)
+        for i in range(32):
+            child = node.children[address.bit(i)]
+            if child is None:
+                break
+            node = child
+            if node.values is not None and node.prefix is not None:
+                best = (node.prefix, node.values)
+        if best is None:
+            return None
+        prefix, values = best
+        return prefix, list(values)
+
+    def all_matches(self, address: IPv4Address) -> list[tuple[IPv4Prefix, list[V]]]:
+        """Return every stored prefix covering ``address``, shortest first."""
+        node = self._root
+        matches: list[tuple[IPv4Prefix, list[V]]] = []
+        if node.values is not None and node.prefix is not None:
+            matches.append((node.prefix, list(node.values)))
+        for i in range(32):
+            child = node.children[address.bit(i)]
+            if child is None:
+                break
+            node = child
+            if node.values is not None and node.prefix is not None:
+                matches.append((node.prefix, list(node.values)))
+        return matches
+
+    def items(self) -> Iterator[tuple[IPv4Prefix, list[V]]]:
+        """Iterate over ``(prefix, values)`` pairs in trie (address) order."""
+        stack: list[_Node[V]] = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.values is not None and node.prefix is not None:
+                yield node.prefix, list(node.values)
+            # push right (bit 1) first so left (bit 0) pops first
+            right, left = node.children[1], node.children[0]
+            if right is not None:
+                stack.append(right)
+            if left is not None:
+                stack.append(left)

@@ -1,0 +1,16 @@
+"""Inter-domain routing: Gao-Rexford valley-free route selection, the
+geographic course of each BGP path, and path-inflation metrics."""
+
+from repro.routing.bgp import BGPRouting, Route, RouteClass
+from repro.routing.geopath import GeoPathWalker, PathSegment
+from repro.routing.inflation import geodesic_inflation, path_length_km
+
+__all__ = [
+    "BGPRouting",
+    "Route",
+    "RouteClass",
+    "GeoPathWalker",
+    "PathSegment",
+    "geodesic_inflation",
+    "path_length_km",
+]

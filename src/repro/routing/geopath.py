@@ -1,0 +1,142 @@
+"""Geographic course of a BGP path.
+
+A BGP AS path says *which* networks carry the traffic, not *where* it
+flows.  The walker turns an AS path into a sequence of city waypoints: for
+every AS adjacency it picks, hot-potato style, the interconnection city
+closest to the packet's current position.  Each segment between waypoints
+is attributed to the AS whose backbone carries it, so per-carrier backbone
+stretch (see :mod:`repro.latency.backbone`) can be applied.  Summing
+(stretched) fiber delay over the segments yields the propagation component
+of the RTT, and — because interconnection happens only where the networks
+actually meet — geographic detours (path inflation) fall out naturally for
+endpoint pairs whose providers interconnect far off the geodesic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import RoutingError
+from repro.geo.cities import City, city as city_of
+from repro.geo.distance import fiber_delay_ms, great_circle_km
+from repro.topology.graph import ASGraph
+
+
+@dataclass(frozen=True, slots=True)
+class PathSegment:
+    """One intra-AS leg of a geographic path.
+
+    Attributes:
+        from_city / to_city: City keys of the segment endpoints.
+        carrier_asn: The AS whose backbone carries this segment.
+    """
+
+    from_city: str
+    to_city: str
+    carrier_asn: int
+
+
+class GeoPathWalker:
+    """Maps AS paths to city-waypoint sequences over an :class:`ASGraph`.
+
+    ``stretch_of`` maps a carrier ASN to that backbone's stretch factor
+    (>= 1) applied to the geodesic fiber delay of its segments; the default
+    treats every backbone as a flat 1.2x geodesic.
+    """
+
+    DEFAULT_STRETCH = 1.2
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        stretch_of: Callable[[int], float] | None = None,
+    ) -> None:
+        self._graph = graph
+        self._stretch_of = stretch_of
+        self._city_cache: dict[str, City] = {}
+
+    def _city(self, key: str) -> City:
+        cached = self._city_cache.get(key)
+        if cached is None:
+            cached = city_of(key)
+            self._city_cache[key] = cached
+        return cached
+
+    # ---------------------------------------------------------------- walk
+
+    def segments(
+        self, src_city: str, as_path: list[int], dst_city: str
+    ) -> list[PathSegment]:
+        """Return the carrier-attributed segments of the path.
+
+        The packet starts at ``src_city`` inside ``as_path[0]``; each AS
+        adjacency hands it over at the interconnection city nearest
+        (great-circle) to its current position — the hot-potato rule; the
+        final AS carries it to ``dst_city``.  Zero-length segments are
+        dropped.
+
+        Raises:
+            RoutingError: if ``as_path`` is empty or two consecutive ASes
+                are not adjacent.
+        """
+        if not as_path:
+            raise RoutingError("empty AS path")
+        segments: list[PathSegment] = []
+        position = src_city
+        current = self._city(src_city)
+        for a, b in zip(as_path, as_path[1:]):
+            if not self._graph.are_adjacent(a, b):
+                raise RoutingError(f"AS{a} and AS{b} are not adjacent on the path")
+            adjacency = self._graph.adjacency(a, b)
+            handover = min(
+                adjacency.interconnect_cities,
+                key=lambda key: great_circle_km(current.location, self._city(key).location),
+            )
+            if handover != position:
+                segments.append(PathSegment(position, handover, a))
+                position = handover
+                current = self._city(handover)
+        if dst_city != position:
+            segments.append(PathSegment(position, dst_city, as_path[-1]))
+        return segments
+
+    def waypoints(self, src_city: str, as_path: list[int], dst_city: str) -> list[str]:
+        """The city keys traffic traverses (collapsed, in order)."""
+        segs = self.segments(src_city, as_path, dst_city)
+        if not segs:
+            return [src_city]
+        return [segs[0].from_city] + [seg.to_city for seg in segs]
+
+    # -------------------------------------------------------------- latency
+
+    def _stretch(self, asn: int) -> float:
+        if self._stretch_of is None:
+            return self.DEFAULT_STRETCH
+        return self._stretch_of(asn)
+
+    def propagation_ms(self, src_city: str, as_path: list[int], dst_city: str) -> float:
+        """One-way propagation delay along the path, with per-carrier
+        backbone stretch applied to every segment, in ms."""
+        total = 0.0
+        for seg in self.segments(src_city, as_path, dst_city):
+            total += fiber_delay_ms(
+                self._city(seg.from_city).location,
+                self._city(seg.to_city).location,
+                stretch=self._stretch(seg.carrier_asn),
+            )
+        return total
+
+    def waypoint_propagation_ms(self, waypoint_keys: list[str]) -> float:
+        """One-way fiber delay along explicit waypoints (flat default
+        stretch; no carrier attribution).  Used by display/ablation code.
+
+        Raises:
+            RoutingError: on an empty sequence.
+        """
+        if not waypoint_keys:
+            raise RoutingError("empty waypoint sequence")
+        total = 0.0
+        for a, b in zip(waypoint_keys, waypoint_keys[1:]):
+            total += fiber_delay_ms(self._city(a).location, self._city(b).location)
+        return total

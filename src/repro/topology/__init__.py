@@ -1,0 +1,22 @@
+"""AS-level topology substrate: autonomous systems with geographic PoPs,
+colocation facilities, IXPs, and a Gao-Rexford relationship graph, all
+produced deterministically by :class:`~repro.topology.builder.TopologyBuilder`.
+"""
+
+from repro.topology.types import ASType, AutonomousSystem
+from repro.topology.facilities import Facility, IXP
+from repro.topology.graph import ASGraph, Relationship
+from repro.topology.config import TopologyConfig
+from repro.topology.builder import TopologyBuilder, Topology
+
+__all__ = [
+    "ASType",
+    "AutonomousSystem",
+    "Facility",
+    "IXP",
+    "ASGraph",
+    "Relationship",
+    "TopologyConfig",
+    "TopologyBuilder",
+    "Topology",
+]

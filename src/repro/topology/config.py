@@ -1,0 +1,117 @@
+"""Configuration for the synthetic topology generator.
+
+Every knob that shapes the generated Internet lives here, with defaults
+calibrated so the paper's qualitative structure emerges: a flattened core
+(content/cloud peering widely at hub IXPs), national eyeball ecosystems
+behind regional transit, and large colocation facilities concentrated at a
+handful of hub metros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class TopologyConfig:
+    """Knobs of :class:`~repro.topology.builder.TopologyBuilder`.
+
+    Attributes:
+        num_tier1: Number of global (tier-1) transit providers.
+        regional_per_continent: Tier-2 transit providers per continent code.
+        max_eyeballs_per_country: Cap on eyeball ASes per country; the
+            actual count scales with the country's Internet-user population.
+        num_content: Content/CDN networks present at most hubs.
+        num_cloud: Cloud providers present at most hubs.
+        research_country_prob: Probability a country gets a national NREN.
+        enterprise_country_prob: Probability a country gets an enterprise AS.
+        eyeball_remote_hub_prob: Probability an eyeball AS buys remote
+            presence at 1-2 hub metros (Internet flattening).
+        eyeball_multihome_tier1_prob: Probability an eyeball also buys
+            transit directly from a tier-1.
+        regional_peering_prob: Probability two same-continent regionals with
+            a shared hub PoP peer.
+        eyeball_content_peering_prob: Probability an eyeball peers with a
+            content/cloud network at a shared IXP (flattening).
+        eyeball_eyeball_peering_prob: Probability two eyeballs with a shared
+            IXP peer directly.
+        content_regional_peering_prob: Probability a content/cloud network
+            peers with a regional transit at a shared IXP.
+        facility_base_membership_prob: Baseline probability a candidate AS
+            joins a given facility in a city (scaled by facility weight).
+        max_facilities_per_hub: Upper bound on facilities per hub metro.
+        cloud_facility_prob: Probability a facility offers cloud services
+            directly or via a colocated provider.
+    """
+
+    country_limit: int | None = None
+    """Optional cap on the number of countries the world has ASes in
+    (selected round-robin across continents to preserve intercontinental
+    diversity); None means every country in the embedded database.  Use
+    small values to build fast test worlds."""
+
+    num_tier1: int = 12
+    regional_per_continent: tuple[tuple[str, int], ...] = (
+        ("EU", 14),
+        ("NA", 10),
+        ("AS", 12),
+        ("SA", 6),
+        ("AF", 6),
+        ("OC", 4),
+    )
+    max_eyeballs_per_country: int = 8
+    num_content: int = 18
+    num_cloud: int = 12
+    research_country_prob: float = 0.55
+    enterprise_country_prob: float = 0.45
+    eyeball_remote_hub_prob: float = 0.65
+    eyeball_multihome_tier1_prob: float = 0.30
+    regional_peering_prob: float = 0.40
+    eyeball_content_peering_prob: float = 0.70
+    eyeball_eyeball_peering_prob: float = 0.30
+    content_regional_peering_prob: float = 0.50
+    facility_base_membership_prob: float = 0.55
+    max_facilities_per_hub: int = 4
+    cloud_facility_prob: float = 0.75
+    mesh_interconnect_sites: int = 6
+    """Interconnection metros sampled per tier-1 peering edge; more sites
+    means hot-potato exits closer to the geodesic (less path inflation)."""
+    c2p_interconnect_sites: int = 4
+    """Interconnection metros sampled per customer-provider edge."""
+    first_asn: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.country_limit is not None and self.country_limit < 4:
+            raise ConfigError("country_limit must be >= 4 for a meaningful world")
+        if self.num_tier1 < 2:
+            raise ConfigError("need at least 2 tier-1 providers")
+        if self.max_eyeballs_per_country < 1:
+            raise ConfigError("need at least 1 eyeball per country")
+        if self.num_content < 1 or self.num_cloud < 1:
+            raise ConfigError("need at least one content and one cloud AS")
+        for name in (
+            "research_country_prob",
+            "enterprise_country_prob",
+            "eyeball_remote_hub_prob",
+            "eyeball_multihome_tier1_prob",
+            "regional_peering_prob",
+            "eyeball_content_peering_prob",
+            "eyeball_eyeball_peering_prob",
+            "content_regional_peering_prob",
+            "facility_base_membership_prob",
+            "cloud_facility_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name}={value} outside [0, 1]")
+        if self.max_facilities_per_hub < 1:
+            raise ConfigError("need at least 1 facility per hub")
+        if self.first_asn < 1:
+            raise ConfigError("first_asn must be positive")
+        if self.mesh_interconnect_sites < 1 or self.c2p_interconnect_sites < 1:
+            raise ConfigError("interconnect site counts must be >= 1")
+        continents = [cc for cc, _ in self.regional_per_continent]
+        if len(set(continents)) != len(continents):
+            raise ConfigError("duplicate continent in regional_per_continent")

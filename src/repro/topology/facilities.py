@@ -1,0 +1,93 @@
+"""Colocation facilities and Internet exchange points.
+
+A facility houses router/server equipment of *member* ASes and is attached
+to zero or more IXPs; an IXP operates a peering fabric out of one or more
+facilities.  These are the entities behind PeeringDB (the paper's source for
+facility membership, Sec 2.2 filters 1 & 4, and for Table 1's feature
+columns) and behind the Colo relay pool itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.geo.cities import city as _city
+
+
+@dataclass(frozen=True, slots=True)
+class Facility:
+    """A colocation facility.
+
+    Attributes:
+        fac_id: Unique facility id (the simulation's PeeringDB id).
+        name: Facility name, e.g. ``'Equinix LD5'``.
+        operator: Facility operator, e.g. ``'Equinix'``.
+        city_key: City the facility is in (``'Name/CC'``).
+        members: ASNs with equipment in the facility.
+        ixp_ids: IXPs reachable from inside the facility.
+        cloud_services: True if the facility itself or a colocated provider
+            sells cloud/VM services (Table 1's "Cloud Services" column).
+    """
+
+    fac_id: int
+    name: str
+    operator: str
+    city_key: str
+    members: frozenset[int]
+    ixp_ids: frozenset[int]
+    cloud_services: bool
+
+    def __post_init__(self) -> None:
+        if self.fac_id <= 0:
+            raise TopologyError(f"facility id must be positive, got {self.fac_id}")
+        _city(self.city_key)
+        if not self.members:
+            raise TopologyError(f"facility {self.name} has no members")
+
+    @property
+    def cc(self) -> str:
+        """Country code of the facility's city."""
+        return self.city_key.rsplit("/", 1)[1]
+
+    @property
+    def num_networks(self) -> int:
+        """Number of colocated member networks (Table 1 ``#Nets``)."""
+        return len(self.members)
+
+    @property
+    def num_ixps(self) -> int:
+        """Number of attached IXPs (Table 1 ``#IXPs``)."""
+        return len(self.ixp_ids)
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.city_key}, {self.num_networks} nets)"
+
+
+@dataclass(frozen=True, slots=True)
+class IXP:
+    """An Internet exchange point.
+
+    Attributes:
+        ixp_id: Unique IXP id.
+        name: IXP name, e.g. ``'LINX'``.
+        city_key: Main city of the exchange.
+        facility_ids: Facilities the fabric extends into.
+        members: ASNs peering over the fabric.
+    """
+
+    ixp_id: int
+    name: str
+    city_key: str
+    facility_ids: frozenset[int]
+    members: frozenset[int]
+
+    def __post_init__(self) -> None:
+        if self.ixp_id <= 0:
+            raise TopologyError(f"IXP id must be positive, got {self.ixp_id}")
+        _city(self.city_key)
+        if not self.facility_ids:
+            raise TopologyError(f"IXP {self.name} is not attached to any facility")
+
+    def __str__(self) -> str:
+        return f"{self.name} ({self.city_key}, {len(self.members)} members)"

@@ -1,0 +1,200 @@
+"""The AS relationship graph (Gao-Rexford model).
+
+Edges carry a business relationship — customer-to-provider (``c2p``) or
+peer-to-peer (``p2p``) — plus the set of cities where the two networks
+interconnect.  Valley-free routing (:mod:`repro.routing.bgp`) and the
+geographic waypoint walker (:mod:`repro.routing.geopath`) both read from
+this structure.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.topology.types import AutonomousSystem
+
+
+class Relationship(enum.Enum):
+    """Business relationship of an AS adjacency."""
+
+    C2P = "c2p"  #: first AS is a customer of the second
+    P2P = "p2p"  #: settlement-free peers
+
+
+@dataclass(frozen=True, slots=True)
+class Adjacency:
+    """An interconnection between two ASes.
+
+    ``rel`` is interpreted from ``a``'s perspective: ``C2P`` means ``a`` is
+    a customer of ``b``.  ``interconnect_cities`` lists the city keys where
+    the two networks exchange traffic; the geographic path walker picks one
+    hot-potato-style.
+    """
+
+    a: int
+    b: int
+    rel: Relationship
+    interconnect_cities: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError(f"self-adjacency on AS{self.a}")
+        if not self.interconnect_cities:
+            raise TopologyError(f"adjacency AS{self.a}-AS{self.b} has no interconnection city")
+
+
+class ASGraph:
+    """Mutable AS-level graph with relationship-typed adjacencies."""
+
+    def __init__(self) -> None:
+        self._as_by_asn: dict[int, AutonomousSystem] = {}
+        self._providers: dict[int, set[int]] = {}
+        self._customers: dict[int, set[int]] = {}
+        self._peers: dict[int, set[int]] = {}
+        self._edges: dict[tuple[int, int], Adjacency] = {}
+
+    # -- nodes ------------------------------------------------------------
+
+    def add_as(self, asys: AutonomousSystem) -> None:
+        """Register an AS.
+
+        Raises:
+            TopologyError: if the ASN is already present.
+        """
+        if asys.asn in self._as_by_asn:
+            raise TopologyError(f"duplicate ASN {asys.asn}")
+        self._as_by_asn[asys.asn] = asys
+        self._providers[asys.asn] = set()
+        self._customers[asys.asn] = set()
+        self._peers[asys.asn] = set()
+
+    def get_as(self, asn: int) -> AutonomousSystem:
+        """Return the AS with the given ASN.
+
+        Raises:
+            TopologyError: if unknown.
+        """
+        try:
+            return self._as_by_asn[asn]
+        except KeyError:
+            raise TopologyError(f"unknown ASN {asn}") from None
+
+    def has_as(self, asn: int) -> bool:
+        """True if the ASN is registered."""
+        return asn in self._as_by_asn
+
+    def asns(self) -> list[int]:
+        """All registered ASNs in insertion order."""
+        return list(self._as_by_asn)
+
+    def __len__(self) -> int:
+        return len(self._as_by_asn)
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._as_by_asn.values())
+
+    # -- edges ------------------------------------------------------------
+
+    @staticmethod
+    def _edge_key(a: int, b: int) -> tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def add_c2p(self, customer: int, provider: int, cities: Iterable[str]) -> None:
+        """Add a customer-to-provider adjacency."""
+        self._check_new_edge(customer, provider)
+        adj = Adjacency(customer, provider, Relationship.C2P, tuple(cities))
+        self._edges[self._edge_key(customer, provider)] = adj
+        self._providers[customer].add(provider)
+        self._customers[provider].add(customer)
+
+    def add_p2p(self, a: int, b: int, cities: Iterable[str]) -> None:
+        """Add a settlement-free peering adjacency."""
+        self._check_new_edge(a, b)
+        adj = Adjacency(a, b, Relationship.P2P, tuple(cities))
+        self._edges[self._edge_key(a, b)] = adj
+        self._peers[a].add(b)
+        self._peers[b].add(a)
+
+    def _check_new_edge(self, a: int, b: int) -> None:
+        if a not in self._as_by_asn:
+            raise TopologyError(f"unknown ASN {a}")
+        if b not in self._as_by_asn:
+            raise TopologyError(f"unknown ASN {b}")
+        if self._edge_key(a, b) in self._edges:
+            raise TopologyError(f"duplicate adjacency AS{a}-AS{b}")
+
+    def adjacency(self, a: int, b: int) -> Adjacency:
+        """Return the adjacency record between two ASes.
+
+        Raises:
+            TopologyError: if the ASes are not adjacent.
+        """
+        try:
+            return self._edges[self._edge_key(a, b)]
+        except KeyError:
+            raise TopologyError(f"AS{a} and AS{b} are not adjacent") from None
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True if an adjacency exists between the two ASes."""
+        return self._edge_key(a, b) in self._edges
+
+    def num_edges(self) -> int:
+        """Total number of adjacencies."""
+        return len(self._edges)
+
+    def edges(self) -> Iterator[Adjacency]:
+        """Iterate all adjacency records (insertion order)."""
+        return iter(self._edges.values())
+
+    # -- neighbour views ----------------------------------------------------
+
+    def providers_of(self, asn: int) -> frozenset[int]:
+        """Provider ASNs of ``asn``."""
+        self.get_as(asn)
+        return frozenset(self._providers[asn])
+
+    def customers_of(self, asn: int) -> frozenset[int]:
+        """Customer ASNs of ``asn``."""
+        self.get_as(asn)
+        return frozenset(self._customers[asn])
+
+    def peers_of(self, asn: int) -> frozenset[int]:
+        """Peer ASNs of ``asn``."""
+        self.get_as(asn)
+        return frozenset(self._peers[asn])
+
+    def degree(self, asn: int) -> int:
+        """Total adjacency count of ``asn``."""
+        return len(self._providers[asn]) + len(self._customers[asn]) + len(self._peers[asn])
+
+    # -- invariants ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise TopologyError on violation.
+
+        Invariants: no provider loops among the transit hierarchy (the
+        customer-of relation must be acyclic) and every AS reachable from at
+        least one provider or peer (no isolated stubs).
+        """
+        # Kahn's algorithm over customer->provider edges to detect cycles.
+        indegree = {asn: 0 for asn in self._as_by_asn}
+        for asn in self._as_by_asn:
+            for provider in self._providers[asn]:
+                indegree[provider] += 1
+        queue = [asn for asn, deg in indegree.items() if deg == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for provider in self._providers[node]:
+                indegree[provider] -= 1
+                if indegree[provider] == 0:
+                    queue.append(provider)
+        if seen != len(self._as_by_asn):
+            raise TopologyError("customer-provider hierarchy contains a cycle")
+        for asn in self._as_by_asn:
+            if self.degree(asn) == 0:
+                raise TopologyError(f"AS{asn} is isolated (no adjacencies)")

@@ -1,0 +1,94 @@
+"""AS-graph analytics: the standard structural statistics used to sanity-
+check generated topologies against the real Internet's shape.
+
+* **customer cone** — the set of ASes reachable from an AS by walking only
+  provider-to-customer edges (CAIDA's AS-rank metric); tier-1s should have
+  cones covering most of the graph, eyeballs cones of size 1;
+* **degree distribution** — heavy-tailed in the real Internet;
+* **relationship mix** — modern (flattened) topologies carry more peering
+  than transit edges.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.topology.graph import ASGraph, Relationship
+from repro.topology.types import ASType
+
+
+def customer_cone(graph: ASGraph, asn: int) -> frozenset[int]:
+    """The AS's customer cone, including the AS itself."""
+    cone = {asn}
+    stack = [asn]
+    while stack:
+        node = stack.pop()
+        for customer in graph.customers_of(node):
+            if customer not in cone:
+                cone.add(customer)
+                stack.append(customer)
+    return frozenset(cone)
+
+
+def cone_sizes(graph: ASGraph) -> dict[int, int]:
+    """Customer cone size per ASN, computed bottom-up in one pass.
+
+    Sizes count *distinct* ASes in the cone (not paths), so the result
+    matches calling :func:`customer_cone` per AS, at a fraction of the
+    cost for large graphs.
+    """
+    # topological order over provider->customer DAG (leaves first)
+    order: list[int] = []
+    pending = {asn: len(graph.customers_of(asn)) for asn in graph.asns()}
+    stack = [asn for asn, count in pending.items() if count == 0]
+    seen = set(stack)
+    # Kahn over reversed edges: process an AS once all customers are done
+    remaining = dict(pending)
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        for provider in graph.providers_of(node):
+            remaining[provider] -= 1
+            if remaining[provider] == 0 and provider not in seen:
+                seen.add(provider)
+                stack.append(provider)
+    cones: dict[int, frozenset[int]] = {}
+    for asn in order:
+        cone = {asn}
+        for customer in graph.customers_of(asn):
+            cone |= cones[customer]
+        cones[asn] = frozenset(cone)
+    return {asn: len(cone) for asn, cone in cones.items()}
+
+
+def degree_distribution(graph: ASGraph) -> dict[int, int]:
+    """Histogram: degree value -> number of ASes with that degree."""
+    return dict(Counter(graph.degree(asn) for asn in graph.asns()))
+
+
+def relationship_mix(graph: ASGraph) -> dict[str, int]:
+    """Edge counts by relationship type (``c2p`` / ``p2p``)."""
+    counts = {"c2p": 0, "p2p": 0}
+    for adjacency in graph.edges():
+        if adjacency.rel is Relationship.P2P:
+            counts["p2p"] += 1
+        else:
+            counts["c2p"] += 1
+    return counts
+
+
+def topology_report(graph: ASGraph) -> dict[str, float]:
+    """Headline structural statistics of a generated topology."""
+    sizes = cone_sizes(graph)
+    degrees = [graph.degree(asn) for asn in graph.asns()]
+    mix = relationship_mix(graph)
+    n = len(graph)
+    return {
+        "num_ases": float(n),
+        "num_edges": float(graph.num_edges()),
+        "max_cone_frac": max(sizes.values()) / n,
+        "median_cone_size": float(sorted(sizes.values())[n // 2]),
+        "max_degree": float(max(degrees)),
+        "mean_degree": sum(degrees) / n,
+        "peering_edge_frac": mix["p2p"] / max(1, mix["p2p"] + mix["c2p"]),
+    }

@@ -1,0 +1,98 @@
+"""Autonomous-system entities.
+
+Each AS has a *role* (eyeball access ISP, regional transit, global tier-1
+transit, content, cloud, research/NREN or enterprise), a primary country,
+and a set of PoP cities where it can interconnect with other networks.  The
+roles matter because the paper's methodology classifies measurement vantage
+points by the network hosting them (Sec 2.1-2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.geo.cities import city as _city
+from repro.net.ipv4 import IPv4Prefix
+
+
+class ASType(enum.Enum):
+    """Functional role of an autonomous system in the simulated Internet."""
+
+    EYEBALL = "eyeball"
+    """Access ISP serving end users at the last mile."""
+
+    TRANSIT_REGIONAL = "transit_regional"
+    """Tier-2 transit: national/continental carrier, customer of tier-1s."""
+
+    TRANSIT_GLOBAL = "transit_global"
+    """Tier-1 transit: global backbone peering with the other tier-1s."""
+
+    CONTENT = "content"
+    """Content/CDN network present at many interconnection hubs."""
+
+    CLOUD = "cloud"
+    """Cloud provider with compute in colocation facilities."""
+
+    RESEARCH = "research"
+    """Research & education network (NREN); hosts PlanetLab sites."""
+
+    ENTERPRISE = "enterprise"
+    """Business network; faces users but is not an eyeball ISP."""
+
+
+#: AS roles whose routers commonly appear in colocation facilities; colo
+#: relay IPs (Sec 2.2) belong to these.
+COLO_TENANT_TYPES = frozenset(
+    {
+        ASType.TRANSIT_REGIONAL,
+        ASType.TRANSIT_GLOBAL,
+        ASType.CONTENT,
+        ASType.CLOUD,
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AutonomousSystem:
+    """An autonomous system of the simulated Internet.
+
+    Attributes:
+        asn: AS number (unique).
+        name: Human-readable operator name.
+        as_type: Functional role.
+        cc: Primary country of operation (ISO alpha-2).
+        pop_cities: City keys (``'Name/CC'``) where the AS has PoPs; the
+            first entry is the AS's primary/headquarters city.
+        prefixes: IPv4 prefixes originated by this AS.
+    """
+
+    asn: int
+    name: str
+    as_type: ASType
+    cc: str
+    pop_cities: tuple[str, ...]
+    prefixes: tuple[IPv4Prefix, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise TopologyError(f"ASN must be positive, got {self.asn}")
+        if not self.pop_cities:
+            raise TopologyError(f"AS{self.asn} ({self.name}) has no PoP cities")
+        for key in self.pop_cities:
+            _city(key)  # validates the key
+        if len(set(self.pop_cities)) != len(self.pop_cities):
+            raise TopologyError(f"AS{self.asn} has duplicate PoP cities")
+
+    @property
+    def primary_city(self) -> str:
+        """The AS's headquarters / main PoP city key."""
+        return self.pop_cities[0]
+
+    def has_pop_in(self, city_key: str) -> bool:
+        """True if the AS has a PoP in the given city."""
+        return city_key in self.pop_cities
+
+    def __str__(self) -> str:
+        return f"AS{self.asn}({self.name},{self.as_type.value},{self.cc})"

@@ -1,0 +1,20 @@
+"""Small shared utilities: statistics helpers and seeded RNG management."""
+
+from repro.util.stats import (
+    cdf_points,
+    coefficient_of_variation,
+    median,
+    percentile,
+    quantiles,
+)
+from repro.util.rand import SeedSequenceFactory, derive_rng
+
+__all__ = [
+    "median",
+    "percentile",
+    "quantiles",
+    "cdf_points",
+    "coefficient_of_variation",
+    "SeedSequenceFactory",
+    "derive_rng",
+]

@@ -1,0 +1,135 @@
+"""Order statistics used throughout the measurement analyses.
+
+The paper leans on robust statistics: every RTT batch is summarised by its
+*median* (Sec 2.5, footnote 4) and temporal stability is expressed through the
+*coefficient of variation* of per-round medians (Sec 3, "Stability over
+Time").  These helpers are intentionally dependency-light (plain ``float``
+lists in, plain floats out) so that hot paths do not pay numpy conversion
+costs for six-element batches.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.errors import AnalysisError
+
+
+def median(values: Sequence[float]) -> float:
+    """Return the median of ``values``.
+
+    Uses the average-of-middle-two convention for even-length input.
+
+    Raises:
+        AnalysisError: if ``values`` is empty.
+    """
+    if not values:
+        raise AnalysisError("median() of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Return the ``q``-th percentile (0..100) using linear interpolation.
+
+    Matches numpy's default (``linear``) interpolation so analyses agree with
+    ad-hoc numpy checks in the tests.
+
+    Raises:
+        AnalysisError: if ``values`` is empty or ``q`` outside [0, 100].
+    """
+    if not values:
+        raise AnalysisError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise AnalysisError(f"percentile q={q} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def quantiles(values: Sequence[float], qs: Iterable[float]) -> list[float]:
+    """Return several percentiles of ``values`` in one sorted pass."""
+    if not values:
+        raise AnalysisError("quantiles() of empty sequence")
+    ordered = sorted(values)
+    out = []
+    n = len(ordered)
+    for q in qs:
+        if not 0.0 <= q <= 100.0:
+            raise AnalysisError(f"quantile q={q} outside [0, 100]")
+        if n == 1:
+            out.append(float(ordered[0]))
+            continue
+        rank = (q / 100.0) * (n - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            out.append(float(ordered[lo]))
+        else:
+            frac = rank - lo
+            out.append(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+    return out
+
+
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
+    """Return the empirical CDF of ``values`` as ``(x, F(x))`` step points.
+
+    Duplicate x-values are collapsed to a single point carrying the highest
+    cumulative fraction, which is what a CDF plot needs.
+
+    Raises:
+        AnalysisError: if ``values`` is empty.
+    """
+    if not values:
+        raise AnalysisError("cdf_points() of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    points: list[tuple[float, float]] = []
+    for i, x in enumerate(ordered, start=1):
+        frac = i / n
+        if points and points[-1][0] == x:
+            points[-1] = (x, frac)
+        else:
+            points.append((float(x), frac))
+    return points
+
+
+def cdf_at(values: Sequence[float], x: float) -> float:
+    """Return the empirical CDF of ``values`` evaluated at ``x``.
+
+    ``F(x) = |{v <= x}| / n``.  Convenience for threshold-style questions
+    ("what fraction of improvements exceed 100 ms" is ``1 - cdf_at(...)``).
+    """
+    if not values:
+        raise AnalysisError("cdf_at() of empty sequence")
+    return sum(1 for v in values if v <= x) / len(values)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Return stdev/mean of ``values`` (population standard deviation).
+
+    This is the paper's temporal-stability metric: the standard deviation of
+    a pair's per-round median RTTs divided by their mean.
+
+    Raises:
+        AnalysisError: if fewer than two values, or the mean is zero.
+    """
+    if len(values) < 2:
+        raise AnalysisError("coefficient_of_variation() needs >= 2 values")
+    mean = sum(values) / len(values)
+    if mean == 0.0:
+        raise AnalysisError("coefficient_of_variation() undefined for zero mean")
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(var) / abs(mean)

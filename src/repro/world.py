@@ -1,0 +1,139 @@
+"""World assembly: one seed, one complete synthetic Internet.
+
+:func:`build_world` wires every subsystem together in dependency order —
+topology, routing, latency, measurement infrastructure, dataset substrates —
+and returns a :class:`World` handle the measurement methodology
+(:mod:`repro.core`) runs against.  Two worlds built from the same seed and
+config are identical in every observable way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.apnic import ApnicCoverage
+from repro.datasets.config import DatasetConfig
+from repro.datasets.facility_mapping import FacilityMappingDataset
+from repro.datasets.peeringdb import PeeringDB
+from repro.datasets.periscope import Periscope
+from repro.datasets.prefix2as import Prefix2AS
+from repro.errors import TopologyError
+from repro.latency.backbone import BackboneStretch
+from repro.latency.model import LatencyConfig, LatencyModel
+from repro.latency.ping import PingEngine
+from repro.latency.traceroute import TracerouteEngine
+from repro.measurement.atlas import RipeAtlasEmulator
+from repro.measurement.colo import ColoInterfacePool
+from repro.measurement.config import InfrastructureConfig
+from repro.measurement.nodes import HostAddressBook, MeasurementNode
+from repro.measurement.planetlab import PlanetLabEmulator
+from repro.net.ipv4 import IPv4Address
+from repro.routing.bgp import BGPRouting
+from repro.routing.geopath import GeoPathWalker
+from repro.topology.builder import Topology, TopologyBuilder
+from repro.topology.config import TopologyConfig
+from repro.util.rand import SeedSequenceFactory
+
+
+@dataclass(frozen=True, slots=True)
+class WorldConfig:
+    """Aggregated configuration of every subsystem."""
+
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    latency: LatencyConfig = field(default_factory=LatencyConfig)
+    infrastructure: InfrastructureConfig = field(default_factory=InfrastructureConfig)
+    datasets: DatasetConfig = field(default_factory=DatasetConfig)
+
+
+class World:
+    """A fully-built synthetic Internet plus its measurement ecosystem.
+
+    Instances are produced by :func:`build_world`; all attributes are
+    read-only by convention.
+    """
+
+    def __init__(self, seed: int, config: WorldConfig) -> None:
+        self.seed = seed
+        self.config = config
+        self.seeds = SeedSequenceFactory(seed)
+
+        self.topology: Topology = TopologyBuilder(config.topology, self.seeds).build()
+        self.graph = self.topology.graph
+        self.routing = BGPRouting(self.graph)
+        self.backbone_stretch = BackboneStretch(self.graph)
+        self.walker = GeoPathWalker(self.graph, stretch_of=self.backbone_stretch.factor)
+        self.latency = LatencyModel(self.routing, self.walker, config.latency)
+        self.ping_engine = PingEngine(self.latency)
+        self.traceroute_engine = TracerouteEngine(self.latency, self.walker)
+
+        book = HostAddressBook(self.graph)
+        self.atlas = RipeAtlasEmulator(
+            self.topology, book, config.infrastructure, self.seeds
+        )
+        self.planetlab = PlanetLabEmulator(
+            self.topology, book, config.infrastructure, self.seeds
+        )
+        self.colo_pool = ColoInterfacePool(
+            self.topology, book, config.infrastructure, self.seeds
+        )
+
+        self.peeringdb = PeeringDB(self.topology, config.datasets, self.seeds)
+        self.prefix2as = Prefix2AS(self.topology, config.datasets, self.seeds)
+        self.facility_mapping = FacilityMappingDataset(
+            self.topology, self.colo_pool, config.datasets, self.seeds
+        )
+        self.periscope = Periscope(
+            self.topology, self.traceroute_engine, book, config.infrastructure, self.seeds
+        )
+        self.apnic = ApnicCoverage(self.topology, self.seeds)
+
+        self._nodes_by_id: dict[str, MeasurementNode] = {}
+        self._nodes_by_ip: dict[IPv4Address, MeasurementNode] = {}
+        self._index_nodes()
+
+    def _index_nodes(self) -> None:
+        nodes: list[MeasurementNode] = [p.node for p in self.atlas.all_probes()]
+        nodes.extend(n.node for n in self.planetlab.all_nodes())
+        nodes.extend(i.node for i in self.colo_pool.interfaces())
+        for city in self.periscope.covered_cities():
+            nodes.extend(lg.node for lg in self.periscope.lgs_in(city))
+        for node in nodes:
+            if node.node_id in self._nodes_by_id:
+                raise TopologyError(f"duplicate node id {node.node_id}")
+            if node.ip in self._nodes_by_ip:
+                raise TopologyError(f"duplicate node IP {node.ip}")
+            self._nodes_by_id[node.node_id] = node
+            self._nodes_by_ip[node.ip] = node
+
+    # ----------------------------------------------------------------- nodes
+
+    def node(self, node_id: str) -> MeasurementNode:
+        """Look a node up by id.
+
+        Raises:
+            KeyError: if unknown.
+        """
+        return self._nodes_by_id[node_id]
+
+    def node_by_ip(self, ip: IPv4Address) -> MeasurementNode | None:
+        """Look a node up by IP address; None for unassigned addresses."""
+        return self._nodes_by_ip.get(ip)
+
+    def num_nodes(self) -> int:
+        """Total number of indexed vantage points."""
+        return len(self._nodes_by_id)
+
+    def summary(self) -> dict[str, int]:
+        """Entity counts across the world, for logging and sanity checks."""
+        info = self.topology.summary()
+        info["atlas_probes"] = len(self.atlas.all_probes())
+        info["planetlab_nodes"] = len(self.planetlab.all_nodes())
+        info["colo_interfaces"] = len(self.colo_pool.interfaces())
+        info["looking_glasses"] = self.periscope.num_lgs()
+        info["facility_mapping_records"] = len(self.facility_mapping)
+        return info
+
+
+def build_world(seed: int = 0, config: WorldConfig | None = None) -> World:
+    """Build a complete world from a seed (the package's main entry point)."""
+    return World(seed, config or WorldConfig())

@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+Building a world and running a campaign are the expensive operations, so
+they are session-scoped: one small world (16 countries) shared by every
+test that only reads from it, plus one short campaign result.  Tests that
+mutate nothing may use these; tests that need special configurations build
+their own (smaller) worlds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CampaignConfig, MeasurementCampaign, build_world
+from repro.topology.config import TopologyConfig
+from repro.world import WorldConfig
+
+#: Seed used by every shared fixture; changing it invalidates calibration
+#: expectations encoded in the integration tests.
+TEST_SEED = 11
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A 16-country world: fast to build, globally diverse."""
+    config = WorldConfig(topology=TopologyConfig(country_limit=16))
+    return build_world(seed=TEST_SEED, config=config)
+
+
+@pytest.fixture(scope="session")
+def small_campaign_result(small_world):
+    """A 3-round campaign over the small world."""
+    campaign = MeasurementCampaign(small_world, CampaignConfig(num_rounds=3))
+    return campaign.run()
+
+
+@pytest.fixture(scope="session")
+def full_world():
+    """The full default world (every country); built once per session."""
+    return build_world(seed=TEST_SEED)

@@ -1,0 +1,87 @@
+"""Unit tests for the prefix allocator and host address book."""
+
+import pytest
+
+from repro.errors import AddressError, MeasurementError
+from repro.net.allocator import PrefixAllocator
+from repro.net.ipv4 import IPv4Prefix
+
+
+class TestPrefixAllocator:
+    def test_sequential_allocation(self):
+        alloc = PrefixAllocator("10.0.0.0/8")
+        a = alloc.allocate_prefix(20)
+        b = alloc.allocate_prefix(20)
+        assert str(a) == "10.0.0.0/20"
+        assert str(b) == "10.0.16.0/20"
+
+    def test_alignment_after_mixed_sizes(self):
+        alloc = PrefixAllocator("10.0.0.0/8")
+        alloc.allocate_prefix(24)  # 10.0.0.0/24
+        b = alloc.allocate_prefix(16)  # must be aligned to /16
+        assert str(b) == "10.1.0.0/16"
+
+    def test_no_overlap(self):
+        alloc = PrefixAllocator("10.0.0.0/8")
+        prefixes = [alloc.allocate_prefix(20) for _ in range(50)]
+        for i, p in enumerate(prefixes):
+            for q in prefixes[i + 1 :]:
+                assert not p.contains_prefix(q)
+                assert not q.contains_prefix(p)
+
+    def test_shorter_than_supernet_rejected(self):
+        alloc = PrefixAllocator("10.0.0.0/8")
+        with pytest.raises(AddressError):
+            alloc.allocate_prefix(4)
+
+    def test_exhaustion(self):
+        alloc = PrefixAllocator("10.0.0.0/30")
+        alloc.allocate_prefix(31)
+        alloc.allocate_prefix(31)
+        with pytest.raises(AddressError):
+            alloc.allocate_prefix(31)
+
+    def test_host_allocation_skips_network_address(self):
+        alloc = PrefixAllocator("10.0.0.0/8")
+        prefix = alloc.allocate_prefix(30)
+        first = alloc.allocate_host(prefix)
+        assert str(first) == "10.0.0.1"
+
+    def test_host_exhaustion(self):
+        alloc = PrefixAllocator("10.0.0.0/8")
+        prefix = alloc.allocate_prefix(30)
+        for _ in range(3):
+            alloc.allocate_host(prefix)
+        with pytest.raises(AddressError):
+            alloc.allocate_host(prefix)
+
+    def test_accepts_prefix_object(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("172.16.0.0/12"))
+        assert str(alloc.supernet) == "172.16.0.0/12"
+
+
+class TestHostAddressBook:
+    def test_unique_addresses_within_as(self, small_world):
+        from repro.measurement.nodes import HostAddressBook
+
+        book = HostAddressBook(small_world.graph)
+        asn = small_world.graph.asns()[0]
+        addresses = {book.next_address(asn) for _ in range(100)}
+        assert len(addresses) == 100
+
+    def test_addresses_inside_as_prefixes(self, small_world):
+        from repro.measurement.nodes import HostAddressBook
+
+        book = HostAddressBook(small_world.graph)
+        asn = small_world.graph.asns()[0]
+        asys = small_world.graph.get_as(asn)
+        addr = book.next_address(asn)
+        assert any(p.contains(addr) for p in asys.prefixes)
+
+    def test_unknown_as_rejected(self, small_world):
+        from repro.errors import TopologyError
+        from repro.measurement.nodes import HostAddressBook
+
+        book = HostAddressBook(small_world.graph)
+        with pytest.raises(TopologyError):
+            book.next_address(999999)

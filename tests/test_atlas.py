@@ -1,0 +1,116 @@
+"""Tests for the RIPE Atlas emulator."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measurement.nodes import NodeKind
+from repro.topology.types import ASType
+
+
+class TestProbeGeneration:
+    def test_population_size(self, small_world):
+        probes = small_world.atlas.all_probes()
+        assert len(probes) > 100
+
+    def test_probe_ids_unique(self, small_world):
+        probes = small_world.atlas.all_probes()
+        ids = [p.probe_id for p in probes]
+        assert len(ids) == len(set(ids))
+
+    def test_probes_hosted_in_known_ases(self, small_world):
+        for probe in small_world.atlas.all_probes():
+            assert small_world.graph.has_as(probe.asn)
+
+    def test_probe_city_is_a_pop(self, small_world):
+        for probe in small_world.atlas.all_probes():
+            asys = small_world.graph.get_as(probe.asn)
+            assert asys.has_pop_in(probe.node.city_key)
+
+    def test_defect_classes_present(self, small_world):
+        """The Sec 2.1 filters must have something to filter."""
+        probes = small_world.atlas.all_probes()
+        latest = small_world.config.infrastructure.latest_firmware
+        assert any(p.firmware < latest for p in probes)
+        assert any(not p.is_public for p in probes)
+        assert any(not p.is_connected for p in probes)
+        assert any(not p.is_geolocated for p in probes)
+        assert any(p.stability_30d < 0.95 for p in probes)
+
+    def test_anchors_exist_and_are_core(self, small_world):
+        anchors = [p for p in small_world.atlas.all_probes() if p.is_anchor]
+        assert anchors
+        core = (ASType.TRANSIT_REGIONAL, ASType.TRANSIT_GLOBAL, ASType.CONTENT)
+        for anchor in anchors:
+            assert small_world.graph.get_as(anchor.asn).as_type in core
+            assert anchor.node.kind is NodeKind.RA_ANCHOR
+
+    def test_eyeball_probes_have_home_access(self, small_world):
+        cfg = small_world.config.infrastructure
+        for probe in small_world.atlas.all_probes():
+            as_type = small_world.graph.get_as(probe.asn).as_type
+            if as_type is ASType.EYEBALL:
+                low, high = cfg.probe_access_ms
+            else:
+                low, high = cfg.anchor_access_ms
+            assert low <= probe.node.endpoint.access_ms <= high
+
+    def test_core_multi_probes_in_distinct_cities(self, small_world):
+        by_asn: dict[int, set[str]] = {}
+        for probe in small_world.atlas.all_probes():
+            as_type = small_world.graph.get_as(probe.asn).as_type
+            if as_type in (ASType.TRANSIT_GLOBAL, ASType.CONTENT, ASType.CLOUD,
+                           ASType.TRANSIT_REGIONAL):
+                by_asn.setdefault(probe.asn, set()).add(probe.node.city_key)
+        multi = [cities for cities in by_asn.values() if len(cities) > 1]
+        assert multi, "no core AS hosts probes at multiple PoPs"
+
+
+class TestProbeQuery:
+    def test_conjunctive_filters(self, small_world):
+        atlas = small_world.atlas
+        latest = small_world.config.infrastructure.latest_firmware
+        filtered = atlas.probes(
+            min_firmware=latest,
+            public_only=True,
+            connected_only=True,
+            geolocated_only=True,
+            min_stability=0.95,
+        )
+        assert 0 < len(filtered) < len(atlas.all_probes())
+        for probe in filtered:
+            assert probe.firmware >= latest
+            assert probe.is_public and probe.is_connected and probe.is_geolocated
+            assert probe.stability_30d >= 0.95
+
+    def test_asn_filter(self, small_world):
+        atlas = small_world.atlas
+        some_asn = atlas.all_probes()[0].asn
+        subset = atlas.probes(asns={some_asn})
+        assert subset
+        assert all(p.asn == some_asn for p in subset)
+
+    def test_no_filters_returns_everything(self, small_world):
+        assert len(small_world.atlas.probes()) == len(small_world.atlas.all_probes())
+
+
+class TestBudget:
+    def test_charge_accumulates(self, small_world):
+        atlas = small_world.atlas
+        atlas.begin_round()
+        atlas.charge(100)
+        atlas.charge(50)
+        assert atlas.round_budget_used == 150
+        atlas.begin_round()
+        assert atlas.round_budget_used == 0
+
+    def test_negative_charge_rejected(self, small_world):
+        small_world.atlas.begin_round()
+        with pytest.raises(MeasurementError):
+            small_world.atlas.charge(-1)
+
+    def test_budget_exceeded(self, small_world):
+        atlas = small_world.atlas
+        atlas.begin_round()
+        with pytest.raises(MeasurementError):
+            atlas.charge(atlas.ROUND_PING_BUDGET + 1)
+        atlas.begin_round()

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+
+    def test_analyze_report_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "x.json", "--report", "bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["summary"])
+        assert args.seed == 11
+        assert args.countries is None
+
+
+class TestCommands:
+    def test_summary(self, capsys):
+        assert main(["summary", "--seed", "3", "--countries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "as_total" in out
+        assert "facilities" in out
+
+    def test_funnel(self, capsys):
+        assert main(["funnel", "--seed", "3", "--countries", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "initial" in out
+        assert "rtt_geolocation" in out
+        assert "verified pool" in out
+
+    def test_campaign_and_analyze(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        code = main(
+            [
+                "campaign",
+                "--seed", "3",
+                "--countries", "8",
+                "--rounds", "2",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        capsys.readouterr()
+
+        for report in ("summary", "fig2", "fig4", "countries", "voip", "stability"):
+            assert main(["analyze", str(out_file), "--report", report]) == 0
+            out = capsys.readouterr().out
+            assert out.strip(), f"report {report} printed nothing"
+
+    def test_analyze_fig3_renders_chart(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        main(["campaign", "--seed", "3", "--countries", "8", "--rounds", "2",
+              "--out", str(out_file)])
+        capsys.readouterr()
+        assert main(["analyze", str(out_file), "--report", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-N relays" in out
+
+    def test_analyze_table1_needs_seed(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        main(["campaign", "--seed", "3", "--countries", "8", "--rounds", "1",
+              "--out", str(out_file)])
+        capsys.readouterr()
+        assert main(["analyze", str(out_file), "--report", "table1"]) == 2
+        assert main(
+            ["analyze", str(out_file), "--report", "table1",
+             "--seed", "3", "--countries", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Facility" in out
+
+    def test_missing_result_file_is_clean_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "none.json")]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_analyze_full_report(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        main(["campaign", "--seed", "3", "--countries", "8", "--rounds", "2",
+              "--out", str(out_file)])
+        capsys.readouterr()
+        assert main(
+            ["analyze", str(out_file), "--report", "full",
+             "--seed", "3", "--countries", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "campaign report" in out
+        assert "Facilities of the top Colo relays" in out

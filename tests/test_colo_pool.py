@@ -1,0 +1,61 @@
+"""Tests for the ground-truth colo interface pool."""
+
+import numpy as np
+
+from repro.measurement.nodes import NodeKind
+from repro.topology.types import COLO_TENANT_TYPES
+
+
+class TestPoolGeneration:
+    def test_pool_nonempty(self, small_world):
+        assert len(small_world.colo_pool.interfaces()) > 100
+
+    def test_interfaces_owned_by_tenants(self, small_world):
+        for itf in small_world.colo_pool.interfaces():
+            as_type = small_world.graph.get_as(itf.node.asn).as_type
+            assert as_type in COLO_TENANT_TYPES
+
+    def test_owner_is_facility_member(self, small_world):
+        facilities = small_world.topology.facilities
+        for itf in small_world.colo_pool.interfaces():
+            assert itf.node.asn in facilities[itf.facility_id].members
+
+    def test_non_relocated_interfaces_at_facility_city(self, small_world):
+        facilities = small_world.topology.facilities
+        for itf in small_world.colo_pool.interfaces():
+            if not itf.relocated:
+                assert itf.node.city_key == facilities[itf.facility_id].city_key
+
+    def test_relocated_interfaces_moved(self, small_world):
+        facilities = small_world.topology.facilities
+        relocated = [i for i in small_world.colo_pool.interfaces() if i.relocated]
+        assert relocated, "aging must relocate some interfaces"
+        for itf in relocated:
+            assert itf.node.city_key != facilities[itf.facility_id].city_key
+
+    def test_dead_interfaces_exist_and_dont_reply(self, small_world):
+        dead = [i for i in small_world.colo_pool.interfaces() if i.is_dead]
+        assert dead, "aging must kill some interfaces"
+        rng = np.random.default_rng(0)
+        engine = small_world.ping_engine
+        live_probe = small_world.atlas.all_probes()[0].node.endpoint
+        replies = sum(
+            1
+            for itf in dead[:20]
+            if engine.is_responsive(live_probe, itf.node.endpoint, rng)
+        )
+        assert replies == 0
+
+    def test_live_interfaces_subset(self, small_world):
+        pool = small_world.colo_pool
+        live = pool.live_interfaces()
+        assert 0 < len(live) < len(pool.interfaces())
+        assert all(not i.is_dead for i in live)
+
+    def test_kind_is_colo(self, small_world):
+        for itf in small_world.colo_pool.interfaces():
+            assert itf.node.kind is NodeKind.COLO_IP
+
+    def test_lookup_by_node_id(self, small_world):
+        first = small_world.colo_pool.interfaces()[0]
+        assert small_world.colo_pool.by_node_id(first.node.node_id) is first

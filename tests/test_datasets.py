@@ -1,0 +1,208 @@
+"""Tests for the dataset substrates (APNIC, PeeringDB, prefix2as,
+facility mapping, Periscope)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.topology.types import ASType
+
+
+class TestApnic:
+    def test_records_cover_eyeballs(self, small_world):
+        eyeballs = set(small_world.topology.asns_of_type(ASType.EYEBALL))
+        measured = {r.asn for r in small_world.apnic.records()}
+        assert eyeballs <= measured
+
+    def test_noneyeballs_in_data_with_low_coverage(self, small_world):
+        """Enterprises appear in the data but below the 10% cutoff —
+        the reason the paper needs a cutoff at all."""
+        graph = small_world.graph
+        non_eyeball = [
+            r
+            for r in small_world.apnic.records()
+            if graph.get_as(r.asn).as_type is not ASType.EYEBALL
+        ]
+        assert non_eyeball
+        assert all(r.coverage_pct < 10.0 for r in non_eyeball)
+
+    def test_country_shares_bounded(self, small_world):
+        totals: dict[str, float] = {}
+        for r in small_world.apnic.records():
+            totals[r.cc] = totals.get(r.cc, 0.0) + r.coverage_pct
+        for cc, total in totals.items():
+            assert total <= 100.0, f"{cc} coverage sums to {total}"
+
+    def test_coverage_lookup(self, small_world):
+        record = small_world.apnic.records()[0]
+        assert small_world.apnic.coverage(record.asn, record.cc) == record.coverage_pct
+        assert small_world.apnic.coverage(999999, "ZZ") is None
+
+    def test_tuples_above_monotone(self, small_world):
+        apnic = small_world.apnic
+        assert len(apnic.tuples_above(5.0)) >= len(apnic.tuples_above(20.0))
+
+    def test_fig1_curve_shape(self, small_world):
+        """AS count decreases with cutoff and converges toward country
+        count (Fig. 1's two lines meeting)."""
+        curve = small_world.apnic.fig1_curve([0.0, 10.0, 30.0, 60.0, 90.0])
+        num_ases = [n for _, n, _ in curve]
+        num_countries = [c for _, _, c in curve]
+        assert num_ases == sorted(num_ases, reverse=True)
+        assert all(a >= c for a, c in zip(num_ases, num_countries))
+        # at high cutoffs at most ~one AS per country remains
+        _, ases_at_90, countries_at_90 = curve[-1]
+        assert ases_at_90 <= countries_at_90 * 1.5 + 1
+
+
+class TestPeeringDB:
+    def test_some_facilities_closed(self, small_world):
+        pdb = small_world.peeringdb
+        closed = pdb.closed_facility_ids()
+        assert closed, "aging must close some facilities"
+        for fac_id in closed:
+            assert not pdb.has_facility(fac_id)
+            with pytest.raises(DatasetError):
+                pdb.facility(fac_id)
+
+    def test_membership_churn(self, small_world):
+        pdb = small_world.peeringdb
+        churned = 0
+        for fac in pdb.facilities():
+            current = pdb.current_members(fac.fac_id)
+            assert current <= fac.members
+            churned += len(fac.members) - len(current)
+        assert churned > 0, "aging must remove some memberships"
+
+    def test_top_facilities_sorted_by_nets(self, small_world):
+        pdb = small_world.peeringdb
+        top = pdb.top_facility_ids(10)
+        counts = [pdb.network_count(f) for f in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_is_present_consistency(self, small_world):
+        pdb = small_world.peeringdb
+        fac = pdb.facilities()[0]
+        member = next(iter(pdb.current_members(fac.fac_id)))
+        assert pdb.is_present(member, fac.fac_id)
+        assert not pdb.is_present(999999, fac.fac_id)
+
+    def test_ixps_at_facility(self, small_world):
+        pdb = small_world.peeringdb
+        for fac in pdb.facilities()[:10]:
+            ixps = pdb.ixps_at(fac.fac_id)
+            assert len(ixps) == pdb.ixp_count(fac.fac_id)
+
+
+class TestPrefix2AS:
+    def test_ground_truth_lookup(self, small_world):
+        asys = small_world.graph.get_as(small_world.graph.asns()[0])
+        probe_ip = asys.prefixes[0].host(1)
+        origins = small_world.prefix2as.origins(probe_ip)
+        assert asys.asn in origins
+
+    def test_unrouted_space_empty(self, small_world):
+        from repro.net.ipv4 import IPv4Address
+
+        assert small_world.prefix2as.origins(IPv4Address.parse("203.0.113.1")) == []
+
+    def test_moas_prefixes_exist(self, small_world):
+        moas = 0
+        for asys in small_world.graph:
+            for prefix in asys.prefixes:
+                if len(set(small_world.prefix2as.origins(prefix.host(1)))) > 1:
+                    moas += 1
+        assert moas > 0, "aging must create some MOAS prefixes"
+
+    def test_num_prefixes_at_least_ground_truth(self, small_world):
+        ground = sum(len(a.prefixes) for a in small_world.graph)
+        assert small_world.prefix2as.num_prefixes() == ground
+
+
+class TestFacilityMapping:
+    def test_dataset_shape(self, small_world):
+        records = small_world.facility_mapping.records()
+        assert len(records) > 100
+        assert len(records) < len(small_world.colo_pool.interfaces()) + 1
+
+    def test_defect_classes_present(self, small_world):
+        records = small_world.facility_mapping.records()
+        multi = [r for r in records if not r.is_single_facility]
+        assert multi, "some records must be non-converged (multi-facility)"
+        # ASN churn: recorded ASN disagrees with current origin
+        churned = [
+            r
+            for r in records
+            if set(small_world.prefix2as.origins(r.ip)) != {r.recorded_asn}
+        ]
+        assert churned, "some records must have ownership churn or MOAS"
+
+    def test_candidate_sets_bounded(self, small_world):
+        for r in small_world.facility_mapping.records():
+            assert 1 <= len(r.candidate_facility_ids) <= 3
+
+    def test_ips_unique(self, small_world):
+        records = small_world.facility_mapping.records()
+        ips = [r.ip for r in records]
+        assert len(ips) == len(set(ips))
+
+
+class TestPeriscope:
+    def test_partial_city_coverage(self, small_world):
+        covered = set(small_world.periscope.covered_cities())
+        facility_cities = {
+            f.city_key for f in small_world.topology.facilities.values()
+        }
+        assert covered <= facility_cities
+        assert 0 < len(covered) < len(facility_cities) or len(facility_cities) <= 2
+
+    def test_same_city_rtt_small_wrong_city_large(self, small_world):
+        """In-city interfaces mostly measure small last-hop RTTs; a few
+        legitimately exceed the threshold when the same-city BGP path
+        detours (the paper also lost about half of its candidates here)."""
+        periscope = small_world.periscope
+        rng = np.random.default_rng(0)
+        threshold = small_world.config.datasets.geolocation_rtt_threshold_ms
+        cities = periscope.covered_cities()
+        candidates = [
+            i
+            for i in small_world.colo_pool.live_interfaces()
+            if not i.relocated
+            and small_world.topology.facilities[i.facility_id].city_key in cities
+        ][:12]
+        assert candidates
+        same_rtts = []
+        wrong_rtts = []
+        for itf in candidates:
+            home = small_world.topology.facilities[itf.facility_id].city_key
+            same = periscope.min_last_hop_rtt(itf.node.endpoint, home, rng)
+            if same is not None:
+                same_rtts.append(same)
+            far = [c for c in cities if c != home]
+            if far:
+                wrong = periscope.min_last_hop_rtt(itf.node.endpoint, far[-1], rng)
+                if wrong is not None:
+                    wrong_rtts.append(wrong)
+        assert same_rtts
+        passing = sum(1 for r in same_rtts if r <= threshold)
+        assert passing >= len(same_rtts) * 0.3
+        if wrong_rtts:
+            assert sorted(same_rtts)[len(same_rtts) // 2] < sorted(wrong_rtts)[
+                len(wrong_rtts) // 2
+            ]
+
+    def test_uncovered_city_returns_none(self, small_world):
+        rng = np.random.default_rng(1)
+        itf = small_world.colo_pool.live_interfaces()[0]
+        uncovered = [
+            f.city_key
+            for f in small_world.topology.facilities.values()
+            if f.city_key not in set(small_world.periscope.covered_cities())
+        ]
+        if uncovered:
+            assert (
+                small_world.periscope.min_last_hop_rtt(
+                    itf.node.endpoint, uncovered[0], rng
+                )
+                is None
+            )

@@ -1,0 +1,84 @@
+"""Tests for endpoint selection at eyeballs (Sec 2.1)."""
+
+import numpy as np
+
+from repro.core.config import CampaignConfig
+from repro.core.eyeballs import EyeballSelector
+from repro.topology.types import ASType
+
+
+class TestSelectionStages:
+    def test_cutoff_excludes_small_players(self, small_world):
+        selector = EyeballSelector(small_world, CampaignConfig())
+        candidates = selector.candidate_tuples()
+        for asn, cc in candidates:
+            assert small_world.apnic.coverage(asn, cc) >= 10.0
+
+    def test_verification_keeps_only_eyeballs(self, small_world):
+        selector = EyeballSelector(small_world, CampaignConfig())
+        for asn, _ in selector.verified_tuples():
+            assert small_world.graph.get_as(asn).as_type is ASType.EYEBALL
+
+    def test_verification_is_a_subset_of_candidates(self, small_world):
+        selector = EyeballSelector(small_world, CampaignConfig())
+        assert selector.verified_tuples() <= set(selector.candidate_tuples())
+
+    def test_eligible_probes_pass_platform_filters(self, small_world):
+        cfg = CampaignConfig()
+        selector = EyeballSelector(small_world, cfg)
+        latest = small_world.config.infrastructure.latest_firmware
+        verified_asns = {asn for asn, _ in selector.verified_tuples()}
+        for probe in selector.eligible_probes():
+            assert probe.firmware >= latest
+            assert probe.is_public and probe.is_connected and probe.is_geolocated
+            assert probe.stability_30d >= cfg.min_probe_stability
+            assert probe.asn in verified_asns
+
+    def test_higher_cutoff_selects_fewer(self, small_world):
+        low = EyeballSelector(small_world, CampaignConfig(eyeball_cutoff_pct=5.0))
+        high = EyeballSelector(small_world, CampaignConfig(eyeball_cutoff_pct=40.0))
+        assert len(high.verified_tuples()) <= len(low.verified_tuples())
+
+
+class TestSampling:
+    def test_one_probe_per_country(self, small_world):
+        selector = EyeballSelector(small_world, CampaignConfig())
+        sampled = selector.sample_endpoints(np.random.default_rng(0))
+        countries = [p.cc for p in sampled]
+        assert len(countries) == len(set(countries))
+        assert set(countries) == set(selector.covered_countries())
+
+    def test_sampling_varies_between_rounds(self, small_world):
+        selector = EyeballSelector(small_world, CampaignConfig())
+        a = {p.probe_id for p in selector.sample_endpoints(np.random.default_rng(1))}
+        b = {p.probe_id for p in selector.sample_endpoints(np.random.default_rng(2))}
+        assert a != b
+
+    def test_sampling_deterministic_per_rng(self, small_world):
+        selector = EyeballSelector(small_world, CampaignConfig())
+        a = [p.probe_id for p in selector.sample_endpoints(np.random.default_rng(3))]
+        b = [p.probe_id for p in selector.sample_endpoints(np.random.default_rng(3))]
+        assert a == b
+
+    def test_max_countries_cap(self, small_world):
+        selector = EyeballSelector(small_world, CampaignConfig(max_countries=5))
+        sampled = selector.sample_endpoints(np.random.default_rng(4))
+        assert len(sampled) == 5
+
+    def test_two_step_sampling_hits_multiple_ases_over_time(self, small_world):
+        """Countries with several verified eyeballs should not always
+        sample the same AS (step (i) randomises the AS)."""
+        selector = EyeballSelector(small_world, CampaignConfig())
+        by_country: dict[str, set[int]] = {}
+        for round_index in range(12):
+            rng = np.random.default_rng(100 + round_index)
+            for probe in selector.sample_endpoints(rng):
+                by_country.setdefault(probe.cc, set()).add(probe.asn)
+        multi_as_countries = {
+            cc
+            for cc, _ in selector.verified_tuples()
+            if len({a for a, c in selector.verified_tuples() if c == cc}) > 1
+        }
+        probed_multi = [cc for cc in multi_as_countries if len(by_country.get(cc, set())) > 1]
+        if multi_as_countries:
+            assert probed_multi, "AS-level sampling never rotated"

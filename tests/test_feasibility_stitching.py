@@ -1,0 +1,109 @@
+"""Tests for the speed-of-light feasibility bound and overlay stitching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.feasibility import feasible_relays, is_feasible
+from repro.core.stitching import improvement_ms, is_tiv, stitch_rtt
+from repro.errors import AnalysisError
+from repro.geo.cities import city as city_of
+from repro.geo.distance import propagation_delay_ms
+from repro.latency.model import Endpoint
+
+
+def _ep(node_id: str, city: str, access: float = 1.0) -> Endpoint:
+    return Endpoint(node_id=node_id, asn=1000, city_key=city, access_ms=access)
+
+
+class TestFeasibility:
+    def test_on_path_relay_feasible(self):
+        e1 = _ep("e1", "London/GB")
+        e2 = _ep("e2", "New York/US")
+        relay = _ep("r", "Dublin/IE")  # roughly between them
+        direct = 2.0 * propagation_delay_ms(
+            city_of("London/GB").location, city_of("New York/US").location
+        )
+        # a generous direct RTT (real paths are always inflated)
+        assert is_feasible(relay, e1, e2, direct * 1.5)
+
+    def test_far_relay_infeasible(self):
+        e1 = _ep("e1", "London/GB")
+        e2 = _ep("e2", "Paris/FR")
+        relay = _ep("r", "Sydney/AU")
+        direct = 2.0 * propagation_delay_ms(
+            city_of("London/GB").location, city_of("Paris/FR").location
+        )
+        assert not is_feasible(relay, e1, e2, direct * 2.0)
+
+    def test_bound_is_exact_equality_inclusive(self):
+        e1 = _ep("e1", "London/GB")
+        e2 = _ep("e2", "Paris/FR")
+        relay = _ep("r", "Brussels/BE")
+        detour = propagation_delay_ms(
+            city_of("London/GB").location, city_of("Brussels/BE").location
+        ) + propagation_delay_ms(
+            city_of("Brussels/BE").location, city_of("Paris/FR").location
+        )
+        assert is_feasible(relay, e1, e2, 2.0 * detour)
+        assert not is_feasible(relay, e1, e2, 2.0 * detour - 0.001)
+
+    def test_feasible_relays_filters(self):
+        e1 = _ep("e1", "London/GB")
+        e2 = _ep("e2", "New York/US")
+        relays = [_ep("good", "Dublin/IE"), _ep("bad", "Tokyo/JP")]
+        direct = 2.0 * propagation_delay_ms(
+            city_of("London/GB").location, city_of("New York/US").location
+        ) * 1.4
+        kept = feasible_relays(relays, e1, e2, direct)
+        assert [r.node_id for r in kept] == ["good"]
+
+    def test_filter_never_removes_winner(self, small_world):
+        """Soundness: any relay whose *actual* stitched RTT beats the direct
+        RTT must pass the feasibility bound (the bound is a lower bound on
+        the achievable stitched RTT)."""
+        model = small_world.latency
+        probes = small_world.atlas.all_probes()
+        rng = np.random.default_rng(0)
+        checked = 0
+        for i in range(0, 40, 4):
+            e1, e2 = probes[i].node.endpoint, probes[i + 2].node.endpoint
+            direct = model.base_rtt_ms(e1, e2)
+            if direct is None:
+                continue
+            for j in range(1, 40, 5):
+                relay = probes[j].node.endpoint
+                if relay.node_id in (e1.node_id, e2.node_id):
+                    continue
+                leg1 = model.base_rtt_ms(e1, relay)
+                leg2 = model.base_rtt_ms(e2, relay)
+                if leg1 is None or leg2 is None:
+                    continue
+                if leg1 + leg2 < direct:  # an actual winner
+                    assert is_feasible(relay, e1, e2, direct)
+                    checked += 1
+        assert checked > 0
+
+
+class TestStitching:
+    def test_stitch_adds(self):
+        assert stitch_rtt(10.0, 20.0) == 30.0
+
+    def test_stitch_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            stitch_rtt(0.0, 5.0)
+        with pytest.raises(AnalysisError):
+            stitch_rtt(5.0, -1.0)
+
+    def test_tiv_detection(self):
+        assert is_tiv(direct_rtt_ms=100.0, stitched_rtt_ms=90.0)
+        assert not is_tiv(direct_rtt_ms=100.0, stitched_rtt_ms=100.0)
+        assert not is_tiv(direct_rtt_ms=100.0, stitched_rtt_ms=110.0)
+
+    def test_improvement_sign(self):
+        assert improvement_ms(100.0, 90.0) == pytest.approx(10.0)
+        assert improvement_ms(90.0, 100.0) == pytest.approx(-10.0)
+
+    @given(st.floats(0.1, 1e4), st.floats(0.1, 1e4))
+    def test_stitch_commutative(self, a, b):
+        assert stitch_rtt(a, b) == stitch_rtt(b, a)

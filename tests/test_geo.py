@@ -1,0 +1,166 @@
+"""Unit tests for the repro.geo package."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeoError
+from repro.geo.cities import all_cities, cities_in_country, city, hub_cities
+from repro.geo.coords import GeoPoint
+from repro.geo.countries import all_countries, continent_of, country
+from repro.geo.distance import (
+    EARTH_RADIUS_KM,
+    SPEED_OF_LIGHT_FIBER_KM_PER_MS,
+    fiber_delay_ms,
+    great_circle_km,
+    min_rtt_ms,
+    propagation_delay_ms,
+)
+
+_lat = st.floats(-90, 90, allow_nan=False)
+_lon = st.floats(-180, 180, allow_nan=False)
+
+
+class TestGeoPoint:
+    def test_valid_point(self):
+        p = GeoPoint(51.5, -0.1)
+        assert p.lat == 51.5
+
+    def test_bad_latitude(self):
+        with pytest.raises(GeoError):
+            GeoPoint(91.0, 0.0)
+
+    def test_bad_longitude(self):
+        with pytest.raises(GeoError):
+            GeoPoint(0.0, 181.0)
+
+    def test_hashable(self):
+        assert len({GeoPoint(1.0, 2.0), GeoPoint(1.0, 2.0)}) == 1
+
+    def test_str_hemispheres(self):
+        assert "N" in str(GeoPoint(10.0, 20.0))
+        assert "S" in str(GeoPoint(-10.0, 20.0))
+        assert "W" in str(GeoPoint(0.0, -20.0))
+
+    def test_radians(self):
+        lat, lon = GeoPoint(90.0, 180.0).as_radians()
+        assert lat == pytest.approx(math.pi / 2)
+        assert lon == pytest.approx(math.pi)
+
+
+class TestGreatCircle:
+    def test_zero_distance(self):
+        p = GeoPoint(48.0, 11.0)
+        assert great_circle_km(p, p) == 0.0
+
+    def test_symmetry(self):
+        a, b = GeoPoint(51.5, -0.13), GeoPoint(40.7, -74.0)
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    def test_london_new_york_about_5570km(self):
+        a, b = GeoPoint(51.507, -0.128), GeoPoint(40.713, -74.006)
+        assert great_circle_km(a, b) == pytest.approx(5570, rel=0.02)
+
+    def test_antipodal_is_half_circumference(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 180.0)
+        assert great_circle_km(a, b) == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    @given(_lat, _lon, _lat, _lon)
+    def test_non_negative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = great_circle_km(GeoPoint(lat1, lon1), GeoPoint(lat2, lon2))
+        assert 0.0 <= d <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(_lat, _lon, _lat, _lon, _lat, _lon)
+    def test_triangle_inequality_in_geometry(self, lat1, lon1, lat2, lon2, lat3, lon3):
+        # the *physical* metric satisfies the triangle inequality; TIVs are a
+        # property of routed latency, never of geometry
+        a, b, c = GeoPoint(lat1, lon1), GeoPoint(lat2, lon2), GeoPoint(lat3, lon3)
+        assert great_circle_km(a, c) <= great_circle_km(a, b) + great_circle_km(b, c) + 1e-6
+
+
+class TestDelays:
+    def test_propagation_delay_formula(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 10.0)
+        d = great_circle_km(a, b)
+        assert propagation_delay_ms(a, b) == pytest.approx(d / SPEED_OF_LIGHT_FIBER_KM_PER_MS)
+
+    def test_min_rtt_is_double(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(10.0, 10.0)
+        assert min_rtt_ms(a, b) == pytest.approx(2 * propagation_delay_ms(a, b))
+
+    def test_fiber_delay_applies_stretch(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 5.0)
+        assert fiber_delay_ms(a, b, stretch=1.5) == pytest.approx(
+            1.5 * propagation_delay_ms(a, b)
+        )
+
+    def test_stretch_below_one_rejected(self):
+        a, b = GeoPoint(0.0, 0.0), GeoPoint(0.0, 5.0)
+        with pytest.raises(ValueError):
+            fiber_delay_ms(a, b, stretch=0.9)
+
+    def test_light_speed_sanity(self):
+        # transatlantic one-way in fiber is ~28 ms ideal
+        a, b = GeoPoint(51.507, -0.128), GeoPoint(40.713, -74.006)
+        assert 25 < propagation_delay_ms(a, b) < 32
+
+
+class TestCountries:
+    def test_known_country(self):
+        assert country("DE").name == "Germany"
+        assert continent_of("DE") == "EU"
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(GeoError):
+            country("XX")
+
+    def test_all_countries_unique_codes(self):
+        codes = [c.code for c in all_countries()]
+        assert len(codes) == len(set(codes))
+
+    def test_every_continent_present(self):
+        continents = {c.continent for c in all_countries()}
+        assert continents == {"EU", "NA", "SA", "AS", "AF", "OC"}
+
+    def test_positive_populations(self):
+        assert all(c.internet_users_m > 0 for c in all_countries())
+
+
+class TestCities:
+    def test_lookup_by_key(self):
+        c = city("London/GB")
+        assert c.cc == "GB"
+        assert c.is_hub
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(GeoError):
+            city("Atlantis/XX")
+
+    def test_unique_keys(self):
+        keys = [c.key for c in all_cities()]
+        assert len(keys) == len(set(keys))
+
+    def test_every_country_has_a_city(self):
+        countries_with_cities = {c.cc for c in all_cities()}
+        assert countries_with_cities == {c.code for c in all_countries()}
+
+    def test_cities_in_country(self):
+        de = cities_in_country("DE")
+        assert {c.name for c in de} >= {"Frankfurt", "Berlin"}
+        assert cities_in_country("ZZ") == ()
+
+    def test_hub_cities_subset(self):
+        hubs = hub_cities()
+        assert 0 < len(hubs) < len(all_cities())
+        assert all(c.is_hub for c in hubs)
+        # the paper's Table 1 metros must be hubs for the reproduction
+        hub_names = {c.name for c in hubs}
+        assert {"London", "Amsterdam", "Frankfurt", "New York", "Atlanta", "Hamburg", "Brussels"} <= hub_names
+
+    def test_continent_property(self):
+        assert city("Tokyo/JP").continent == "AS"
+
+    def test_city_country_codes_valid(self):
+        for c in all_cities():
+            country(c.cc)  # raises GeoError if invalid

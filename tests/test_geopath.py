@@ -1,0 +1,119 @@
+"""Tests for the geographic path walker and inflation metrics."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.geo.cities import city as city_of
+from repro.geo.distance import great_circle_km
+from repro.net.ipv4 import IPv4Prefix
+from repro.routing.geopath import GeoPathWalker
+from repro.routing.inflation import geodesic_inflation, path_length_km
+from repro.topology.graph import ASGraph
+from repro.topology.types import ASType, AutonomousSystem
+
+
+def _graph():
+    g = ASGraph()
+    specs = [
+        (1, ("Madrid/ES", "Paris/FR")),
+        (2, ("Paris/FR", "Frankfurt/DE", "London/GB")),
+        (3, ("Frankfurt/DE", "Warsaw/PL")),
+    ]
+    for asn, cities in specs:
+        g.add_as(
+            AutonomousSystem(
+                asn=asn,
+                name=f"AS{asn}",
+                as_type=ASType.TRANSIT_REGIONAL,
+                cc="DE",
+                pop_cities=cities,
+                prefixes=(IPv4Prefix.parse(f"10.{asn}.0.0/16"),),
+            )
+        )
+    g.add_c2p(1, 2, ["Paris/FR"])
+    g.add_c2p(3, 2, ["Frankfurt/DE", "London/GB"])
+    return g
+
+
+class TestWalker:
+    def test_single_as_path(self):
+        walker = GeoPathWalker(_graph())
+        segs = walker.segments("Madrid/ES", [1], "Paris/FR")
+        assert len(segs) == 1
+        assert segs[0].carrier_asn == 1
+        assert walker.waypoints("Madrid/ES", [1], "Paris/FR") == ["Madrid/ES", "Paris/FR"]
+
+    def test_hot_potato_picks_nearest_interconnect(self):
+        walker = GeoPathWalker(_graph())
+        # from Warsaw, the 3-2 edge offers Frankfurt or London; Frankfurt is
+        # nearer to Warsaw, so hot-potato hands over there
+        waypoints = walker.waypoints("Warsaw/PL", [3, 2], "Paris/FR")
+        assert waypoints == ["Warsaw/PL", "Frankfurt/DE", "Paris/FR"]
+
+    def test_carrier_attribution(self):
+        walker = GeoPathWalker(_graph())
+        segs = walker.segments("Madrid/ES", [1, 2], "Frankfurt/DE")
+        # Madrid->Paris carried by AS1, Paris->Frankfurt by AS2
+        assert [(s.from_city, s.to_city, s.carrier_asn) for s in segs] == [
+            ("Madrid/ES", "Paris/FR", 1),
+            ("Paris/FR", "Frankfurt/DE", 2),
+        ]
+
+    def test_zero_length_segments_dropped(self):
+        walker = GeoPathWalker(_graph())
+        # source already at the interconnect city
+        segs = walker.segments("Paris/FR", [1, 2], "Paris/FR")
+        assert segs == []
+
+    def test_empty_path_rejected(self):
+        walker = GeoPathWalker(_graph())
+        with pytest.raises(RoutingError):
+            walker.segments("Madrid/ES", [], "Paris/FR")
+
+    def test_non_adjacent_rejected(self):
+        walker = GeoPathWalker(_graph())
+        with pytest.raises(RoutingError):
+            walker.segments("Madrid/ES", [1, 3], "Warsaw/PL")
+
+    def test_propagation_positive_and_stretch_sensitive(self):
+        graph = _graph()
+        flat = GeoPathWalker(graph)
+        stretched = GeoPathWalker(graph, stretch_of=lambda asn: 2.0)
+        base = flat.propagation_ms("Madrid/ES", [1, 2], "Frankfurt/DE")
+        double = stretched.propagation_ms("Madrid/ES", [1, 2], "Frankfurt/DE")
+        assert base > 0
+        assert double == pytest.approx(base * 2.0 / GeoPathWalker.DEFAULT_STRETCH)
+
+    def test_propagation_at_least_geodesic(self):
+        walker = GeoPathWalker(_graph())
+        prop = walker.propagation_ms("Madrid/ES", [1, 2, 3], "Warsaw/PL")
+        geodesic = great_circle_km(
+            city_of("Madrid/ES").location, city_of("Warsaw/PL").location
+        )
+        from repro.geo.distance import SPEED_OF_LIGHT_FIBER_KM_PER_MS
+
+        assert prop >= geodesic / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+
+
+class TestInflation:
+    def test_straight_path_no_inflation(self):
+        assert geodesic_inflation(["Madrid/ES", "Paris/FR"]) == pytest.approx(1.0)
+
+    def test_detour_inflates(self):
+        direct = ["Madrid/ES", "Paris/FR"]
+        detour = ["Madrid/ES", "London/GB", "Paris/FR"]
+        assert geodesic_inflation(detour) > geodesic_inflation(direct)
+
+    def test_path_length_additive(self):
+        a = path_length_km(["Madrid/ES", "Paris/FR"])
+        b = path_length_km(["Paris/FR", "Frankfurt/DE"])
+        total = path_length_km(["Madrid/ES", "Paris/FR", "Frankfurt/DE"])
+        assert total == pytest.approx(a + b)
+
+    def test_degenerate_paths(self):
+        assert geodesic_inflation(["Madrid/ES"]) == 1.0
+        assert geodesic_inflation(["Madrid/ES", "Madrid/ES"]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(RoutingError):
+            path_length_km([])

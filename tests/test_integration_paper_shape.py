@@ -1,0 +1,176 @@
+"""Integration test: the paper's qualitative results must hold end-to-end.
+
+Runs a short campaign over the full default world (seed 11) and asserts the
+*shape* of every headline result — orderings, bands and directions, not the
+paper's absolute numbers (our substrate is a simulator).  Paper values for
+reference: improved fractions COR 76% / RAR_other 58% / PLR 43% /
+RAR_eye 35%; 10 CORs in ~6 facilities cover ~58% of total cases; relays in
+a third country beat same-country relays (75% vs 50% for COR); 74% of
+pairs intercontinental; 19% of direct paths over 320 ms dropping to 11%
+with COR.
+"""
+
+import pytest
+
+from repro import CampaignConfig, MeasurementCampaign
+from repro.analysis.countries import CountryChangeAnalysis
+from repro.analysis.facilities import FacilityTable
+from repro.analysis.improvements import ImprovementAnalysis
+from repro.analysis.ranking import TopRelayAnalysis
+from repro.analysis.voip import VoipAnalysis
+from repro.core.types import RelayType
+
+
+@pytest.fixture(scope="module")
+def full_result(full_world):
+    campaign = MeasurementCampaign(full_world, CampaignConfig(num_rounds=2))
+    return campaign.run()
+
+
+@pytest.fixture(scope="module")
+def improvements(full_result):
+    return ImprovementAnalysis(full_result)
+
+
+class TestRelayTypeOrdering:
+    def test_cor_wins(self, improvements):
+        cor = improvements.improved_fraction(RelayType.COR)
+        for other in (RelayType.RAR_OTHER, RelayType.PLR, RelayType.RAR_EYE):
+            assert cor > improvements.improved_fraction(other)
+
+    def test_full_ordering_matches_paper(self, improvements):
+        fractions = {
+            t: improvements.improved_fraction(t)
+            for t in (RelayType.COR, RelayType.RAR_OTHER, RelayType.PLR, RelayType.RAR_EYE)
+        }
+        assert (
+            fractions[RelayType.COR]
+            > fractions[RelayType.RAR_OTHER]
+            > fractions[RelayType.PLR]
+            > fractions[RelayType.RAR_EYE]
+        )
+
+    def test_cor_band(self, improvements):
+        assert 0.6 <= improvements.improved_fraction(RelayType.COR) <= 0.9
+
+    def test_rar_other_band(self, improvements):
+        assert 0.35 <= improvements.improved_fraction(RelayType.RAR_OTHER) <= 0.7
+
+    def test_median_improvements_same_order_of_magnitude(self, improvements):
+        """Paper: 12-14 ms medians; accept the same decade."""
+        for relay_type in (RelayType.COR, RelayType.RAR_OTHER):
+            med = improvements.median_improvement(relay_type)
+            assert med is not None
+            assert 5.0 <= med <= 80.0
+
+    def test_large_gains_exist_but_are_minority(self, improvements):
+        frac = improvements.fraction_above(RelayType.COR, 100.0)
+        assert 0.0 < frac < 0.5
+
+    def test_cor_redundancy(self, improvements):
+        """Paper: a median of 8 COR relays improves each pair — more than
+        any other type (high COR redundancy)."""
+        cor = improvements.median_num_improving(RelayType.COR)
+        eye = improvements.median_num_improving(RelayType.RAR_EYE)
+        assert cor is not None and eye is not None
+        assert cor > eye
+
+
+class TestTopRelayConcentration:
+    def test_few_cors_cover_most_gains(self, full_result, improvements):
+        """Paper Fig 3: top-10 CORs reach ~75% of COR's improved cases."""
+        ranking = TopRelayAnalysis(full_result)
+        top10 = ranking.coverage_of_top(RelayType.COR, 10)
+        all_cor = improvements.improved_fraction(RelayType.COR)
+        assert top10 >= 0.5 * all_cor
+
+    def test_top10_cors_concentrated_in_few_metros(self, full_result, full_world):
+        """Paper: the top-10 CORs sit in ~6 facilities.  Relay sampling
+        rotates IPs within facilities each round, so on short campaigns we
+        assert concentration at the metro level."""
+        ranking = TopRelayAnalysis(full_result)
+        facilities = ranking.facilities_of_top(10)
+        metros = {full_world.topology.facilities[f].city_key for f in facilities}
+        assert len(metros) <= 8
+
+    def test_rar_needs_many_more_relays(self, full_result):
+        """Paper: RAR types need >>100 relays for their top coverage; the
+        COR curve must rise much faster initially."""
+        ranking = TopRelayAnalysis(full_result)
+        cor10 = ranking.coverage_of_top(RelayType.COR, 10)
+        rar10 = ranking.coverage_of_top(RelayType.RAR_OTHER, 10)
+        assert cor10 > rar10
+
+    def test_fig4_top10_cor_beats_other_top10s(self, full_result):
+        ranking = TopRelayAnalysis(full_result)
+        thresholds = [0.0, 10.0, 20.0]
+        cor = ranking.fig4_curve(RelayType.COR, thresholds, top_n=10)
+        for other in (RelayType.PLR, RelayType.RAR_EYE):
+            other_curve = ranking.fig4_curve(other, thresholds, top_n=10)
+            assert cor[0][1] > other_curve[0][1]
+
+
+class TestTable1Features:
+    def test_top_facilities_are_large_and_connected(self, full_result, full_world):
+        """Paper Table 1: every top facility hosts >= 22 networks and >= 2
+        IXPs; most offer cloud services."""
+        rows = FacilityTable(full_result, full_world).rows(top_relays=20)
+        assert len(rows) >= 5
+        assert all(row.num_networks >= 10 for row in rows[:5])
+        assert all(row.num_ixps >= 1 for row in rows[:5])
+        cloudy = sum(1 for row in rows if row.cloud_services)
+        assert cloudy / len(rows) >= 0.5
+
+    def test_some_top_facilities_in_pdb_top10(self, full_result, full_world):
+        rows = FacilityTable(full_result, full_world).rows(top_relays=20)
+        assert any(row.pdb_top10 for row in rows)
+
+    def test_top_facilities_at_major_hubs(self, full_result, full_world):
+        from repro.geo.cities import city as city_of
+
+        rows = FacilityTable(full_result, full_world).rows(top_relays=20)
+        assert all(city_of(row.city_key).is_hub for row in rows)
+
+
+class TestCountryAndVoip:
+    def test_changing_country_helps(self, full_result):
+        """Paper: the best third-country COR improves 75% of cases vs 50%
+        for the best relay sharing a country with an endpoint."""
+        rates = CountryChangeAnalysis(full_result).group_rates(RelayType.COR)
+        assert rates.different_rate is not None and rates.same_rate is not None
+        assert rates.different_rate > rates.same_rate + 0.05
+        assert 0.6 <= rates.different_rate <= 0.95  # paper: 0.75
+        assert 0.3 <= rates.same_rate <= 0.75  # paper: 0.50
+
+    def test_changing_country_helps_other_types_weaker(self, full_result):
+        """Paper: "Similar remarks apply for the other types, albeit with
+        lower percentages"."""
+        analysis = CountryChangeAnalysis(full_result)
+        cor = analysis.group_rates(RelayType.COR)
+        for relay_type in (RelayType.PLR, RelayType.RAR_OTHER, RelayType.RAR_EYE):
+            rates = analysis.group_rates(relay_type)
+            assert rates.different_rate is not None
+            assert rates.different_rate > (rates.same_rate or 0.0)
+            assert rates.different_rate < cor.different_rate
+
+    def test_mostly_intercontinental(self, full_result):
+        frac = CountryChangeAnalysis(full_result).intercontinental_fraction()
+        assert 0.5 <= frac <= 0.95  # paper: 74%
+
+    def test_voip_improvement(self, full_result):
+        voip = VoipAnalysis(full_result)
+        direct = voip.direct_poor_fraction()
+        relayed = voip.relayed_poor_fraction(RelayType.COR)
+        assert 0.02 <= direct <= 0.4  # paper: 19%
+        assert relayed < direct  # paper: 19% -> 11%
+
+
+class TestFilterFunnel:
+    def test_funnel_proportions(self, full_result):
+        """The Sec 2.2 funnel must shrink at every biting stage and keep a
+        usable pool (paper: 2675 -> ... -> 356, i.e. ~13% survive)."""
+        funnel = full_result.colo_filter_funnel
+        assert len(funnel) == 6
+        assert funnel == tuple(sorted(funnel, reverse=True))
+        survival = funnel[-1] / funnel[0]
+        assert 0.03 <= survival <= 0.5

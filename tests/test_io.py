@@ -1,0 +1,87 @@
+"""Tests for campaign result persistence."""
+
+import json
+
+import pytest
+
+from repro.core.io import FORMAT_VERSION, load_result, save_result
+from repro.core.types import RELAY_TYPE_ORDER
+from repro.errors import AnalysisError
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, small_campaign_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(small_campaign_result, path)
+        loaded = load_result(path)
+
+        assert loaded.total_cases == small_campaign_result.total_cases
+        assert loaded.total_pings == small_campaign_result.total_pings
+        assert loaded.colo_filter_funnel == small_campaign_result.colo_filter_funnel
+        assert loaded.verified_eyeball_tuples == (
+            small_campaign_result.verified_eyeball_tuples
+        )
+        assert len(loaded.registry) == len(small_campaign_result.registry)
+
+        for original, restored in zip(
+            small_campaign_result.observations(), loaded.observations()
+        ):
+            assert restored.e1_id == original.e1_id
+            assert restored.e2_id == original.e2_id
+            assert restored.direct_rtt_ms == original.direct_rtt_ms
+            assert restored.best_by_type == original.best_by_type
+            assert restored.improving_by_type == original.improving_by_type
+            assert restored.feasible_by_type == original.feasible_by_type
+            assert restored.country_groups_by_type == original.country_groups_by_type
+
+    def test_roundtrip_preserves_medians(self, small_campaign_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(small_campaign_result, path)
+        loaded = load_result(path)
+        for original, restored in zip(small_campaign_result.rounds, loaded.rounds):
+            assert restored.direct_medians == original.direct_medians
+            assert restored.relay_medians == original.relay_medians
+            assert restored.endpoint_ids == original.endpoint_ids
+
+    def test_registry_roundtrip(self, small_campaign_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(small_campaign_result, path)
+        loaded = load_result(path)
+        for relay_type in RELAY_TYPE_ORDER:
+            originals = small_campaign_result.registry.of_type(relay_type)
+            restored = loaded.registry.of_type(relay_type)
+            assert [r.node_id for r in originals] == [r.node_id for r in restored]
+            assert [r.facility_id for r in originals] == [
+                r.facility_id for r in restored
+            ]
+
+    def test_analyses_agree_on_loaded_result(self, small_campaign_result, tmp_path):
+        from repro.analysis.improvements import ImprovementAnalysis
+
+        path = tmp_path / "result.json"
+        save_result(small_campaign_result, path)
+        loaded = load_result(path)
+        a = ImprovementAnalysis(small_campaign_result).summary()
+        b = ImprovementAnalysis(loaded).summary()
+        assert a == b
+
+
+class TestErrorHandling:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError, match="no such result file"):
+            load_result(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError, match="not valid JSON"):
+            load_result(path)
+
+    def test_wrong_version(self, small_campaign_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_result(small_campaign_result, path)
+        payload = json.loads(path.read_text())
+        payload["format_version"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(AnalysisError, match="format version"):
+            load_result(path)

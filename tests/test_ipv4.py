@@ -1,0 +1,110 @@
+"""Unit tests for repro.net.ipv4."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AddressError
+from repro.net.ipv4 import IPv4Address, IPv4Prefix
+
+
+class TestIPv4Address:
+    def test_parse_roundtrip(self):
+        assert str(IPv4Address.parse("192.0.2.7")) == "192.0.2.7"
+
+    def test_parse_extremes(self):
+        assert IPv4Address.parse("0.0.0.0").value == 0
+        assert IPv4Address.parse("255.255.255.255").value == 0xFFFFFFFF
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4", "-1.2.3.4", ""],
+    )
+    def test_parse_rejects(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address.parse(bad)
+
+    def test_value_range_enforced(self):
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+        with pytest.raises(AddressError):
+            IPv4Address(2**32)
+
+    def test_ordering(self):
+        assert IPv4Address.parse("10.0.0.1") < IPv4Address.parse("10.0.0.2")
+
+    def test_bit_indexing(self):
+        addr = IPv4Address.parse("128.0.0.1")
+        assert addr.bit(0) == 1
+        assert addr.bit(31) == 1
+        assert addr.bit(1) == 0
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(AddressError):
+            IPv4Address(0).bit(32)
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_str_parse_roundtrip(self, value):
+        addr = IPv4Address(value)
+        assert IPv4Address.parse(str(addr)) == addr
+
+
+class TestIPv4Prefix:
+    def test_parse(self):
+        p = IPv4Prefix.parse("10.0.0.0/8")
+        assert p.length == 8
+        assert p.num_addresses() == 2**24
+
+    def test_host_bits_must_be_zero(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse("10.0.0.1/8")
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/x"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse(bad)
+
+    def test_contains(self):
+        p = IPv4Prefix.parse("192.168.0.0/16")
+        assert p.contains(IPv4Address.parse("192.168.5.1"))
+        assert not p.contains(IPv4Address.parse("192.169.0.1"))
+
+    def test_contains_prefix(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        inner = IPv4Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_host_addressing(self):
+        p = IPv4Prefix.parse("10.0.0.0/30")
+        assert str(p.host(1)) == "10.0.0.1"
+        assert str(p.host(3)) == "10.0.0.3"
+        with pytest.raises(AddressError):
+            p.host(4)
+
+    def test_subnets(self):
+        p = IPv4Prefix.parse("10.0.0.0/24")
+        subs = p.subnets(26)
+        assert len(subs) == 4
+        assert str(subs[1]) == "10.0.0.64/26"
+        assert all(p.contains_prefix(s) for s in subs)
+
+    def test_subnets_shorter_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix.parse("10.0.0.0/24").subnets(16)
+
+    def test_zero_length_prefix_contains_everything(self):
+        p = IPv4Prefix.parse("0.0.0.0/0")
+        assert p.contains(IPv4Address.parse("255.255.255.255"))
+        assert p.netmask_int() == 0
+
+    def test_ordering(self):
+        a = IPv4Prefix.parse("10.0.0.0/8")
+        b = IPv4Prefix.parse("10.0.0.0/16")
+        c = IPv4Prefix.parse("11.0.0.0/8")
+        assert a < b < c
+
+    @given(st.integers(0, 32))
+    def test_num_addresses_matches_length(self, length):
+        p = IPv4Prefix(IPv4Address(0), length)
+        assert p.num_addresses() == 2 ** (32 - length)

@@ -1,0 +1,217 @@
+"""Tests for the RTT model, ping engine and backbone stretch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError, MeasurementError
+from repro.latency.backbone import STRETCH_RANGES, BackboneStretch
+from repro.latency.model import Endpoint, LatencyConfig
+from repro.latency.ping import PingEngine
+from repro.topology.types import ASType
+
+
+def _endpoint(world, index: int = 0, access: float = 2.0) -> Endpoint:
+    asys = world.graph.get_as(world.graph.asns()[index])
+    return Endpoint(
+        node_id=f"test-ep-{index}",
+        asn=asys.asn,
+        city_key=asys.primary_city,
+        access_ms=access,
+        loss_prob=0.0,
+    )
+
+
+class TestEndpointValidation:
+    def test_negative_access_rejected(self):
+        with pytest.raises(ConfigError):
+            Endpoint("x", 1, "London/GB", access_ms=-1.0)
+
+    def test_loss_prob_range(self):
+        with pytest.raises(ConfigError):
+            Endpoint("x", 1, "London/GB", access_ms=0.0, loss_prob=1.0)
+
+
+class TestLatencyConfigValidation:
+    def test_defaults_valid(self):
+        LatencyConfig()
+
+    def test_bad_spike_range(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(spike_range_ms=(100.0, 10.0))
+
+    def test_bad_asymmetry(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(asymmetry_frac=0.6)
+
+
+class TestBaseRtt:
+    def test_deterministic(self, small_world):
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        a = small_world.latency.base_rtt_ms(e1, e2)
+        b = small_world.latency.base_rtt_ms(e1, e2)
+        assert a == b
+        assert a is not None and a > 0
+
+    def test_includes_access_delay(self, small_world):
+        # same node_id on both endpoints keeps the pair skew identical, so
+        # the difference isolates the access term exactly
+        base = _endpoint(small_world, 0, access=0.0)
+        slow = Endpoint(base.node_id, base.asn, base.city_key, access_ms=10.0)
+        other = _endpoint(small_world, 50)
+        rtt_slow = small_world.latency.base_rtt_ms(slow, other)
+        rtt_fast = small_world.latency.base_rtt_ms(base, other)
+        # 10 ms one-way access appears twice in the RTT (modulo skew scaling)
+        assert rtt_slow - rtt_fast == pytest.approx(20.0, rel=0.05)
+
+    def test_asymmetry_is_small(self, small_world):
+        # the wire RTT is direction-independent; only the per-direction
+        # measurement skew (max 4.5% each way) differs
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        fwd = small_world.latency.base_rtt_ms(e1, e2)
+        rev = small_world.latency.base_rtt_ms(e2, e1)
+        assert fwd != rev  # direction-specific skew exists
+        max_skew = small_world.latency.config.asymmetry_frac
+        assert abs(fwd - rev) / min(fwd, rev) < 2.5 * max_skew
+
+    def test_symmetry_distribution_matches_paper(self, small_world):
+        # ~80% of pairs should agree within 5% across many endpoint pairs
+        asns = small_world.graph.asns()
+        model = small_world.latency
+        agree = total = 0
+        for i in range(0, 60, 3):
+            for j in range(1, 60, 7):
+                if i == j:
+                    continue
+                e1 = _endpoint(small_world, i)
+                e2 = _endpoint(small_world, j)
+                fwd = model.base_rtt_ms(e1, e2)
+                rev = model.base_rtt_ms(e2, e1)
+                if fwd is None or rev is None:
+                    continue
+                total += 1
+                if abs(fwd - rev) / min(fwd, rev) <= 0.05:
+                    agree += 1
+        assert total > 50
+        assert 0.6 < agree / total <= 1.0
+
+    def test_geography_lower_bound(self, small_world):
+        from repro.geo.cities import city as city_of
+        from repro.geo.distance import min_rtt_ms
+
+        e1, e2 = _endpoint(small_world, 10), _endpoint(small_world, 60)
+        rtt = small_world.latency.base_rtt_ms(e1, e2)
+        bound = min_rtt_ms(city_of(e1.city_key).location, city_of(e2.city_key).location)
+        assert rtt >= bound * 0.98  # asymmetry can shave up to 2%
+
+    def test_path_cache_effective(self, small_world):
+        model = small_world.latency
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        first = model.path_one_way_ms(e1.asn, e1.city_key, e2.asn, e2.city_key)
+        second = model.path_one_way_ms(e1.asn, e1.city_key, e2.asn, e2.city_key)
+        assert first == second
+
+
+class TestSampledRtt:
+    def test_jitter_varies(self, small_world):
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        rng = np.random.default_rng(1)
+        samples = [small_world.latency.sample_rtt_ms(e1, e2, rng) for _ in range(20)]
+        valid = [s for s in samples if s is not None]
+        assert len(set(valid)) > 1
+
+    def test_samples_near_base(self, small_world):
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        base = small_world.latency.base_rtt_ms(e1, e2)
+        rng = np.random.default_rng(2)
+        valid = [
+            s
+            for s in (small_world.latency.sample_rtt_ms(e1, e2, rng) for _ in range(50))
+            if s is not None
+        ]
+        med = sorted(valid)[len(valid) // 2]
+        assert med == pytest.approx(base, rel=0.15)
+
+    def test_lossy_endpoint_drops_packets(self, small_world):
+        e1 = _endpoint(small_world, 0)
+        e2 = _endpoint(small_world, 50)
+        lossy = Endpoint("lossy", e2.asn, e2.city_key, access_ms=1.0, loss_prob=0.95)
+        rng = np.random.default_rng(3)
+        samples = [small_world.latency.sample_rtt_ms(e1, lossy, rng) for _ in range(40)]
+        assert samples.count(None) > 20
+
+    def test_loss_probability_composes(self, small_world):
+        e1 = Endpoint("a", 1000, "London/GB", 0.0, loss_prob=0.1)
+        e2 = Endpoint("b", 1000, "London/GB", 0.0, loss_prob=0.2)
+        p = small_world.latency.loss_probability(e1, e2)
+        base = small_world.latency.config.base_loss_prob
+        assert p == pytest.approx(1 - (1 - base) * 0.9 * 0.8)
+
+
+class TestPingEngine:
+    def test_batch_size(self, small_world):
+        engine = PingEngine(small_world.latency)
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        result = engine.ping(e1, e2, np.random.default_rng(4), count=6)
+        assert result.num_sent == 6
+        assert result.num_received <= 6
+
+    def test_median_requires_min_valid(self, small_world):
+        engine = PingEngine(small_world.latency)
+        e1 = _endpoint(small_world, 0)
+        dead = Endpoint("dead", e1.asn, e1.city_key, access_ms=0.1, loss_prob=0.9999)
+        result = engine.ping(e1, dead, np.random.default_rng(5), count=6)
+        assert result.median_rtt(min_valid=3) is None
+
+    def test_zero_count_rejected(self, small_world):
+        engine = PingEngine(small_world.latency)
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        with pytest.raises(MeasurementError):
+            engine.ping(e1, e2, np.random.default_rng(6), count=0)
+
+    def test_is_responsive(self, small_world):
+        engine = PingEngine(small_world.latency)
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        assert engine.is_responsive(e1, e2, np.random.default_rng(7))
+
+    def test_median_robust_to_spikes(self, small_world):
+        # force frequent spikes; the median of 6 should stay near base
+        from repro.latency.model import LatencyModel
+
+        spiky = LatencyModel(
+            small_world.routing,
+            small_world.walker,
+            LatencyConfig(spike_prob=0.3, spike_range_ms=(200.0, 400.0)),
+        )
+        engine = PingEngine(spiky)
+        e1, e2 = _endpoint(small_world, 0), _endpoint(small_world, 50)
+        base = spiky.base_rtt_ms(e1, e2)
+        rng = np.random.default_rng(8)
+        medians = []
+        for _ in range(30):
+            med = engine.ping(e1, e2, rng, count=6).median_rtt()
+            if med is not None:
+                medians.append(med)
+        within = sum(1 for m in medians if m < base * 1.5)
+        assert within / len(medians) > 0.7
+
+
+class TestBackboneStretch:
+    def test_within_role_range(self, small_world):
+        stretch = BackboneStretch(small_world.graph)
+        for asys in small_world.graph:
+            low, high = STRETCH_RANGES[asys.as_type]
+            assert low <= stretch.factor(asys.asn) <= high
+
+    def test_deterministic(self, small_world):
+        a = BackboneStretch(small_world.graph)
+        b = BackboneStretch(small_world.graph)
+        asns = small_world.graph.asns()[:20]
+        assert [a.factor(x) for x in asns] == [b.factor(x) for x in asns]
+
+    def test_content_beats_eyeball_on_average(self, small_world):
+        stretch = BackboneStretch(small_world.graph)
+        topo = small_world.topology
+        content = [stretch.factor(a) for a in topo.asns_of_type(ASType.CONTENT)]
+        eyeball = [stretch.factor(a) for a in topo.asns_of_type(ASType.EYEBALL)]
+        assert sum(content) / len(content) < sum(eyeball) / len(eyeball)

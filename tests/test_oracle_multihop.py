@@ -1,0 +1,118 @@
+"""Tests for the VIA-style predictor and the 1-vs-2-relay study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.multihop import two_relay_study
+from repro.core.oracle import RelayPredictor, evaluate_prediction
+from repro.core.results import CampaignResult, PairObservation, RelayRegistry
+from repro.core.types import RelayType
+from repro.errors import AnalysisError
+
+
+def _obs(round_index, cc1, cc2, improving, direct=100.0):
+    return PairObservation(
+        round_index=round_index,
+        e1_id="a",
+        e2_id="b",
+        e1_cc=cc1,
+        e2_cc=cc2,
+        e1_city=f"X/{cc1}",
+        e2_city=f"Y/{cc2}",
+        direct_rtt_ms=direct,
+        best_by_type={},
+        improving_by_type={RelayType.COR: tuple(improving)},
+        feasible_by_type={RelayType.COR: len(improving)},
+    )
+
+
+class TestRelayPredictor:
+    def test_predicts_most_frequent(self):
+        predictor = RelayPredictor()
+        for _ in range(3):
+            predictor.observe(_obs(0, "DE", "US", [(1, 10.0), (2, 5.0)]))
+        predictor.observe(_obs(0, "DE", "US", [(2, 5.0)]))
+        predictor.observe(_obs(0, "DE", "US", [(3, 50.0)]))
+        # relay 2 improved 4 times, relay 1 three times, relay 3 once
+        assert predictor.predict(_obs(1, "DE", "US", []), k=2) == [2, 1]
+
+    def test_country_pair_key_symmetric(self):
+        predictor = RelayPredictor()
+        predictor.observe(_obs(0, "DE", "US", [(7, 10.0)]))
+        assert predictor.predict(_obs(1, "US", "DE", []), k=1) == [7]
+
+    def test_no_history_predicts_empty(self):
+        predictor = RelayPredictor()
+        assert predictor.predict(_obs(0, "FR", "JP", []), k=3) == []
+        assert not predictor.has_history(_obs(0, "FR", "JP", []))
+
+    def test_bad_k(self):
+        predictor = RelayPredictor()
+        with pytest.raises(AnalysisError):
+            predictor.predict(_obs(0, "DE", "US", []), k=0)
+
+
+class TestEvaluatePrediction:
+    def test_needs_two_rounds(self, small_campaign_result):
+        single = CampaignResult(
+            rounds=small_campaign_result.rounds[:1],
+            registry=small_campaign_result.registry,
+        )
+        with pytest.raises(AnalysisError):
+            evaluate_prediction(single)
+
+    def test_score_ranges(self, small_campaign_result):
+        score = evaluate_prediction(small_campaign_result, k=3)
+        assert score.evaluated >= 0
+        assert 0.0 <= score.hit_rate <= 1.0
+        assert 0.0 <= score.captured_gain_frac <= 1.0
+
+    def test_bigger_k_never_worse(self, small_campaign_result):
+        k1 = evaluate_prediction(small_campaign_result, k=1)
+        k5 = evaluate_prediction(small_campaign_result, k=5)
+        assert k5.hit_at_k >= k1.hit_at_k
+        assert k5.captured_gain_frac >= k1.captured_gain_frac - 1e-9
+
+    def test_history_helps(self, small_campaign_result):
+        """With frequency-stable winners, prediction should capture a
+        meaningful share of the oracle gain."""
+        score = evaluate_prediction(small_campaign_result, k=5)
+        if score.evaluated >= 10:
+            assert score.captured_gain_frac > 0.3
+
+
+class TestTwoRelayStudy:
+    def test_study_runs(self, small_world):
+        probes = [p.node.endpoint for p in small_world.atlas.all_probes()[:12]]
+        relays = [
+            i.node.endpoint for i in small_world.colo_pool.live_interfaces()[:20]
+        ]
+        study = two_relay_study(
+            small_world.latency, probes, relays, np.random.default_rng(0)
+        )
+        assert study.pairs > 0
+        # a strict 2-relay path (r1 != r2) is not a superset of 1-relay
+        # paths, so its improved count can land on either side; both must
+        # be in a plausible band
+        assert 0 <= study.two_relay_improved <= study.pairs
+        assert 0 <= study.one_relay_improved <= study.pairs
+        assert study.extra_gain_ms_median >= 0.0
+
+    def test_one_relay_is_usually_enough(self, small_world):
+        """The Han et al. claim the paper builds on."""
+        probes = [p.node.endpoint for p in small_world.atlas.all_probes()[:16]]
+        relays = [
+            i.node.endpoint for i in small_world.colo_pool.live_interfaces()[:25]
+        ]
+        study = two_relay_study(
+            small_world.latency, probes, relays, np.random.default_rng(1)
+        )
+        assert study.one_relay_captures_frac >= 0.5
+
+    def test_input_validation(self, small_world):
+        rng = np.random.default_rng(2)
+        probes = [p.node.endpoint for p in small_world.atlas.all_probes()[:3]]
+        with pytest.raises(AnalysisError):
+            two_relay_study(small_world.latency, probes[:1], probes, rng)
+        with pytest.raises(AnalysisError):
+            two_relay_study(small_world.latency, probes, probes[:1], rng)

@@ -1,0 +1,78 @@
+"""Tests for the PlanetLab emulator."""
+
+from repro.measurement.nodes import NodeKind
+from repro.topology.types import ASType
+
+
+class TestSites:
+    def test_sites_exist(self, small_world):
+        assert len(small_world.planetlab.sites()) > 3
+
+    def test_sites_at_research_ases(self, small_world):
+        for site in small_world.planetlab.sites():
+            assert small_world.graph.get_as(site.asn).as_type is ASType.RESEARCH
+
+    def test_sites_not_at_backbones(self, small_world):
+        for site in small_world.planetlab.sites():
+            assert "Backbone" not in small_world.graph.get_as(site.asn).name
+
+    def test_nodes_belong_to_their_site(self, small_world):
+        for site in small_world.planetlab.sites():
+            for node in site.nodes:
+                assert node.site_id == site.site_id
+                assert node.node.kind is NodeKind.PLANETLAB
+                assert node.node.asn == site.asn
+
+    def test_node_count_in_configured_range(self, small_world):
+        low, high = small_world.config.infrastructure.nodes_per_site
+        for site in small_world.planetlab.sites():
+            assert low <= len(site.nodes) <= high
+
+    def test_availability_is_probability(self, small_world):
+        for node in small_world.planetlab.all_nodes():
+            assert 0.0 <= node.availability <= 1.0
+
+
+class TestAvailability:
+    def test_round_sampling_deterministic(self, small_world):
+        a = {n.node.node_id for n in small_world.planetlab.available_nodes(3)}
+        b = {n.node.node_id for n in small_world.planetlab.available_nodes(3)}
+        assert a == b
+
+    def test_rounds_differ(self, small_world):
+        rounds = [
+            frozenset(n.node.node_id for n in small_world.planetlab.available_nodes(r))
+            for r in range(6)
+        ]
+        assert len(set(rounds)) > 1
+
+    def test_availability_is_partial(self, small_world):
+        """Some nodes must be down each round (flakiness is the point)."""
+        total = len(small_world.planetlab.all_nodes())
+        up = len(small_world.planetlab.available_nodes(0))
+        assert 0 < up < total
+
+    def test_flaky_nodes_up_less_often(self, small_world):
+        nodes = small_world.planetlab.all_nodes()
+        most_stable = max(nodes, key=lambda n: n.availability)
+        least_stable = min(nodes, key=lambda n: n.availability)
+        if most_stable.availability - least_stable.availability < 0.3:
+            return  # not enough spread in this world to compare
+        rounds = range(30)
+        stable_up = sum(
+            1
+            for r in rounds
+            if any(
+                n.node.node_id == most_stable.node.node_id
+                for n in small_world.planetlab.available_nodes(r)
+            )
+        )
+        flaky_up = sum(
+            1
+            for r in rounds
+            if any(
+                n.node.node_id == least_stable.node.node_id
+                for n in small_world.planetlab.available_nodes(r)
+            )
+        )
+        assert stable_up >= flaky_up

@@ -1,0 +1,83 @@
+"""Tests for the terminal plot renderers."""
+
+import pytest
+
+from repro.analysis.plotting import render_cdf, render_funnel, render_lines
+from repro.errors import AnalysisError
+
+
+class TestRenderCdf:
+    def test_basic_render(self):
+        text = render_cdf({"A": [(1.0, 0.25), (2.0, 0.5), (4.0, 1.0)]})
+        assert "o A" in text
+        assert "o" in text.splitlines()[0] or any(
+            "o" in line for line in text.splitlines()
+        )
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        text = render_cdf(
+            {
+                "first": [(1.0, 0.5), (2.0, 1.0)],
+                "second": [(1.5, 0.5), (3.0, 1.0)],
+            }
+        )
+        assert "o first" in text
+        assert "x second" in text
+
+    def test_axis_labels(self):
+        text = render_cdf({"A": [(0.0, 0.5), (10.0, 1.0)]}, x_label="ms")
+        assert "ms" in text
+        assert "0.0" in text and "10.0" in text
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_cdf({})
+        with pytest.raises(AnalysisError):
+            render_cdf({"A": []})
+
+    def test_dimensions(self):
+        text = render_cdf({"A": [(1.0, 1.0)]}, width=40, height=10)
+        plot_lines = [l for l in text.splitlines() if "|" in l]
+        assert len(plot_lines) == 10
+
+
+class TestRenderLines:
+    def test_basic_render(self):
+        text = render_lines(
+            {"cov": [(1, 10.0), (2, 20.0), (3, 25.0)]},
+            x_label="N",
+            y_label="% improved",
+        )
+        assert "% improved" in text
+        assert "o cov" in text
+
+    def test_flat_series_does_not_crash(self):
+        text = render_lines({"flat": [(0, 5.0), (1, 5.0)]})
+        assert "flat" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_lines({})
+        with pytest.raises(AnalysisError):
+            render_lines({"A": []})
+
+
+class TestRenderFunnel:
+    def test_bars_shrink(self):
+        text = render_funnel([("initial", 100), ("filter1", 50), ("filter2", 10)])
+        lines = text.splitlines()
+        assert lines[0].count("#") >= lines[1].count("#") >= lines[2].count("#")
+
+    def test_counts_shown(self):
+        text = render_funnel([("a", 42), ("b", 7)])
+        assert "42" in text and "7" in text
+
+    def test_zero_stage_renders_empty_bar(self):
+        text = render_funnel([("a", 10), ("b", 0)])
+        assert text.splitlines()[1].rstrip().endswith("|")
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            render_funnel([])
+        with pytest.raises(AnalysisError):
+            render_funnel([("a", 0)])

@@ -1,0 +1,54 @@
+"""Unit tests for repro.util.rand."""
+
+import pytest
+
+from repro.util.rand import SeedSequenceFactory, derive_rng
+
+
+class TestSeedSequenceFactory:
+    def test_same_seed_same_stream(self):
+        a = SeedSequenceFactory(42).rng("x").random(5)
+        b = SeedSequenceFactory(42).rng("x").random(5)
+        assert list(a) == list(b)
+
+    def test_different_names_differ(self):
+        f = SeedSequenceFactory(42)
+        a = f.rng("alpha").random(5)
+        b = f.rng("beta").random(5)
+        assert list(a) != list(b)
+
+    def test_different_seeds_differ(self):
+        a = SeedSequenceFactory(1).rng("x").random(5)
+        b = SeedSequenceFactory(2).rng("x").random(5)
+        assert list(a) != list(b)
+
+    def test_order_independence(self):
+        f1 = SeedSequenceFactory(9)
+        first_then_second = (f1.rng("first").random(3), f1.rng("second").random(3))
+        f2 = SeedSequenceFactory(9)
+        second_then_first = (f2.rng("second").random(3), f2.rng("first").random(3))
+        assert list(first_then_second[0]) == list(second_then_first[1])
+        assert list(first_then_second[1]) == list(second_then_first[0])
+
+    def test_child_streams_independent(self):
+        f = SeedSequenceFactory(5)
+        child = f.child("sub")
+        assert list(f.rng("x").random(3)) != list(child.rng("x").random(3))
+
+    def test_child_deterministic(self):
+        a = SeedSequenceFactory(5).child("sub").rng("x").random(3)
+        b = SeedSequenceFactory(5).child("sub").rng("x").random(3)
+        assert list(a) == list(b)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            SeedSequenceFactory("42")  # type: ignore[arg-type]
+
+    def test_seed_property(self):
+        assert SeedSequenceFactory(17).seed == 17
+
+
+def test_derive_rng_matches_factory():
+    assert list(derive_rng(3, "name").random(4)) == list(
+        SeedSequenceFactory(3).rng("name").random(4)
+    )

@@ -1,0 +1,88 @@
+"""Tests for PLR / RAR relay selection (Sec 2.3)."""
+
+import numpy as np
+
+from repro.core.config import CampaignConfig
+from repro.core.eyeballs import EyeballSelector
+from repro.core.relays import AtlasRelaySelector, PlanetLabRelaySelector
+
+
+class TestPlanetLabSelection:
+    def test_per_site_bounds(self, small_world):
+        cfg = CampaignConfig()
+        selector = PlanetLabRelaySelector(small_world, cfg)
+        sample = selector.sample(0, np.random.default_rng(0))
+        per_site: dict[str, int] = {}
+        for node in sample:
+            per_site[node.site_id] = per_site.get(node.site_id, 0) + 1
+        low, high = cfg.plr_per_site
+        for count in per_site.values():
+            assert low <= count <= high
+
+    def test_only_consistent_nodes(self, small_world):
+        cfg = CampaignConfig()
+        selector = PlanetLabRelaySelector(small_world, cfg)
+        for node in selector.sample(1, np.random.default_rng(1)):
+            assert node.availability >= cfg.plr_consistency_threshold
+
+    def test_sampled_nodes_are_up(self, small_world):
+        selector = PlanetLabRelaySelector(small_world, CampaignConfig())
+        up = {n.node.node_id for n in small_world.planetlab.available_nodes(2)}
+        for node in selector.sample(2, np.random.default_rng(2)):
+            assert node.node.node_id in up
+
+
+class TestAtlasRelaySelection:
+    def test_eye_relays_one_per_country(self, small_world):
+        cfg = CampaignConfig()
+        selector = AtlasRelaySelector(small_world, cfg)
+        sample = selector.sample_eye(np.random.default_rng(0), exclude_ids=set())
+        countries = [p.cc for p in sample]
+        assert len(countries) == len(set(countries))
+
+    def test_other_relays_one_per_country(self, small_world):
+        selector = AtlasRelaySelector(small_world, CampaignConfig())
+        sample = selector.sample_other(np.random.default_rng(1), exclude_ids=set())
+        countries = [p.cc for p in sample]
+        assert len(countries) == len(set(countries))
+
+    def test_pools_disjoint(self, small_world):
+        cfg = CampaignConfig()
+        selector = AtlasRelaySelector(small_world, cfg)
+        eyeballs = EyeballSelector(small_world, cfg)
+        verified = eyeballs.verified_tuples()
+        other = selector.sample_other(np.random.default_rng(2), exclude_ids=set())
+        for probe in other:
+            as_cc = small_world.graph.get_as(probe.asn).cc
+            assert (probe.asn, as_cc) not in verified
+
+    def test_eye_relays_are_verified(self, small_world):
+        cfg = CampaignConfig()
+        selector = AtlasRelaySelector(small_world, cfg)
+        eyeballs = EyeballSelector(small_world, cfg)
+        verified_asns = {asn for asn, _ in eyeballs.verified_tuples()}
+        for probe in selector.sample_eye(np.random.default_rng(3), exclude_ids=set()):
+            assert probe.asn in verified_asns
+
+    def test_exclusion_respected(self, small_world):
+        selector = AtlasRelaySelector(small_world, CampaignConfig())
+        first = selector.sample_eye(np.random.default_rng(4), exclude_ids=set())
+        excluded = {p.probe_id for p in first[:5]}
+        second = selector.sample_eye(np.random.default_rng(4), exclude_ids=excluded)
+        assert not excluded & {p.probe_id for p in second}
+
+    def test_anchors_preferred_for_other(self, small_world):
+        """The soft anchor preference must pick anchors more often than
+        their share of the per-country pools."""
+        selector = AtlasRelaySelector(small_world, CampaignConfig())
+        pool = selector._eligible_other()
+        anchor_share = sum(1 for p in pool if p.is_anchor) / len(pool)
+        chosen_anchor = total = 0
+        for seed in range(8):
+            sample = selector.sample_other(
+                np.random.default_rng(seed), exclude_ids=set()
+            )
+            total += len(sample)
+            chosen_anchor += sum(1 for p in sample if p.is_anchor)
+        if anchor_share > 0:
+            assert chosen_anchor / total > anchor_share

@@ -1,0 +1,59 @@
+"""Tests for the inflation survey and the consolidated report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.inflation import survey_inflation
+from repro.analysis.report import full_report
+from repro.core.results import CampaignResult, RelayRegistry
+from repro.errors import AnalysisError
+
+
+class TestInflationSurvey:
+    def test_survey_shape(self, small_world):
+        survey = survey_inflation(small_world, np.random.default_rng(0), num_pairs=80)
+        assert survey.pairs > 20
+        assert survey.median_inflation >= 1.0
+        assert survey.p90_inflation >= survey.median_inflation
+        assert 0.0 <= survey.frac_above_1_5 <= 1.0
+        assert survey.median_as_path_len >= 2.0
+
+    def test_inflation_exists(self, small_world):
+        """The whole paper rests on direct paths being inflated; the
+        generated world must exhibit it for a meaningful share of pairs."""
+        survey = survey_inflation(small_world, np.random.default_rng(1), num_pairs=120)
+        assert survey.frac_above_1_5 > 0.15
+
+    def test_bad_num_pairs(self, small_world):
+        with pytest.raises(AnalysisError):
+            survey_inflation(small_world, np.random.default_rng(2), num_pairs=0)
+
+    def test_deterministic_given_rng(self, small_world):
+        a = survey_inflation(small_world, np.random.default_rng(3), num_pairs=40)
+        b = survey_inflation(small_world, np.random.default_rng(3), num_pairs=40)
+        assert a == b
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, small_campaign_result, small_world):
+        text = full_report(small_campaign_result, small_world)
+        for fragment in (
+            "campaign report",
+            "Latency improvements per relay type",
+            "How many relays are enough?",
+            "Facilities of the top Colo relays",
+            "Changing countries and paths",
+            "VoIP quality",
+            "Stability over time",
+        ):
+            assert fragment in text, fragment
+
+    def test_without_world_skips_table(self, small_campaign_result):
+        text = full_report(small_campaign_result, world=None)
+        assert "Facilities of the top Colo relays" not in text
+        assert "Latency improvements" in text
+
+    def test_empty_result_rejected(self):
+        empty = CampaignResult(rounds=[], registry=RelayRegistry())
+        with pytest.raises(AnalysisError):
+            full_report(empty)

@@ -1,0 +1,144 @@
+"""Unit tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AnalysisError
+from repro.util.stats import (
+    cdf_at,
+    cdf_points,
+    coefficient_of_variation,
+    median,
+    percentile,
+    quantiles,
+)
+
+
+class TestMedian:
+    def test_odd_length(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_length_averages_middle(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_single_value(self):
+        assert median([7.5]) == 7.5
+
+    def test_unsorted_input(self):
+        assert median([9.0, 1.0, 5.0, 3.0, 7.0]) == 5.0
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            median([])
+
+    def test_does_not_mutate_input(self):
+        values = [3.0, 1.0, 2.0]
+        median(values)
+        assert values == [3.0, 1.0, 2.0]
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50))
+    def test_matches_numpy(self, values):
+        assert median(values) == pytest.approx(float(np.median(values)))
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(AnalysisError):
+            percentile([1.0], 101)
+        with pytest.raises(AnalysisError):
+            percentile([1.0], -1)
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            percentile([], 50)
+
+    @given(
+        st.lists(st.floats(0.1, 1e6), min_size=1, max_size=40),
+        st.floats(0, 100),
+    )
+    def test_matches_numpy_linear(self, values, q):
+        assert percentile(values, q) == pytest.approx(
+            float(np.percentile(values, q)), rel=1e-9, abs=1e-9
+        )
+
+
+class TestQuantiles:
+    def test_multiple_at_once(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert quantiles(values, [0, 50, 100]) == [1.0, 3.0, 5.0]
+
+    def test_consistent_with_percentile(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        qs = [10.0, 50.0, 90.0]
+        assert quantiles(values, qs) == [percentile(values, q) for q in qs]
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(AnalysisError):
+            quantiles([1.0], [150.0])
+
+
+class TestCdf:
+    def test_points_are_monotone(self):
+        points = cdf_points([3.0, 1.0, 2.0, 2.0])
+        xs = [x for x, _ in points]
+        fs = [f for _, f in points]
+        assert xs == sorted(xs)
+        assert fs == sorted(fs)
+        assert fs[-1] == 1.0
+
+    def test_duplicates_collapse(self):
+        points = cdf_points([1.0, 1.0, 2.0])
+        assert points == [(1.0, 2 / 3), (2.0, 1.0)]
+
+    def test_cdf_at(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert cdf_at(values, 2.5) == 0.5
+        assert cdf_at(values, 0.0) == 0.0
+        assert cdf_at(values, 4.0) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            cdf_points([])
+        with pytest.raises(AnalysisError):
+            cdf_at([], 1.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_last_point_is_max_and_one(self, values):
+        points = cdf_points(values)
+        assert points[-1][0] == max(values)
+        assert points[-1][1] == pytest.approx(1.0)
+
+
+class TestCoefficientOfVariation:
+    def test_constant_series_is_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        # values 1,3 -> mean 2, population stdev 1 -> CV 0.5
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(0.5)
+
+    def test_needs_two_values(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([1.0])
+
+    def test_zero_mean_raises(self):
+        with pytest.raises(AnalysisError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    @given(st.lists(st.floats(1.0, 1e4), min_size=2, max_size=30))
+    def test_non_negative_and_scale_invariant(self, values):
+        cv = coefficient_of_variation(values)
+        assert cv >= 0.0
+        scaled = [v * 3.0 for v in values]
+        assert coefficient_of_variation(scaled) == pytest.approx(cv, rel=1e-9, abs=1e-12)

@@ -1,0 +1,155 @@
+"""Tests for the topology generator (structure + determinism)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.geo.cities import city as city_of
+from repro.topology.builder import TopologyBuilder
+from repro.topology.config import TopologyConfig
+from repro.topology.types import ASType, COLO_TENANT_TYPES
+from repro.util.rand import SeedSequenceFactory
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return TopologyBuilder(
+        TopologyConfig(country_limit=16), SeedSequenceFactory(3)
+    ).build()
+
+
+class TestConfigValidation:
+    def test_country_limit_floor(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(country_limit=2)
+
+    def test_probability_range(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(eyeball_content_peering_prob=1.5)
+
+    def test_tier1_floor(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(num_tier1=1)
+
+    def test_duplicate_continent(self):
+        with pytest.raises(ConfigError):
+            TopologyConfig(regional_per_continent=(("EU", 2), ("EU", 3)))
+
+
+class TestStructure:
+    def test_all_roles_present(self, topology):
+        for as_type in ASType:
+            assert topology.asns_of_type(as_type), f"no AS of type {as_type}"
+
+    def test_tier1_count(self, topology):
+        assert len(topology.asns_of_type(ASType.TRANSIT_GLOBAL)) == 12
+
+    def test_graph_validates(self, topology):
+        topology.graph.validate()  # raises on violation
+
+    def test_country_limit_respected(self, topology):
+        eyeball_ccs = {
+            topology.graph.get_as(a).cc for a in topology.asns_of_type(ASType.EYEBALL)
+        }
+        assert len(eyeball_ccs) <= 16
+
+    def test_country_limit_spans_continents(self, topology):
+        continents = {
+            city_of(topology.graph.get_as(a).primary_city).continent
+            for a in topology.asns_of_type(ASType.EYEBALL)
+        }
+        assert len(continents) >= 4
+
+    def test_eyeballs_have_providers(self, topology):
+        for asn in topology.asns_of_type(ASType.EYEBALL):
+            assert topology.graph.providers_of(asn), f"eyeball AS{asn} has no transit"
+
+    def test_tier1s_have_no_providers(self, topology):
+        for asn in topology.asns_of_type(ASType.TRANSIT_GLOBAL):
+            assert not topology.graph.providers_of(asn)
+
+    def test_tier1_mesh_is_dense(self, topology):
+        tier1s = topology.asns_of_type(ASType.TRANSIT_GLOBAL)
+        peered = sum(
+            1
+            for i, a in enumerate(tier1s)
+            for b in tier1s[i + 1 :]
+            if topology.graph.are_adjacent(a, b)
+        )
+        possible = len(tier1s) * (len(tier1s) - 1) // 2
+        assert peered / possible > 0.8
+
+    def test_every_as_originates_prefixes(self, topology):
+        for asys in topology.graph:
+            assert asys.prefixes
+
+    def test_prefixes_do_not_overlap(self, topology):
+        prefixes = [p for asys in topology.graph for p in asys.prefixes]
+        ordered = sorted(prefixes)
+        for a, b in zip(ordered, ordered[1:]):
+            assert not a.contains_prefix(b), f"{a} overlaps {b}"
+
+
+class TestFacilities:
+    def test_facilities_at_hubs_only(self, topology):
+        for fac in topology.facilities.values():
+            assert city_of(fac.city_key).is_hub
+
+    def test_facility_members_have_local_pops(self, topology):
+        for fac in topology.facilities.values():
+            for asn in fac.members:
+                assert topology.graph.get_as(asn).has_pop_in(fac.city_key)
+
+    def test_large_facilities_exist(self, topology):
+        largest = max(f.num_networks for f in topology.facilities.values())
+        assert largest >= 30  # the paper's Table 1 metros host 100s of nets
+
+    def test_facility_ixp_links_bidirectional(self, topology):
+        for fac in topology.facilities.values():
+            for ixp_id in fac.ixp_ids:
+                assert fac.fac_id in topology.ixps[ixp_id].facility_ids
+        for ixp in topology.ixps.values():
+            for fac_id in ixp.facility_ids:
+                assert ixp.ixp_id in topology.facilities[fac_id].ixp_ids
+
+    def test_ixp_members_drawn_from_facilities(self, topology):
+        for ixp in topology.ixps.values():
+            pool = set()
+            for fac_id in ixp.facility_ids:
+                pool |= topology.facilities[fac_id].members
+            assert ixp.members <= pool
+
+    def test_colo_tenants_present(self, topology):
+        tenant_members = {
+            asn
+            for fac in topology.facilities.values()
+            for asn in fac.members
+            if topology.graph.get_as(asn).as_type in COLO_TENANT_TYPES
+        }
+        assert len(tenant_members) >= 20
+
+    def test_facilities_of_member_consistent(self, topology):
+        some_fac = next(iter(topology.facilities.values()))
+        member = next(iter(some_fac.members))
+        assert some_fac.fac_id in {
+            f.fac_id for f in topology.facilities_of_member(member)
+        }
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        cfg = TopologyConfig(country_limit=12)
+        t1 = TopologyBuilder(cfg, SeedSequenceFactory(5)).build()
+        t2 = TopologyBuilder(cfg, SeedSequenceFactory(5)).build()
+        assert t1.summary() == t2.summary()
+        assert t1.graph.asns() == t2.graph.asns()
+        edges1 = [(e.a, e.b, e.rel, e.interconnect_cities) for e in t1.graph.edges()]
+        edges2 = [(e.a, e.b, e.rel, e.interconnect_cities) for e in t2.graph.edges()]
+        assert edges1 == edges2
+
+    def test_different_seed_differs(self):
+        cfg = TopologyConfig(country_limit=12)
+        t1 = TopologyBuilder(cfg, SeedSequenceFactory(5)).build()
+        t2 = TopologyBuilder(cfg, SeedSequenceFactory(6)).build()
+        edges1 = [(e.a, e.b) for e in t1.graph.edges()]
+        edges2 = [(e.a, e.b) for e in t2.graph.edges()]
+        assert edges1 != edges2

@@ -1,0 +1,153 @@
+"""Unit tests for the AS graph and topology entities."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.ipv4 import IPv4Prefix
+from repro.topology.facilities import IXP, Facility
+from repro.topology.graph import ASGraph, Relationship
+from repro.topology.types import ASType, AutonomousSystem
+
+
+def _as(asn: int, cc: str = "DE", cities=("Frankfurt/DE",), as_type=ASType.EYEBALL):
+    return AutonomousSystem(
+        asn=asn,
+        name=f"AS{asn}",
+        as_type=as_type,
+        cc=cc,
+        pop_cities=tuple(cities),
+        prefixes=(IPv4Prefix.parse(f"10.{asn % 250}.0.0/16"),),
+    )
+
+
+class TestAutonomousSystem:
+    def test_primary_city(self):
+        asys = _as(1, cities=("Berlin/DE", "Frankfurt/DE"))
+        assert asys.primary_city == "Berlin/DE"
+        assert asys.has_pop_in("Frankfurt/DE")
+        assert not asys.has_pop_in("London/GB")
+
+    def test_rejects_bad_asn(self):
+        with pytest.raises(TopologyError):
+            _as(0)
+
+    def test_rejects_no_pops(self):
+        with pytest.raises(TopologyError):
+            AutonomousSystem(1, "x", ASType.EYEBALL, "DE", ())
+
+    def test_rejects_duplicate_pops(self):
+        with pytest.raises(TopologyError):
+            _as(1, cities=("Berlin/DE", "Berlin/DE"))
+
+    def test_rejects_unknown_city(self):
+        with pytest.raises(Exception):
+            _as(1, cities=("Nowhere/DE",))
+
+
+class TestFacilityEntities:
+    def test_facility_properties(self):
+        fac = Facility(1, "Equinox London 1", "Equinox", "London/GB",
+                       frozenset({1, 2, 3}), frozenset({10}), True)
+        assert fac.cc == "GB"
+        assert fac.num_networks == 3
+        assert fac.num_ixps == 1
+
+    def test_facility_needs_members(self):
+        with pytest.raises(TopologyError):
+            Facility(1, "x", "x", "London/GB", frozenset(), frozenset(), False)
+
+    def test_ixp_needs_facility(self):
+        with pytest.raises(TopologyError):
+            IXP(1, "X-IX", "London/GB", frozenset(), frozenset({1}))
+
+
+class TestASGraph:
+    def _graph(self):
+        g = ASGraph()
+        for asn in (1, 2, 3, 4):
+            g.add_as(_as(asn))
+        return g
+
+    def test_add_and_get(self):
+        g = self._graph()
+        assert g.get_as(1).asn == 1
+        assert g.has_as(2)
+        assert not g.has_as(99)
+        assert len(g) == 4
+
+    def test_duplicate_asn_rejected(self):
+        g = self._graph()
+        with pytest.raises(TopologyError):
+            g.add_as(_as(1))
+
+    def test_unknown_asn_raises(self):
+        g = self._graph()
+        with pytest.raises(TopologyError):
+            g.get_as(99)
+
+    def test_c2p_edges(self):
+        g = self._graph()
+        g.add_c2p(1, 2, ["Frankfurt/DE"])
+        assert g.providers_of(1) == {2}
+        assert g.customers_of(2) == {1}
+        assert g.peers_of(1) == frozenset()
+        adj = g.adjacency(1, 2)
+        assert adj.rel is Relationship.C2P
+
+    def test_p2p_edges(self):
+        g = self._graph()
+        g.add_p2p(1, 2, ["Frankfurt/DE"])
+        assert g.peers_of(1) == {2}
+        assert g.peers_of(2) == {1}
+
+    def test_duplicate_edge_rejected(self):
+        g = self._graph()
+        g.add_c2p(1, 2, ["Frankfurt/DE"])
+        with pytest.raises(TopologyError):
+            g.add_p2p(2, 1, ["Frankfurt/DE"])
+
+    def test_edge_needs_cities(self):
+        g = self._graph()
+        with pytest.raises(TopologyError):
+            g.add_c2p(1, 2, [])
+
+    def test_self_edge_rejected(self):
+        g = self._graph()
+        with pytest.raises(TopologyError):
+            g.add_p2p(1, 1, ["Frankfurt/DE"])
+
+    def test_adjacency_lookup_missing(self):
+        g = self._graph()
+        with pytest.raises(TopologyError):
+            g.adjacency(1, 2)
+
+    def test_degree_counts_all_kinds(self):
+        g = self._graph()
+        g.add_c2p(1, 2, ["Frankfurt/DE"])
+        g.add_p2p(1, 3, ["Frankfurt/DE"])
+        assert g.degree(1) == 2
+        assert g.num_edges() == 2
+
+    def test_validate_detects_cycle(self):
+        g = self._graph()
+        g.add_c2p(1, 2, ["Frankfurt/DE"])
+        g.add_c2p(2, 3, ["Frankfurt/DE"])
+        g.add_c2p(3, 1, ["Frankfurt/DE"])
+        g.add_p2p(4, 1, ["Frankfurt/DE"])
+        with pytest.raises(TopologyError, match="cycle"):
+            g.validate()
+
+    def test_validate_detects_isolated(self):
+        g = self._graph()
+        g.add_c2p(1, 2, ["Frankfurt/DE"])
+        g.add_c2p(3, 2, ["Frankfurt/DE"])
+        # AS 4 has no edges
+        with pytest.raises(TopologyError, match="isolated"):
+            g.validate()
+
+    def test_validate_passes_good_graph(self):
+        g = self._graph()
+        g.add_c2p(1, 2, ["Frankfurt/DE"])
+        g.add_c2p(3, 2, ["Frankfurt/DE"])
+        g.add_p2p(4, 2, ["Frankfurt/DE"])
+        g.validate()

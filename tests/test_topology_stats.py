@@ -1,0 +1,96 @@
+"""Tests for AS-graph analytics (customer cones, degrees, report)."""
+
+import pytest
+
+from repro.net.ipv4 import IPv4Prefix
+from repro.topology.graph import ASGraph
+from repro.topology.stats import (
+    cone_sizes,
+    customer_cone,
+    degree_distribution,
+    relationship_mix,
+    topology_report,
+)
+from repro.topology.types import ASType, AutonomousSystem
+
+
+def _graph():
+    g = ASGraph()
+    for asn in range(1, 7):
+        g.add_as(
+            AutonomousSystem(
+                asn=asn,
+                name=f"AS{asn}",
+                as_type=ASType.EYEBALL,
+                cc="DE",
+                pop_cities=("Frankfurt/DE",),
+                prefixes=(IPv4Prefix.parse(f"10.{asn}.0.0/16"),),
+            )
+        )
+    city = ["Frankfurt/DE"]
+    # 1 is tier-1-ish: customers 2 and 3; 2's customer is 4; 3's customers
+    # are 4 (multihomed) and 5; 6 peers with 1.
+    g.add_c2p(2, 1, city)
+    g.add_c2p(3, 1, city)
+    g.add_c2p(4, 2, city)
+    g.add_c2p(4, 3, city)
+    g.add_c2p(5, 3, city)
+    g.add_p2p(6, 1, city)
+    return g
+
+
+class TestCustomerCone:
+    def test_leaf_cone_is_self(self):
+        g = _graph()
+        assert customer_cone(g, 4) == {4}
+        assert customer_cone(g, 5) == {5}
+
+    def test_mid_tier_cone(self):
+        g = _graph()
+        assert customer_cone(g, 3) == {3, 4, 5}
+
+    def test_top_cone_counts_multihomed_once(self):
+        g = _graph()
+        assert customer_cone(g, 1) == {1, 2, 3, 4, 5}
+
+    def test_peering_does_not_extend_cone(self):
+        g = _graph()
+        assert 1 not in customer_cone(g, 6)
+
+    def test_cone_sizes_match_per_as_computation(self):
+        g = _graph()
+        sizes = cone_sizes(g)
+        for asn in g.asns():
+            assert sizes[asn] == len(customer_cone(g, asn)), f"AS{asn}"
+
+    def test_cone_sizes_on_generated_world(self, small_world):
+        sizes = cone_sizes(small_world.graph)
+        assert set(sizes) == set(small_world.graph.asns())
+        # spot-check a few ASes against the direct computation
+        for asn in small_world.graph.asns()[::37]:
+            assert sizes[asn] == len(customer_cone(small_world.graph, asn))
+
+
+class TestStructuralStats:
+    def test_degree_distribution_sums_to_n(self):
+        g = _graph()
+        dist = degree_distribution(g)
+        assert sum(dist.values()) == len(g)
+
+    def test_relationship_mix(self):
+        g = _graph()
+        assert relationship_mix(g) == {"c2p": 5, "p2p": 1}
+
+    def test_report_keys(self):
+        report = topology_report(_graph())
+        assert report["num_ases"] == 6.0
+        assert 0.0 <= report["peering_edge_frac"] <= 1.0
+        assert report["max_cone_frac"] == pytest.approx(5 / 6)
+
+    def test_generated_world_shape(self, small_world):
+        """The generated Internet must look like the Internet: tier-1 cones
+        cover most ASes, eyeball cones are tiny, peering is plentiful."""
+        report = topology_report(small_world.graph)
+        assert report["max_cone_frac"] > 0.3
+        assert report["median_cone_size"] == 1.0  # most ASes are stubs
+        assert report["peering_edge_frac"] > 0.3  # flattened Internet

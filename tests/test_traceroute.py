@@ -1,0 +1,53 @@
+"""Tests for the traceroute engine."""
+
+import numpy as np
+import pytest
+
+
+def _probe_endpoints(world, i, j):
+    probes = world.atlas.all_probes()
+    return probes[i].node.endpoint, probes[j].node.endpoint
+
+
+class TestTraceroute:
+    def test_trace_structure(self, small_world):
+        src, dst = _probe_endpoints(small_world, 0, 40)
+        rng = np.random.default_rng(0)
+        hops = small_world.traceroute_engine.trace(src, dst, rng)
+        assert hops
+        assert [h.hop for h in hops] == list(range(1, len(hops) + 1))
+        assert hops[-1].city_key == dst.city_key
+
+    def test_cumulative_rtts_roughly_increase(self, small_world):
+        src, dst = _probe_endpoints(small_world, 0, 40)
+        rng = np.random.default_rng(1)
+        hops = small_world.traceroute_engine.trace(src, dst, rng)
+        answered = [h.rtt_ms for h in hops[:-1] if h.rtt_ms is not None]
+        if len(answered) >= 2:
+            # per-hop jitter is small; allow slight local inversions
+            assert answered[-1] >= answered[0] * 0.9
+
+    def test_some_hops_may_be_silent(self, small_world):
+        rng = np.random.default_rng(2)
+        silent = 0
+        total = 0
+        for j in range(30, 60, 3):
+            src, dst = _probe_endpoints(small_world, 0, j)
+            hops = small_world.traceroute_engine.trace(src, dst, rng)
+            total += len(hops)
+            silent += sum(1 for h in hops if h.rtt_ms is None)
+        assert 0 < silent < total
+
+    def test_last_hop_rtt_matches_ping_scale(self, small_world):
+        src, dst = _probe_endpoints(small_world, 0, 40)
+        base = small_world.latency.base_rtt_ms(src, dst)
+        rng = np.random.default_rng(3)
+        values = []
+        for _ in range(10):
+            rtt = small_world.traceroute_engine.last_hop_rtt(src, dst, rng)
+            if rtt is not None:
+                values.append(rtt)
+        assert values
+        med = sorted(values)[len(values) // 2]
+        assert med == pytest.approx(base, rel=0.5)
+

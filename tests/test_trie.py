@@ -1,0 +1,111 @@
+"""Unit tests for the longest-prefix-match trie."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ipv4 import IPv4Address, IPv4Prefix
+from repro.net.trie import PrefixTrie
+
+
+def _p(text: str) -> IPv4Prefix:
+    return IPv4Prefix.parse(text)
+
+
+def _a(text: str) -> IPv4Address:
+    return IPv4Address.parse(text)
+
+
+class TestPrefixTrie:
+    def test_empty_lookup(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        assert trie.longest_match(_a("1.2.3.4")) is None
+        assert len(trie) == 0
+
+    def test_exact_match(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(_p("10.0.0.0/8"), 100)
+        assert trie.exact(_p("10.0.0.0/8")) == [100]
+        assert trie.exact(_p("10.0.0.0/16")) is None
+
+    def test_longest_match_prefers_specific(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(_p("10.0.0.0/8"), 1)
+        trie.insert(_p("10.1.0.0/16"), 2)
+        prefix, values = trie.longest_match(_a("10.1.2.3"))
+        assert str(prefix) == "10.1.0.0/16"
+        assert values == [2]
+        prefix, values = trie.longest_match(_a("10.2.2.3"))
+        assert str(prefix) == "10.0.0.0/8"
+        assert values == [1]
+
+    def test_no_match_outside(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(_p("10.0.0.0/8"), 1)
+        assert trie.longest_match(_a("11.0.0.1")) is None
+
+    def test_moas_accumulates(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(_p("10.0.0.0/8"), 1)
+        trie.insert(_p("10.0.0.0/8"), 2)
+        assert trie.exact(_p("10.0.0.0/8")) == [1, 2]
+        assert len(trie) == 1  # still one distinct prefix
+
+    def test_default_route(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(_p("0.0.0.0/0"), 99)
+        prefix, values = trie.longest_match(_a("203.0.113.9"))
+        assert prefix.length == 0
+        assert values == [99]
+
+    def test_host_route(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(_p("192.0.2.1/32"), 7)
+        assert trie.longest_match(_a("192.0.2.1"))[1] == [7]
+        assert trie.longest_match(_a("192.0.2.2")) is None
+
+    def test_all_matches_shortest_first(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(_p("0.0.0.0/0"), 0)
+        trie.insert(_p("10.0.0.0/8"), 1)
+        trie.insert(_p("10.1.0.0/16"), 2)
+        matches = trie.all_matches(_a("10.1.5.5"))
+        assert [p.length for p, _ in matches] == [0, 8, 16]
+
+    def test_items_iterates_everything(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        inserted = {_p("10.0.0.0/8"), _p("172.16.0.0/12"), _p("192.168.0.0/16")}
+        for i, prefix in enumerate(sorted(inserted)):
+            trie.insert(prefix, i)
+        assert {p for p, _ in trie.items()} == inserted
+
+    def test_returned_values_are_copies(self):
+        trie: PrefixTrie[int] = PrefixTrie()
+        trie.insert(_p("10.0.0.0/8"), 1)
+        _, values = trie.longest_match(_a("10.0.0.1"))
+        values.append(999)
+        assert trie.exact(_p("10.0.0.0/8")) == [1]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2**32 - 1), st.integers(8, 28)),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_longest_match_agrees_with_linear_scan(self, raw, probe_value):
+        trie: PrefixTrie[int] = PrefixTrie()
+        prefixes = []
+        for value, length in raw:
+            network = value & (((1 << length) - 1) << (32 - length)) & 0xFFFFFFFF
+            prefix = IPv4Prefix(IPv4Address(network), length)
+            trie.insert(prefix, length)
+            prefixes.append(prefix)
+        probe = IPv4Address(probe_value)
+        covering = [p for p in prefixes if p.contains(probe)]
+        result = trie.longest_match(probe)
+        if not covering:
+            assert result is None
+        else:
+            assert result is not None
+            assert result[0].length == max(p.length for p in covering)

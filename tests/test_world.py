@@ -1,0 +1,72 @@
+"""World-assembly integration tests."""
+
+import pytest
+
+from repro import build_world
+from repro.measurement.nodes import NodeKind
+from repro.topology.config import TopologyConfig
+from repro.world import WorldConfig
+
+
+class TestWorldAssembly:
+    def test_node_index_complete(self, small_world):
+        expected = (
+            len(small_world.atlas.all_probes())
+            + len(small_world.planetlab.all_nodes())
+            + len(small_world.colo_pool.interfaces())
+            + small_world.periscope.num_lgs()
+        )
+        assert small_world.num_nodes() == expected
+
+    def test_node_lookup_by_id_and_ip(self, small_world):
+        probe = small_world.atlas.all_probes()[0]
+        assert small_world.node(probe.probe_id) is probe.node
+        assert small_world.node_by_ip(probe.node.ip) is probe.node
+
+    def test_unknown_lookups(self, small_world):
+        from repro.net.ipv4 import IPv4Address
+
+        with pytest.raises(KeyError):
+            small_world.node("no-such-node")
+        assert small_world.node_by_ip(IPv4Address.parse("203.0.113.1")) is None
+
+    def test_all_node_kinds_present(self, small_world):
+        kinds = set()
+        for probe in small_world.atlas.all_probes():
+            kinds.add(probe.node.kind)
+        for node in small_world.planetlab.all_nodes():
+            kinds.add(node.node.kind)
+        for itf in small_world.colo_pool.interfaces():
+            kinds.add(itf.node.kind)
+        for city in small_world.periscope.covered_cities():
+            for lg in small_world.periscope.lgs_in(city):
+                kinds.add(lg.node.kind)
+        assert kinds == set(NodeKind)
+
+    def test_summary_counts(self, small_world):
+        summary = small_world.summary()
+        assert summary["atlas_probes"] > 0
+        assert summary["planetlab_nodes"] > 0
+        assert summary["colo_interfaces"] > 0
+        assert summary["looking_glasses"] > 0
+        assert summary["facility_mapping_records"] > 0
+
+    def test_world_determinism(self):
+        config = WorldConfig(topology=TopologyConfig(country_limit=8))
+        a = build_world(seed=5, config=config)
+        b = build_world(seed=5, config=config)
+        assert a.summary() == b.summary()
+        probes_a = [(p.probe_id, p.asn, p.firmware) for p in a.atlas.all_probes()]
+        probes_b = [(p.probe_id, p.asn, p.firmware) for p in b.atlas.all_probes()]
+        assert probes_a == probes_b
+        records_a = [(str(r.ip), r.recorded_asn) for r in a.facility_mapping.records()]
+        records_b = [(str(r.ip), r.recorded_asn) for r in b.facility_mapping.records()]
+        assert records_a == records_b
+
+    def test_different_seeds_differ(self):
+        config = WorldConfig(topology=TopologyConfig(country_limit=8))
+        a = build_world(seed=5, config=config)
+        b = build_world(seed=6, config=config)
+        probes_a = [(p.probe_id, p.asn) for p in a.atlas.all_probes()]
+        probes_b = [(p.probe_id, p.asn) for p in b.atlas.all_probes()]
+        assert probes_a != probes_b
