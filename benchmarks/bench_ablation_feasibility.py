@@ -23,6 +23,7 @@ def test_feasibility_filter_savings(benchmark, world, report_sink):
     endpoints = [p.node.endpoint for p in EyeballSelector(world, cfg).sample_endpoints(rng)]
     relays = [r.node.endpoint for r in ColoRelayPipeline(world, cfg).sample_relays(rng)]
     model = world.latency
+    delay_matrix = world.delay_matrix
 
     def study():
         total = kept = winners = missed = 0
@@ -33,7 +34,7 @@ def test_feasibility_filter_savings(benchmark, world, report_sink):
                     continue
                 for relay in relays:
                     total += 1
-                    feasible = is_feasible(relay, e1, e2, direct)
+                    feasible = is_feasible(relay, e1, e2, direct, matrix=delay_matrix)
                     kept += int(feasible)
                     leg1 = model.base_rtt_ms(e1, relay)
                     leg2 = model.base_rtt_ms(e2, relay)

@@ -20,6 +20,7 @@ from repro.core.feasibility import is_feasible
 
 def _improved_pairs(world, endpoints, relays) -> int:
     model = world.latency
+    delay_matrix = world.delay_matrix
     improved = 0
     for i, e1 in enumerate(endpoints):
         for e2 in endpoints[i + 1 :]:
@@ -27,7 +28,7 @@ def _improved_pairs(world, endpoints, relays) -> int:
             if direct is None:
                 continue
             for relay in relays:
-                if not is_feasible(relay, e1, e2, direct):
+                if not is_feasible(relay, e1, e2, direct, matrix=delay_matrix):
                     continue
                 leg1 = model.base_rtt_ms(e1, relay)
                 leg2 = model.base_rtt_ms(e2, relay)

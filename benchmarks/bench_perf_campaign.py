@@ -1,0 +1,99 @@
+"""PERF — wall-clock of the measurement engine on the full-world campaign.
+
+Times the standard 6-round full-world campaign (seed 11, the same workload
+the analysis benches share) and writes ``BENCH_campaign.json`` at the repo
+root so future PRs have a perf trajectory to compare against.  The recorded
+baseline is the pre-vectorization scalar engine (per-packet ``sample_rtt_ms``
+calls, per-(pair, relay) Python feasibility loop, per-candidate haversine in
+the path walker) measured with this same protocol on the same machine.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_perf_campaign.py``
+or via pytest with the other benches.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from repro import CampaignConfig, MeasurementCampaign, build_world
+
+SEED = 11
+ROUNDS = 6
+REPEATS = 5  #: best-of-N wall clock; each repetition is cold (fresh world)
+
+#: Pre-vectorization engine, measured with this harness (commit fc11ff1):
+#: 6-round full-world campaign, seed 11.  Feasibility checks counted from a
+#: profiled run (796,950 `is_feasible` calls per round).
+BASELINE = {
+    "engine": "scalar (pre-vectorization)",
+    "wall_clock_s": 17.99,
+    "pings": 1_018_500,
+    "pings_per_s": 56_615,
+    "feasibility_checks": 4_781_700,
+    "feasibility_checks_per_s": 265_797,
+}
+
+_OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
+
+
+def run_bench() -> dict:
+    """Time the campaign cold (best of REPEATS) and assemble the report."""
+    elapsed = float("inf")
+    for _ in range(REPEATS):
+        world = build_world(seed=SEED)
+        campaign = MeasurementCampaign(world, CampaignConfig(num_rounds=ROUNDS))
+        start = time.perf_counter()
+        result = campaign.run()
+        elapsed = min(elapsed, time.perf_counter() - start)
+
+    # the Sec 2.4 bound is evaluated for every (measured pair, round relay)
+    feasibility_checks = sum(
+        len(rnd.direct_medians)
+        * sum(len(idx) for idx in rnd.relay_indices_by_type.values())
+        for rnd in result.rounds
+    )
+    current = {
+        "engine": "vectorized (NumPy delay matrices + batched pings)",
+        "wall_clock_s": round(elapsed, 3),
+        "pings": result.total_pings,
+        "pings_per_s": int(result.total_pings / elapsed),
+        "feasibility_checks": feasibility_checks,
+        "feasibility_checks_per_s": int(feasibility_checks / elapsed),
+        "rounds": ROUNDS,
+        "seed": SEED,
+        "pairs_observed": sum(len(r.observations) for r in result.rounds),
+    }
+    report = {
+        "workload": f"{ROUNDS}-round full-world campaign, seed {SEED}",
+        "protocol": f"best of {REPEATS} cold runs (fresh world per run)",
+        "baseline": BASELINE,
+        "current": current,
+        "speedup": round(BASELINE["wall_clock_s"] / elapsed, 2),
+    }
+    _OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_perf_campaign(report_sink):
+    report = run_bench()
+    current = report["current"]
+    report_sink(
+        "perf_campaign",
+        f"workload: {report['workload']}\n"
+        f"baseline (scalar engine): {BASELINE['wall_clock_s']:.2f} s, "
+        f"{BASELINE['pings_per_s']:,} pings/s\n"
+        f"current (vectorized engine): {current['wall_clock_s']:.2f} s, "
+        f"{current['pings_per_s']:,} pings/s, "
+        f"{current['feasibility_checks_per_s']:,} feasibility checks/s\n"
+        f"speedup: {report['speedup']:.1f}x (written to {_OUT_PATH.name})",
+    )
+    # the vectorized engine must stay well ahead of the scalar baseline;
+    # the margin absorbs machine noise without masking real regressions
+    assert report["speedup"] >= 3.0
+    assert current["pings"] > 0
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_bench(), indent=2))

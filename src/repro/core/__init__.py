@@ -8,7 +8,7 @@ from repro.core.config import CampaignConfig
 from repro.core.eyeballs import EyeballSelector
 from repro.core.colo import ColoRelayPipeline, FilterReport, VerifiedColoRelay
 from repro.core.relays import AtlasRelaySelector, PlanetLabRelaySelector
-from repro.core.feasibility import feasible_relays, is_feasible
+from repro.core.feasibility import feasibility_mask, feasible_relays, is_feasible
 from repro.core.stitching import stitch_rtt, is_tiv
 from repro.core.results import CampaignResult, PairObservation, RelayRecord, RoundResult
 from repro.core.campaign import MeasurementCampaign
@@ -24,6 +24,7 @@ __all__ = [
     "PlanetLabRelaySelector",
     "is_feasible",
     "feasible_relays",
+    "feasibility_mask",
     "stitch_rtt",
     "is_tiv",
     "RelayRecord",

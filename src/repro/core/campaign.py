@@ -13,18 +13,29 @@ Each round, repeated every 12 simulated hours:
 
 The campaign accounts every ping against the Atlas emulator's round budget,
 mirroring the paper's constraint of operating within platform limits.
+
+The hot path is vectorized end to end.  Every measurement step hands its
+whole leg list to :meth:`PingEngine.median_many` (per-packet terms drawn in
+a handful of RNG calls).  Step 3's Sec 2.4 bound is evaluated for all
+(pair, relay) combinations at once as a NumPy broadcast over the round's
+(endpoints × relays) delay matrix from the world's
+:class:`~repro.geo.matrix.CityDelayMatrix`, and the resulting boolean mask
+flows matrix-shaped through leg selection and overlay stitching — no
+Python-level per-(pair, relay) loop survives between feasibility and the
+final per-pair observation assembly.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.colo import ColoRelayPipeline
 from repro.core.config import CampaignConfig
 from repro.core.eyeballs import EyeballSelector
-from repro.core.feasibility import is_feasible
+from repro.core.feasibility import feasibility_mask
 from repro.core.relays import AtlasRelaySelector, PlanetLabRelaySelector
 from repro.core.results import (
     CampaignResult,
@@ -32,11 +43,35 @@ from repro.core.results import (
     RelayRegistry,
     RoundResult,
 )
-from repro.core.stitching import stitch_rtt
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
 from repro.latency.model import Endpoint
 from repro.measurement.atlas import AtlasProbe
 from repro.world import World
+
+
+@dataclass(frozen=True, slots=True)
+class _RelayArrays:
+    """The round's relay sample unpacked into parallel NumPy arrays."""
+
+    items: tuple[tuple[int, Endpoint], ...]
+    registry_idx: np.ndarray  #: (relays,) registry indices
+    type_codes: np.ndarray  #: (relays,) positions into RELAY_TYPE_ORDER
+    ccs: np.ndarray  #: (relays,) country codes
+    city_idx: np.ndarray  #: (relays,) CityDelayMatrix indices
+
+    @property
+    def count(self) -> int:
+        return len(self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class _RoundFeasibility:
+    """Step 3's output: the Sec 2.4 bound for every (pair, relay) at once."""
+
+    pair_keys: tuple[tuple[str, str], ...]
+    e1_rows: np.ndarray  #: (pairs,) endpoint rows of each pair's first id
+    e2_rows: np.ndarray  #: (pairs,) endpoint rows of each pair's second id
+    mask: np.ndarray  #: (pairs × relays) feasibility mask
 
 
 class MeasurementCampaign:
@@ -104,95 +139,144 @@ class MeasurementCampaign:
         world.atlas.begin_round()
         pings_sent = 0
 
-        # step 1: endpoints
+        # step 1: endpoints (one probe-id lookup table for the whole round)
         endpoints = self._eyeballs.sample_endpoints(rng)
-        endpoint_ids = {p.probe_id for p in endpoints}
+        by_id = {p.probe_id: p for p in endpoints}
+        endpoint_ids = set(by_id)
+
+        direct_pairs = [
+            (p1, p2) for i, p1 in enumerate(endpoints) for p2 in endpoints[i + 1 :]
+        ]
 
         # step 2: direct medians (drive feasibility)
-        step2_direct, sent = self._measure_direct(endpoints, rng)
+        step2_direct, sent = self._measure_direct(direct_pairs, rng)
         pings_sent += sent
 
-        # step 3: relay sets + per-pair feasibility
-        relays = self._assemble_relays(round_index, rng, endpoint_ids)
-        relay_endpoints = {idx: ep for idx, ep in relays}
-        feasible: dict[tuple[str, str], list[int]] = {}
-        for (id1, id2), direct in step2_direct.items():
-            e1 = self._probe_endpoint(id1, endpoints)
-            e2 = self._probe_endpoint(id2, endpoints)
-            feasible[(id1, id2)] = [
-                idx
-                for idx, relay_ep in relays
-                if is_feasible(relay_ep, e1, e2, direct)
-            ]
+        # step 3: relay sets + per-pair feasibility as one broadcast mask
+        relay_arrays = self._assemble_relays(round_index, rng, endpoint_ids)
+        feasibility = self._feasible_relays(endpoints, relay_arrays, step2_direct)
 
         # step 4: synced re-measurement + legs + stitching
-        step4_direct, sent = self._measure_direct(endpoints, rng)
+        step4_direct, sent = self._measure_direct(direct_pairs, rng)
         pings_sent += sent
-        needed: dict[str, set[int]] = {}
-        for (id1, id2), relay_indices in feasible.items():
-            if (id1, id2) not in step4_direct:
-                continue
-            for idx in relay_indices:
-                needed.setdefault(id1, set()).add(idx)
-                needed.setdefault(id2, set()).add(idx)
-        leg_medians, sent = self._measure_legs(endpoints, needed, relay_endpoints, rng)
+        keep = np.fromiter(
+            (pair in step4_direct for pair in feasibility.pair_keys),
+            dtype=bool,
+            count=len(feasibility.pair_keys),
+        )
+        needed = np.zeros((len(endpoints), relay_arrays.count), dtype=bool)
+        if relay_arrays.count:
+            kept_mask = feasibility.mask[keep]
+            np.logical_or.at(needed, feasibility.e1_rows[keep], kept_mask)
+            np.logical_or.at(needed, feasibility.e2_rows[keep], kept_mask)
+        leg_matrix, leg_medians, sent = self._measure_legs(
+            endpoints, needed, relay_arrays, rng
+        )
         pings_sent += sent
 
         observations = self._stitch_observations(
-            round_index, endpoints, step4_direct, feasible, leg_medians
+            round_index,
+            by_id,
+            step4_direct,
+            feasibility,
+            relay_arrays,
+            leg_matrix,
         )
 
         return RoundResult(
             round_index=round_index,
             timestamp_hours=round_index * cfg.round_interval_hours,
             endpoint_ids=tuple(sorted(endpoint_ids)),
-            relay_indices_by_type=self._indices_by_type(relays),
+            relay_indices_by_type=self._indices_by_type(relay_arrays),
             observations=observations,
             direct_medians=step4_direct,
-            relay_medians=dict(leg_medians) if cfg.record_relay_medians else None,
+            relay_medians=leg_medians if cfg.record_relay_medians else None,
             pings_sent=pings_sent,
         )
 
     # --------------------------------------------------------------- helpers
 
-    @staticmethod
-    def _probe_endpoint(probe_id: str, endpoints: list[AtlasProbe]) -> Endpoint:
-        for probe in endpoints:
-            if probe.probe_id == probe_id:
-                return probe.node.endpoint
-        raise KeyError(probe_id)
+    def _median_legs(
+        self,
+        legs: list[tuple[Endpoint, Endpoint]],
+        rng: np.random.Generator,
+        charge_budget: bool = True,
+    ) -> tuple[np.ndarray, int]:
+        """Batch medians for a leg list (NaN = invalid).
+
+        Campaign steps charge the Atlas round budget; out-of-band sweeps
+        (the symmetry sanity check) pass ``charge_budget=False``.
+        """
+        cfg = self._cfg
+        medians = self._world.ping_engine.median_many(
+            legs, rng, count=cfg.pings_per_pair, min_valid=cfg.min_valid_rtts
+        )
+        sent = len(legs) * cfg.pings_per_pair
+        if charge_budget:
+            self._world.atlas.charge(sent)
+        return medians, sent
 
     def _measure_direct(
-        self, endpoints: list[AtlasProbe], rng: np.random.Generator
+        self, pairs: list[tuple[AtlasProbe, AtlasProbe]], rng: np.random.Generator
     ) -> tuple[dict[tuple[str, str], float], int]:
         """Median direct RTT per endpoint pair (ping direction randomised)."""
-        cfg = self._cfg
-        engine = self._world.ping_engine
-        medians: dict[tuple[str, str], float] = {}
-        sent = 0
-        for i, p1 in enumerate(endpoints):
-            for p2 in endpoints[i + 1 :]:
-                src, dst = (p1, p2) if rng.random() < 0.5 else (p2, p1)
-                result = engine.ping(
-                    src.node.endpoint, dst.node.endpoint, rng, count=cfg.pings_per_pair
-                )
-                sent += cfg.pings_per_pair
-                med = result.median_rtt(cfg.min_valid_rtts)
-                if med is not None:
-                    medians[self._pair_key(p1.probe_id, p2.probe_id)] = med
-        self._world.atlas.charge(sent)
-        return medians, sent
+        flips = (rng.random(len(pairs)) < 0.5).tolist()
+        legs = [
+            (p2.node.endpoint, p1.node.endpoint)
+            if flip
+            else (p1.node.endpoint, p2.node.endpoint)
+            for (p1, p2), flip in zip(pairs, flips)
+        ]
+        medians, sent = self._median_legs(legs, rng)
+        return {
+            self._pair_key(p1.probe_id, p2.probe_id): med
+            for (p1, p2), med in zip(pairs, medians.tolist())
+            if med == med
+        }, sent
 
     @staticmethod
     def _pair_key(id1: str, id2: str) -> tuple[str, str]:
         return (id1, id2) if id1 <= id2 else (id2, id1)
 
+    def _feasible_relays(
+        self,
+        endpoints: list[AtlasProbe],
+        relays: _RelayArrays,
+        direct: dict[tuple[str, str], float],
+    ) -> _RoundFeasibility:
+        """Sec 2.4 filter for the whole round: one (pairs × relays) broadcast.
+
+        Builds the round's (endpoints × relays) one-way delay matrix once
+        and evaluates ``2 * (D[e1, r] + D[r, e2]) <= RTT(e1, e2)`` for every
+        pair and relay in a single :func:`feasibility_mask` call.
+        """
+        matrix = self._world.delay_matrix
+        row_of = {p.probe_id: k for k, p in enumerate(endpoints)}
+        pair_keys = tuple(direct)
+        n = len(pair_keys)
+        e1_rows = np.fromiter((row_of[id1] for id1, _ in pair_keys), np.intp, n)
+        e2_rows = np.fromiter((row_of[id2] for _, id2 in pair_keys), np.intp, n)
+        if not relays.count or not n:
+            mask = np.zeros((n, relays.count), dtype=bool)
+            return _RoundFeasibility(pair_keys, e1_rows, e2_rows, mask)
+        endpoint_cities = matrix.indices(p.node.endpoint.city_key for p in endpoints)
+        one_way = matrix.one_way_ms_matrix(endpoint_cities, relays.city_idx)
+        direct_ms = np.fromiter((direct[pair] for pair in pair_keys), float, n)
+        mask = feasibility_mask(one_way, e1_rows, e2_rows, direct_ms)
+        return _RoundFeasibility(pair_keys, e1_rows, e2_rows, mask)
+
     def _assemble_relays(
         self, round_index: int, rng: np.random.Generator, endpoint_ids: set[str]
-    ) -> list[tuple[int, Endpoint]]:
+    ) -> _RelayArrays:
         """The round's relay sample, registered in the campaign registry."""
-        world = self._world
         relays: list[tuple[int, Endpoint]] = []
+        type_codes: list[int] = []
+        ccs: list[str] = []
+
+        def _add(idx: int, node, relay_type: RelayType) -> None:
+            relays.append((idx, node.endpoint))
+            type_codes.append(RELAY_TYPE_ORDER.index(relay_type))
+            ccs.append(node.cc)
 
         for colo in self._colo.sample_relays(rng):
             node = colo.node
@@ -204,7 +288,7 @@ class MeasurementCampaign:
                 node.city_key,
                 facility_id=colo.facility_id,
             )
-            relays.append((idx, node.endpoint))
+            _add(idx, node, RelayType.COR)
 
         for pl_node in self._plr.sample(round_index, rng):
             node = pl_node.node
@@ -216,92 +300,162 @@ class MeasurementCampaign:
                 node.city_key,
                 site_id=pl_node.site_id,
             )
-            relays.append((idx, node.endpoint))
+            _add(idx, node, RelayType.PLR)
 
         for probe in self._atlas_relays.sample_other(rng, endpoint_ids):
             node = probe.node
             idx = self._registry.register(
                 node.node_id, RelayType.RAR_OTHER, node.asn, node.cc, node.city_key
             )
-            relays.append((idx, node.endpoint))
+            _add(idx, node, RelayType.RAR_OTHER)
 
         for probe in self._atlas_relays.sample_eye(rng, endpoint_ids):
             node = probe.node
             idx = self._registry.register(
                 node.node_id, RelayType.RAR_EYE, node.asn, node.cc, node.city_key
             )
-            relays.append((idx, node.endpoint))
+            _add(idx, node, RelayType.RAR_EYE)
 
-        return relays
+        matrix = self._world.delay_matrix
+        n = len(relays)
+        return _RelayArrays(
+            items=tuple(relays),
+            registry_idx=np.fromiter((idx for idx, _ in relays), np.intp, n),
+            type_codes=np.asarray(type_codes, dtype=np.intp),
+            ccs=np.array(ccs, dtype="U3"),
+            city_idx=matrix.indices(ep.city_key for _, ep in relays),
+        )
 
     def _measure_legs(
         self,
         endpoints: list[AtlasProbe],
-        needed: dict[str, set[int]],
-        relay_endpoints: dict[int, Endpoint],
+        needed: np.ndarray,
+        relays: _RelayArrays,
         rng: np.random.Generator,
-    ) -> tuple[dict[tuple[str, int], float], int]:
-        """Median RTT for every needed (endpoint, relay) leg."""
-        cfg = self._cfg
-        engine = self._world.ping_engine
-        by_id = {p.probe_id: p for p in endpoints}
-        medians: dict[tuple[str, int], float] = {}
-        sent = 0
-        for probe_id in sorted(needed):
-            probe = by_id[probe_id]
-            for idx in sorted(needed[probe_id]):
-                result = engine.ping(
-                    probe.node.endpoint,
-                    relay_endpoints[idx],
-                    rng,
-                    count=cfg.pings_per_pair,
-                )
-                sent += cfg.pings_per_pair
-                med = result.median_rtt(cfg.min_valid_rtts)
-                if med is not None:
-                    medians[(probe_id, idx)] = med
-        self._world.atlas.charge(sent)
-        return medians, sent
+    ) -> tuple[np.ndarray, dict[tuple[str, int], float], int]:
+        """Median RTT for every needed (endpoint, relay) leg.
+
+        Returns the (endpoints × relays) leg-median matrix (NaN where a leg
+        was not measured or had too few replies), the same medians keyed by
+        ``(probe_id, registry_idx)`` for the round record, and pings sent.
+        """
+        e_rows, cols = np.nonzero(needed)
+        e_list, c_list = e_rows.tolist(), cols.tolist()
+        endpoint_eps = [p.node.endpoint for p in endpoints]
+        relay_eps = [ep for _, ep in relays.items]
+        legs = [(endpoint_eps[e], relay_eps[c]) for e, c in zip(e_list, c_list)]
+        medians, sent = self._median_legs(legs, rng)
+        leg_matrix = np.full(needed.shape, np.nan)
+        leg_matrix[e_rows, cols] = medians
+        probe_ids = [p.probe_id for p in endpoints]
+        registry_idx = relays.registry_idx.tolist()
+        leg_medians = {
+            (probe_ids[e], registry_idx[c]): med
+            for e, c, med in zip(e_list, c_list, medians.tolist())
+            if med == med
+        }
+        return leg_matrix, leg_medians, sent
 
     def _stitch_observations(
         self,
         round_index: int,
-        endpoints: list[AtlasProbe],
+        by_id: dict[str, AtlasProbe],
         direct: dict[tuple[str, str], float],
-        feasible: dict[tuple[str, str], list[int]],
-        legs: dict[tuple[str, int], float],
+        feasibility: _RoundFeasibility,
+        relays: _RelayArrays,
+        leg_matrix: np.ndarray,
     ) -> list[PairObservation]:
-        by_id = {p.probe_id: p for p in endpoints}
+        """Assemble per-pair observations from the round's matrices.
+
+        All per-(pair, relay) arithmetic — stitching, improvement, best-relay
+        selection, same-country grouping — happens as broadcasts; the Python
+        loop below only packages each pair's precomputed row.
+        """
+        pair_rows = {
+            pair: k for k, pair in enumerate(feasibility.pair_keys) if pair in direct
+        }
+        num_types = len(RELAY_TYPE_ORDER)
+        n_pairs = len(pair_rows)
+        rows = np.fromiter(pair_rows.values(), np.intp, n_pairs)
+        e1_rows = feasibility.e1_rows[rows]
+        e2_rows = feasibility.e2_rows[rows]
+        mask = feasibility.mask[rows]
+        direct_ms = np.fromiter(
+            (direct[pair] for pair in pair_rows), float, n_pairs
+        )
+
+        # (pairs × relays) stitched overlay RTTs and derived masks
+        stitched = leg_matrix[e1_rows] + leg_matrix[e2_rows]
+        usable = mask & ~np.isnan(stitched)
+        improving = usable & (stitched < direct_ms[:, np.newaxis])
+        pair_ccs_1 = np.array([by_id[p1].cc for p1, _ in pair_rows], dtype="U3")
+        pair_ccs_2 = np.array([by_id[p2].cc for _, p2 in pair_rows], dtype="U3")
+        same_country = (relays.ccs[np.newaxis, :] == pair_ccs_1[:, np.newaxis]) | (
+            relays.ccs[np.newaxis, :] == pair_ccs_2[:, np.newaxis]
+        )
+
+        # per relay-type reductions, each (pairs,)
+        feasible_counts = np.zeros((num_types, n_pairs), dtype=np.intp)
+        best_cols = np.zeros((num_types, n_pairs), dtype=np.intp)
+        best_vals = np.full((num_types, n_pairs), np.inf)
+        flags = np.zeros((num_types, 4, n_pairs), dtype=bool)
+        arange = np.arange(n_pairs)
+        for code in range(num_types if relays.count else 0):
+            type_cols = relays.type_codes == code
+            feasible_counts[code] = np.count_nonzero(
+                mask[:, type_cols], axis=1
+            )
+            usable_t = usable & type_cols[np.newaxis, :]
+            improving_t = improving & type_cols[np.newaxis, :]
+            # (usable_same, improving_same, usable_diff, improving_diff)
+            flags[code, 0] = np.any(usable_t & same_country, axis=1)
+            flags[code, 1] = np.any(improving_t & same_country, axis=1)
+            flags[code, 2] = np.any(usable_t & ~same_country, axis=1)
+            flags[code, 3] = np.any(improving_t & ~same_country, axis=1)
+            candidates = np.where(usable_t, stitched, np.inf)
+            best_cols[code] = np.argmin(candidates, axis=1)
+            best_vals[code] = candidates[arange, best_cols[code]]
+
+        # improving (relay, gain) entries, grouped per pair in column order
+        imp_pair, imp_col = np.nonzero(improving)
+        imp_reg = relays.registry_idx[imp_col].tolist()
+        imp_type = relays.type_codes[imp_col].tolist()
+        imp_gain = (direct_ms[imp_pair] - stitched[imp_pair, imp_col]).tolist()
+        bounds = np.searchsorted(imp_pair, np.arange(n_pairs + 1)).tolist()
+
+        # one bulk NumPy->Python conversion; the packaging loop below then
+        # runs on plain lists (per-element np scalar conversion is slow)
+        registry_idx = relays.registry_idx.tolist()
+        best_cols_l = best_cols.tolist()
+        best_vals_l = best_vals.tolist()
+        feasible_counts_l = feasible_counts.tolist()
+        flags_l = [
+            [tuple(flag_row) for flag_row in np.transpose(flags[code]).tolist()]
+            for code in range(num_types)
+        ]
+
+        # one packaging loop and one construction site for every step-4
+        # pair; pairs absent from step 2's feasibility pass (no packed row)
+        # get the same record with empty relay data, as in the scalar engine
+        packed = {pair: k for k, pair in enumerate(pair_rows)}
         observations = []
+        inf = float("inf")
         for (id1, id2), direct_rtt in direct.items():
+            k = packed.get((id1, id2))
             p1, p2 = by_id[id1], by_id[id2]
             best: dict[RelayType, tuple[int, float]] = {}
-            improving: dict[RelayType, list[tuple[int, float]]] = {
+            improving_by_type: dict[RelayType, list[tuple[int, float]]] = {
                 t: [] for t in RELAY_TYPE_ORDER
             }
-            feasible_counts: dict[RelayType, int] = {t: 0 for t in RELAY_TYPE_ORDER}
-            # (usable_same, improving_same, usable_diff, improving_diff)
-            groups: dict[RelayType, list[bool]] = {
-                t: [False, False, False, False] for t in RELAY_TYPE_ORDER
-            }
-            for idx in feasible.get((id1, id2), ()):
-                record = self._registry.get(idx)
-                relay_type = record.relay_type
-                feasible_counts[relay_type] += 1
-                leg1 = legs.get((id1, idx))
-                leg2 = legs.get((id2, idx))
-                if leg1 is None or leg2 is None:
-                    continue
-                stitched = stitch_rtt(leg1, leg2)
-                same_country = record.cc in (p1.cc, p2.cc)
-                flags = groups[relay_type]
-                flags[0 if same_country else 2] = True
-                current = best.get(relay_type)
-                if current is None or stitched < current[1]:
-                    best[relay_type] = (idx, stitched)
-                if stitched < direct_rtt:
-                    improving[relay_type].append((idx, direct_rtt - stitched))
-                    flags[1 if same_country else 3] = True
+            if k is not None:
+                for code, relay_type in enumerate(RELAY_TYPE_ORDER):
+                    val = best_vals_l[code][k]
+                    if val != inf:
+                        best[relay_type] = (registry_idx[best_cols_l[code][k]], val)
+                for j in range(bounds[k], bounds[k + 1]):
+                    improving_by_type[RELAY_TYPE_ORDER[imp_type[j]]].append(
+                        (imp_reg[j], imp_gain[j])
+                    )
             observations.append(
                 PairObservation(
                     round_index=round_index,
@@ -314,23 +468,30 @@ class MeasurementCampaign:
                     direct_rtt_ms=direct_rtt,
                     best_by_type=best,
                     improving_by_type={
-                        t: tuple(entries) for t, entries in improving.items()
+                        t: tuple(entries) for t, entries in improving_by_type.items()
                     },
-                    feasible_by_type=feasible_counts,
+                    feasible_by_type={
+                        t: feasible_counts_l[code][k] if k is not None else 0
+                        for code, t in enumerate(RELAY_TYPE_ORDER)
+                    },
                     country_groups_by_type={
-                        t: tuple(flags) for t, flags in groups.items()
+                        t: flags_l[code][k]
+                        if k is not None
+                        else (False, False, False, False)
+                        for code, t in enumerate(RELAY_TYPE_ORDER)
                     },
                 )
             )
         return observations
 
-    def _indices_by_type(
-        self, relays: list[tuple[int, Endpoint]]
-    ) -> dict[RelayType, tuple[int, ...]]:
-        grouped: dict[RelayType, list[int]] = {t: [] for t in RELAY_TYPE_ORDER}
-        for idx, _ in relays:
-            grouped[self._registry.get(idx).relay_type].append(idx)
-        return {t: tuple(indices) for t, indices in grouped.items()}
+    def _indices_by_type(self, relays: _RelayArrays) -> dict[RelayType, tuple[int, ...]]:
+        return {
+            t: tuple(
+                int(i)
+                for i in relays.registry_idx[relays.type_codes == code]
+            )
+            for code, t in enumerate(RELAY_TYPE_ORDER)
+        }
 
     # ------------------------------------------------------------- symmetry
 
@@ -345,19 +506,18 @@ class MeasurementCampaign:
         median.
         """
         world = self._world
-        cfg = self._cfg
         rng = world.seeds.rng(f"campaign.symmetry.{round_index}")
         endpoints = self._eyeballs.sample_endpoints(rng)
-        engine = world.ping_engine
-        out = []
+        legs: list[tuple[Endpoint, Endpoint]] = []
         for i, p1 in enumerate(endpoints):
             for p2 in endpoints[i + 1 :]:
-                fwd = engine.ping(
-                    p1.node.endpoint, p2.node.endpoint, rng, cfg.pings_per_pair
-                ).median_rtt(cfg.min_valid_rtts)
-                rev = engine.ping(
-                    p2.node.endpoint, p1.node.endpoint, rng, cfg.pings_per_pair
-                ).median_rtt(cfg.min_valid_rtts)
-                if fwd is not None and rev is not None:
-                    out.append((fwd, rev))
-        return out
+                e1, e2 = p1.node.endpoint, p2.node.endpoint
+                legs.append((e1, e2))
+                legs.append((e2, e1))
+        # a side-effect-free sanity sweep: not charged to the round budget
+        medians, _ = self._median_legs(legs, rng, charge_budget=False)
+        return [
+            (float(fwd), float(rev))
+            for fwd, rev in zip(medians[0::2], medians[1::2])
+            if fwd == fwd and rev == rev
+        ]

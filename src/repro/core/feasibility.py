@@ -10,37 +10,83 @@ with ``t(a, b) = d(a, b) / (c * 2/3)`` the one-way fiber-light propagation
 between the nodes' geolocations.  Everything else about the relay is
 ignored at this stage — the filter is a pure geometry bound, so it can
 never discard a relay that would actually have improved the pair.
+
+The campaign evaluates the bound for a whole round at once with
+:func:`feasibility_mask` over a :class:`~repro.geo.matrix.CityDelayMatrix`
+delay submatrix; the scalar :func:`is_feasible` / :func:`feasible_relays`
+API remains for external callers and accepts an optional matrix to reuse
+its cached rows.  Without one, delays are recomputed from the coordinates —
+pure functions, no shared module state (the old module-global delay cache
+is gone; per-world caching lives in the world's ``CityDelayMatrix``).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.geo.cities import city as city_of
 from repro.geo.distance import propagation_delay_ms
+from repro.geo.matrix import CityDelayMatrix
 from repro.latency.model import Endpoint
 
-#: Memoised city-to-city one-way light-in-fiber delays.
-_DELAY_CACHE: dict[tuple[str, str], float] = {}
+
+def _city_delay_ms(a_key: str, b_key: str, matrix: CityDelayMatrix | None) -> float:
+    if matrix is not None:
+        return matrix.one_way_ms_between(a_key, b_key)
+    return propagation_delay_ms(city_of(a_key).location, city_of(b_key).location)
 
 
-def _city_delay_ms(a_key: str, b_key: str) -> float:
-    key = (a_key, b_key) if a_key <= b_key else (b_key, a_key)
-    cached = _DELAY_CACHE.get(key)
-    if cached is None:
-        cached = propagation_delay_ms(city_of(key[0]).location, city_of(key[1]).location)
-        _DELAY_CACHE[key] = cached
-    return cached
+def is_feasible(
+    relay: Endpoint,
+    n1: Endpoint,
+    n2: Endpoint,
+    direct_rtt_ms: float,
+    matrix: CityDelayMatrix | None = None,
+) -> bool:
+    """True if the relay passes the speed-of-light bound for the pair.
 
-
-def is_feasible(relay: Endpoint, n1: Endpoint, n2: Endpoint, direct_rtt_ms: float) -> bool:
-    """True if the relay passes the speed-of-light bound for the pair."""
-    detour = _city_delay_ms(n1.city_key, relay.city_key) + _city_delay_ms(
-        relay.city_key, n2.city_key
+    Pass a :class:`CityDelayMatrix` (e.g. ``world.delay_matrix``) to reuse
+    its cached city-delay rows when calling in a loop.
+    """
+    detour = _city_delay_ms(n1.city_key, relay.city_key, matrix) + _city_delay_ms(
+        relay.city_key, n2.city_key, matrix
     )
     return 2.0 * detour <= direct_rtt_ms
 
 
 def feasible_relays(
-    relays: list[Endpoint], n1: Endpoint, n2: Endpoint, direct_rtt_ms: float
+    relays: list[Endpoint],
+    n1: Endpoint,
+    n2: Endpoint,
+    direct_rtt_ms: float,
+    matrix: CityDelayMatrix | None = None,
 ) -> list[Endpoint]:
     """The subset of ``relays`` passing the bound for the pair."""
-    return [r for r in relays if is_feasible(r, n1, n2, direct_rtt_ms)]
+    return [r for r in relays if is_feasible(r, n1, n2, direct_rtt_ms, matrix)]
+
+
+def feasibility_mask(
+    one_way_ms: np.ndarray,
+    e1_rows: np.ndarray,
+    e2_rows: np.ndarray,
+    direct_rtt_ms: np.ndarray,
+) -> np.ndarray:
+    """The Sec 2.4 bound for every (pair, relay) at once, as one broadcast.
+
+    Args:
+        one_way_ms: ``(endpoints × relays)`` one-way delay matrix ``D`` from
+            :meth:`CityDelayMatrix.one_way_ms_matrix`.
+        e1_rows / e2_rows: ``(pairs,)`` row indices into ``one_way_ms`` of
+            each pair's two endpoints.
+        direct_rtt_ms: ``(pairs,)`` measured direct medians.
+
+    Returns:
+        ``(pairs × relays)`` boolean mask of
+        ``2 * (D[e1, r] + D[r, e2]) <= RTT(e1, e2)`` — bit-for-bit the
+        decisions :func:`is_feasible` makes relay by relay when given the
+        same matrix.  (The matrix-less scalar fallback recomputes the
+        delays with ``math`` trigonometry, which can differ in the last
+        ulp; a pair sitting exactly on the bound could then flip.)
+    """
+    detour = one_way_ms[e1_rows, :] + one_way_ms[e2_rows, :]
+    return 2.0 * detour <= np.asarray(direct_rtt_ms, dtype=float)[:, np.newaxis]

@@ -12,6 +12,7 @@ from repro.geo.distance import (
 )
 from repro.geo.countries import Country, continent_of, country, all_countries
 from repro.geo.cities import City, all_cities, cities_in_country, city, hub_cities
+from repro.geo.matrix import CityDelayMatrix
 
 __all__ = [
     "GeoPoint",
@@ -30,4 +31,5 @@ __all__ = [
     "all_cities",
     "cities_in_country",
     "hub_cities",
+    "CityDelayMatrix",
 ]

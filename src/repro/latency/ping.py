@@ -8,6 +8,7 @@ semantics; the *policy* (how many batches, when) lives in the scheduler.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,6 +67,10 @@ class PingEngine:
         """The latency model answering the probes."""
         return self._model
 
+    @staticmethod
+    def _row_to_rtts(row: np.ndarray) -> tuple[float | None, ...]:
+        return tuple(float(v) if v == v else None for v in row)
+
     def ping(
         self,
         src: Endpoint,
@@ -75,13 +80,72 @@ class PingEngine:
     ) -> PingResult:
         """Send ``count`` single-packet pings from ``src`` to ``dst``.
 
+        The batch's packets are sampled in vectorized RNG draws (see
+        :meth:`LatencyModel.sample_rtt_batch`).
+
         Raises:
             MeasurementError: if ``count`` is not positive.
         """
         if count <= 0:
             raise MeasurementError(f"ping count must be positive, got {count}")
-        rtts = tuple(self._model.sample_rtt_ms(src, dst, rng) for _ in range(count))
-        return PingResult(src_id=src.node_id, dst_id=dst.node_id, rtts_ms=rtts)
+        row = self._model.sample_rtt_batch(src, dst, rng, count)
+        return PingResult(
+            src_id=src.node_id, dst_id=dst.node_id, rtts_ms=self._row_to_rtts(row)
+        )
+
+    def ping_many(
+        self,
+        legs: Sequence[tuple[Endpoint, Endpoint]],
+        rng: np.random.Generator,
+        count: int = 6,
+    ) -> list[PingResult]:
+        """Send ``count``-packet batches over every ``(src, dst)`` leg.
+
+        All legs' packets are sampled together in five vectorized RNG draws;
+        results come back in leg order.
+
+        Raises:
+            MeasurementError: if ``count`` is not positive.
+        """
+        if count <= 0:
+            raise MeasurementError(f"ping count must be positive, got {count}")
+        matrix = self._model.sample_rtt_matrix(legs, rng, count)
+        return [
+            PingResult(
+                src_id=src.node_id, dst_id=dst.node_id, rtts_ms=self._row_to_rtts(row)
+            )
+            for (src, dst), row in zip(legs, matrix)
+        ]
+
+    def median_many(
+        self,
+        legs: Sequence[tuple[Endpoint, Endpoint]],
+        rng: np.random.Generator,
+        count: int = 6,
+        min_valid: int = 3,
+    ) -> np.ndarray:
+        """Batch medians for every leg, skipping per-packet object churn.
+
+        Returns a ``(len(legs),)`` float array: the batch median where at
+        least ``min_valid`` packets were answered, NaN otherwise — the same
+        numbers ``ping(...).median_rtt(min_valid)`` produces, computed
+        vectorized.  This is the campaign's hot path.
+
+        Raises:
+            MeasurementError: if ``count`` is not positive.
+        """
+        if count <= 0:
+            raise MeasurementError(f"ping count must be positive, got {count}")
+        matrix = self._model.sample_rtt_matrix(legs, rng, count)
+        valid = np.count_nonzero(~np.isnan(matrix), axis=1)
+        # NaN sorts to the end, so row r's valid RTTs occupy the first
+        # valid[r] sorted slots; gather the middle one(s) directly (much
+        # faster than np.nanmedian's masked pass, identical values)
+        ordered = np.sort(matrix, axis=1)
+        rows = np.arange(len(legs))
+        lo = ordered[rows, np.maximum(0, (valid - 1) // 2)]
+        hi = ordered[rows, np.maximum(0, valid // 2)]
+        return np.where(valid >= max(min_valid, 1), (lo + hi) / 2.0, np.nan)
 
     def is_responsive(
         self,

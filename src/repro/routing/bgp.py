@@ -70,6 +70,10 @@ class BGPRouting:
     def __init__(self, graph: ASGraph) -> None:
         self._graph = graph
         self._tables: dict[int, dict[int, Route]] = {}
+        # reconstructed paths are re-requested constantly by the latency
+        # model (every endpoint-relay attachment pair, twice per direction);
+        # cache them per (src, dst).  Callers must not mutate the lists.
+        self._paths: dict[tuple[int, int], list[int] | None] = {}
 
     @property
     def graph(self) -> ASGraph:
@@ -87,7 +91,19 @@ class BGPRouting:
         return self._tables[dst]
 
     def path(self, src: int, dst: int) -> list[int] | None:
-        """Return the AS path ``[src, ..., dst]`` or None if unreachable."""
+        """Return the AS path ``[src, ..., dst]`` or None if unreachable.
+
+        Paths are cached; treat the returned list as read-only.
+        """
+        key = (src, dst)
+        cached = self._paths.get(key, False)
+        if cached is not False:
+            return cached
+        path = self._compute_path(src, dst)
+        self._paths[key] = path
+        return path
+
+    def _compute_path(self, src: int, dst: int) -> list[int] | None:
         if src == dst:
             return [src]
         table = self.table_to(dst)

@@ -10,6 +10,13 @@ stretch (see :mod:`repro.latency.backbone`) can be applied.  Summing
 of the RTT, and — because interconnection happens only where the networks
 actually meet — geographic detours (path inflation) fall out naturally for
 endpoint pairs whose providers interconnect far off the geodesic.
+
+All geometry routes through a :class:`~repro.geo.matrix.CityDelayMatrix`
+shared with the rest of the world: city-to-city distances are read from its
+cached rows instead of recomputing a haversine per lookup, and the
+hot-potato handover choice for a given (position, adjacency) combination is
+memoised outright — across the millions of path walks a campaign triggers,
+the same handovers recur constantly.
 """
 
 from __future__ import annotations
@@ -18,8 +25,8 @@ from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.errors import RoutingError
-from repro.geo.cities import City, city as city_of
-from repro.geo.distance import fiber_delay_ms, great_circle_km
+from repro.geo.distance import FIBER_PATH_STRETCH, SPEED_OF_LIGHT_FIBER_KM_PER_MS
+from repro.geo.matrix import CityDelayMatrix
 from repro.topology.graph import ASGraph
 
 
@@ -42,7 +49,9 @@ class GeoPathWalker:
 
     ``stretch_of`` maps a carrier ASN to that backbone's stretch factor
     (>= 1) applied to the geodesic fiber delay of its segments; the default
-    treats every backbone as a flat 1.2x geodesic.
+    treats every backbone as a flat 1.2x geodesic.  ``delay_matrix`` lets
+    the caller share one :class:`CityDelayMatrix` across subsystems (the
+    world does); without one the walker builds its own.
     """
 
     DEFAULT_STRETCH = 1.2
@@ -51,19 +60,90 @@ class GeoPathWalker:
         self,
         graph: ASGraph,
         stretch_of: Callable[[int], float] | None = None,
+        delay_matrix: CityDelayMatrix | None = None,
     ) -> None:
         self._graph = graph
         self._stretch_of = stretch_of
-        self._city_cache: dict[str, City] = {}
+        self._matrix = delay_matrix if delay_matrix is not None else CityDelayMatrix()
+        # adjacency interconnect tuples recur across walks; cache their
+        # (city_key, matrix_index) pairs once per distinct tuple.
+        self._candidate_cache: dict[tuple[str, ...], list[tuple[str, int]]] = {}
+        # hot-potato choices recur even more: (position, adjacency tuple) ->
+        # (handover_key, handover_index).
+        self._handover_cache: dict[tuple[int, tuple[str, ...]], tuple[str, int]] = {}
+        # matrix rows as plain lists: for the walker's few-candidate minimum
+        # scalar indexing beats NumPy fancy-indexing overhead.
+        self._km_rows: dict[int, list[float]] = {}
+        # interconnect tuple per AS adjacency, and validated stretch per
+        # carrier, so the per-hop work is one dict hit each.
+        self._adjacency_cities: dict[tuple[int, int], tuple[str, ...]] = {}
+        self._stretch_cache: dict[int, float] = {}
 
-    def _city(self, key: str) -> City:
-        cached = self._city_cache.get(key)
+    # ------------------------------------------------------------- geometry
+
+    def _row(self, city_idx: int) -> list[float]:
+        row = self._km_rows.get(city_idx)
+        if row is None:
+            row = self._matrix.distance_row(city_idx).tolist()
+            self._km_rows[city_idx] = row
+        return row
+
+    def _candidates(self, cities: tuple[str, ...]) -> list[tuple[str, int]]:
+        cached = self._candidate_cache.get(cities)
         if cached is None:
-            cached = city_of(key)
-            self._city_cache[key] = cached
+            matrix = self._matrix
+            cached = [(key, matrix.index(key)) for key in cities]
+            self._candidate_cache[cities] = cached
+        return cached
+
+    def _handover(self, position_idx: int, cities: tuple[str, ...]) -> tuple[str, int]:
+        key = (position_idx, cities)
+        cached = self._handover_cache.get(key)
+        if cached is None:
+            row = self._row(position_idx)
+            cached = min(self._candidates(cities), key=lambda c: row[c[1]])
+            self._handover_cache[key] = cached
         return cached
 
     # ---------------------------------------------------------------- walk
+
+    def _walk(
+        self, src_city: str, as_path: list[int], dst_city: str
+    ) -> list[tuple[str, str, int, int, int]]:
+        """The path's segments as ``(from_key, to_key, from_idx, to_idx,
+        carrier_asn)``; the final segment's ``to_idx`` is -1 (the
+        destination key is not resolved unless a delay is computed, matching
+        the scalar walker's laziness).
+
+        Raises:
+            RoutingError: if ``as_path`` is empty or two consecutive ASes
+                are not adjacent.
+        """
+        if not as_path:
+            raise RoutingError("empty AS path")
+        segments: list[tuple[str, str, int, int, int]] = []
+        adjacency_cities = self._adjacency_cities
+        handover_cache = self._handover_cache
+        position = src_city
+        position_idx = self._matrix.index(src_city)
+        for a, b in zip(as_path, as_path[1:]):
+            cities = adjacency_cities.get((a, b))
+            if cities is None:
+                if not self._graph.are_adjacent(a, b):
+                    raise RoutingError(f"AS{a} and AS{b} are not adjacent on the path")
+                cities = self._graph.adjacency(a, b).interconnect_cities
+                adjacency_cities[(a, b)] = cities
+            choice = handover_cache.get((position_idx, cities))
+            if choice is None:
+                choice = self._handover(position_idx, cities)
+            handover, handover_idx = choice
+            if handover != position:
+                segments.append((position, handover, position_idx, handover_idx, a))
+                position = handover
+                position_idx = handover_idx
+        if dst_city != position:
+            segments.append((position, dst_city, position_idx, -1, as_path[-1]))
+        return segments
 
     def segments(
         self, src_city: str, as_path: list[int], dst_city: str
@@ -80,33 +160,19 @@ class GeoPathWalker:
             RoutingError: if ``as_path`` is empty or two consecutive ASes
                 are not adjacent.
         """
-        if not as_path:
-            raise RoutingError("empty AS path")
-        segments: list[PathSegment] = []
-        position = src_city
-        current = self._city(src_city)
-        for a, b in zip(as_path, as_path[1:]):
-            if not self._graph.are_adjacent(a, b):
-                raise RoutingError(f"AS{a} and AS{b} are not adjacent on the path")
-            adjacency = self._graph.adjacency(a, b)
-            handover = min(
-                adjacency.interconnect_cities,
-                key=lambda key: great_circle_km(current.location, self._city(key).location),
+        return [
+            PathSegment(from_city, to_city, carrier)
+            for from_city, to_city, _, _, carrier in self._walk(
+                src_city, as_path, dst_city
             )
-            if handover != position:
-                segments.append(PathSegment(position, handover, a))
-                position = handover
-                current = self._city(handover)
-        if dst_city != position:
-            segments.append(PathSegment(position, dst_city, as_path[-1]))
-        return segments
+        ]
 
     def waypoints(self, src_city: str, as_path: list[int], dst_city: str) -> list[str]:
         """The city keys traffic traverses (collapsed, in order)."""
-        segs = self.segments(src_city, as_path, dst_city)
+        segs = self._walk(src_city, as_path, dst_city)
         if not segs:
             return [src_city]
-        return [segs[0].from_city] + [seg.to_city for seg in segs]
+        return [segs[0][0]] + [seg[1] for seg in segs]
 
     # -------------------------------------------------------------- latency
 
@@ -115,17 +181,29 @@ class GeoPathWalker:
             return self.DEFAULT_STRETCH
         return self._stretch_of(asn)
 
+    def _carrier_stretch(self, asn: int) -> float:
+        """The carrier's validated stretch, cached per ASN."""
+        stretch = self._stretch_cache.get(asn)
+        if stretch is None:
+            stretch = self._stretch(asn)
+            if stretch < 1.0:
+                raise ValueError(
+                    f"fiber stretch {stretch} < 1 would beat light in fiber"
+                )
+            self._stretch_cache[asn] = stretch
+        return stretch
+
     def propagation_ms(self, src_city: str, as_path: list[int], dst_city: str) -> float:
         """One-way propagation delay along the path, with per-carrier
         backbone stretch applied to every segment, in ms."""
-        total = 0.0
-        for seg in self.segments(src_city, as_path, dst_city):
-            total += fiber_delay_ms(
-                self._city(seg.from_city).location,
-                self._city(seg.to_city).location,
-                stretch=self._stretch(seg.carrier_asn),
-            )
-        return total
+        km_stretched = 0.0
+        for _, to_city, from_idx, to_idx, carrier in self._walk(
+            src_city, as_path, dst_city
+        ):
+            if to_idx < 0:
+                to_idx = self._matrix.index(to_city)
+            km_stretched += self._row(from_idx)[to_idx] * self._carrier_stretch(carrier)
+        return km_stretched / SPEED_OF_LIGHT_FIBER_KM_PER_MS
 
     def waypoint_propagation_ms(self, waypoint_keys: list[str]) -> float:
         """One-way fiber delay along explicit waypoints (flat default
@@ -136,7 +214,8 @@ class GeoPathWalker:
         """
         if not waypoint_keys:
             raise RoutingError("empty waypoint sequence")
-        total = 0.0
+        matrix = self._matrix
+        km = 0.0
         for a, b in zip(waypoint_keys, waypoint_keys[1:]):
-            total += fiber_delay_ms(self._city(a).location, self._city(b).location)
-        return total
+            km += self._row(matrix.index(a))[matrix.index(b)]
+        return km * FIBER_PATH_STRETCH / SPEED_OF_LIGHT_FIBER_KM_PER_MS

@@ -18,6 +18,7 @@ from repro.datasets.peeringdb import PeeringDB
 from repro.datasets.periscope import Periscope
 from repro.datasets.prefix2as import Prefix2AS
 from repro.errors import TopologyError
+from repro.geo.matrix import CityDelayMatrix
 from repro.latency.backbone import BackboneStretch
 from repro.latency.model import LatencyConfig, LatencyModel
 from repro.latency.ping import PingEngine
@@ -61,7 +62,15 @@ class World:
         self.graph = self.topology.graph
         self.routing = BGPRouting(self.graph)
         self.backbone_stretch = BackboneStretch(self.graph)
-        self.walker = GeoPathWalker(self.graph, stretch_of=self.backbone_stretch.factor)
+        #: This world's vectorized city-geometry cache; shared by the path
+        #: walker and the campaign's feasibility filter so delay rows are
+        #: computed once per world (no module-global state).
+        self.delay_matrix = CityDelayMatrix()
+        self.walker = GeoPathWalker(
+            self.graph,
+            stretch_of=self.backbone_stretch.factor,
+            delay_matrix=self.delay_matrix,
+        )
         self.latency = LatencyModel(self.routing, self.walker, config.latency)
         self.ping_engine = PingEngine(self.latency)
         self.traceroute_engine = TracerouteEngine(self.latency, self.walker)

@@ -188,12 +188,15 @@ class TestPingEngine:
         base = spiky.base_rtt_ms(e1, e2)
         rng = np.random.default_rng(8)
         medians = []
-        for _ in range(30):
+        # with spike_prob 0.3 the expected fraction of 6-packet batches whose
+        # median stays under 1.5x base is ~0.74 (>= 3 spiked packets drag the
+        # median up); sample enough batches to assert well clear of noise
+        for _ in range(60):
             med = engine.ping(e1, e2, rng, count=6).median_rtt()
             if med is not None:
                 medians.append(med)
         within = sum(1 for m in medians if m < base * 1.5)
-        assert within / len(medians) > 0.7
+        assert within / len(medians) > 0.6
 
 
 class TestBackboneStretch:
