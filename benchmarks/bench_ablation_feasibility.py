@@ -9,8 +9,6 @@ and re-verifies soundness against base RTTs.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.colo import ColoRelayPipeline
 from repro.core.config import CampaignConfig
 from repro.core.eyeballs import EyeballSelector

@@ -10,8 +10,6 @@ geodesics matters more than redundancy inside one metro.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.colo import ColoRelayPipeline
 from repro.core.config import CampaignConfig
 from repro.core.eyeballs import EyeballSelector

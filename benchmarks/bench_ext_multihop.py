@@ -8,8 +8,6 @@ over base RTTs for sampled endpoint pairs and Colo relays.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.multihop import two_relay_study
 from repro.core.colo import ColoRelayPipeline
 from repro.core.config import CampaignConfig

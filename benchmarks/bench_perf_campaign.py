@@ -1,27 +1,48 @@
 """PERF — wall-clock of the measurement engine on the full-world campaign.
 
 Times the standard 6-round full-world campaign (seed 11, the same workload
-the analysis benches share) and writes ``BENCH_campaign.json`` at the repo
-root so future PRs have a perf trajectory to compare against.  The recorded
-baseline is the pre-vectorization scalar engine (per-packet ``sample_rtt_ms``
-calls, per-(pair, relay) Python feasibility loop, per-candidate haversine in
-the path walker) measured with this same protocol on the same machine.
+the analysis benches share) plus a multi-seed sweep, and writes
+``BENCH_campaign.json`` at the repo root so future PRs have a perf
+trajectory to compare against.  Two frozen reference points are recorded:
+the original scalar engine (PR 0 seed) and the PR 1 vectorized engine,
+both measured with this same protocol on the same machine.  The current
+engine is PR 2's precomputed routing fabric on top of the vectorized
+measurement path.
 
-Run standalone with ``PYTHONPATH=src python benchmarks/bench_perf_campaign.py``
-or via pytest with the other benches.
+Run standalone with ``python benchmarks/bench_perf_campaign.py`` or via
+pytest with the other benches.  ``--smoke --rounds N --budget-factor F``
+runs one N-round campaign and exits non-zero if it takes more than F times
+the recorded current wall clock pro-rated to N rounds (the CI smoke job's
+sanity check).
 """
 
 from __future__ import annotations
 
+import argparse
+import importlib.util
 import json
 import pathlib
+import sys
 import time
 
-from repro import CampaignConfig, MeasurementCampaign, build_world
+if importlib.util.find_spec("repro") is None:  # bare checkout: src layout
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import (
+    CampaignConfig,
+    MeasurementCampaign,
+    SweepConfig,
+    build_world,
+    run_sweep,
+)
 
 SEED = 11
 ROUNDS = 6
 REPEATS = 5  #: best-of-N wall clock; each repetition is cold (fresh world)
+
+SWEEP_SEEDS = (11, 12, 13, 14)
+SWEEP_ROUNDS = 2
+SWEEP_WORKERS = 4
 
 #: Pre-vectorization engine, measured with this harness (commit fc11ff1):
 #: 6-round full-world campaign, seed 11.  Feasibility checks counted from a
@@ -35,18 +56,40 @@ BASELINE = {
     "feasibility_checks_per_s": 265_797,
 }
 
+#: PR 1 engine (vectorized pings + matrix feasibility, lazy scalar routing),
+#: measured with this harness (commit f1691a9) on the same workload.
+VECTORIZED = {
+    "engine": "vectorized (NumPy delay matrices + batched pings)",
+    "wall_clock_s": 3.423,
+    "pings": 1_032_780,
+    "pings_per_s": 301_696,
+    "feasibility_checks": 4_938_675,
+    "feasibility_checks_per_s": 1_442_690,
+}
+
 _OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_campaign.json"
 
 
+def _run_campaign(rounds: int) -> tuple[float, float, object, object]:
+    """One cold campaign run: (fabric_build_s, total_s, result, world)."""
+    world = build_world(seed=SEED)
+    campaign = MeasurementCampaign(world, CampaignConfig(num_rounds=rounds))
+    t0 = time.perf_counter()
+    world.ensure_routing_fabric()
+    fabric_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    result = campaign.run()
+    return fabric_s, time.perf_counter() - t0 + fabric_s, result, world
+
+
 def run_bench() -> dict:
-    """Time the campaign cold (best of REPEATS) and assemble the report."""
+    """Time the campaign cold (best of REPEATS) plus one sweep; assemble the report."""
     elapsed = float("inf")
+    fabric_s = float("inf")
     for _ in range(REPEATS):
-        world = build_world(seed=SEED)
-        campaign = MeasurementCampaign(world, CampaignConfig(num_rounds=ROUNDS))
-        start = time.perf_counter()
-        result = campaign.run()
-        elapsed = min(elapsed, time.perf_counter() - start)
+        build_s, total_s, result, world = _run_campaign(ROUNDS)
+        if total_s < elapsed:
+            elapsed, fabric_s = total_s, build_s
 
     # the Sec 2.4 bound is evaluated for every (measured pair, round relay)
     feasibility_checks = sum(
@@ -55,8 +98,9 @@ def run_bench() -> dict:
         for rnd in result.rounds
     )
     current = {
-        "engine": "vectorized (NumPy delay matrices + batched pings)",
+        "engine": "fabric (precomputed tables + attachment delay grid, vectorized pings)",
         "wall_clock_s": round(elapsed, 3),
+        "fabric_build_s": round(fabric_s, 3),
         "pings": result.total_pings,
         "pings_per_s": int(result.total_pings / elapsed),
         "feasibility_checks": feasibility_checks,
@@ -64,16 +108,55 @@ def run_bench() -> dict:
         "rounds": ROUNDS,
         "seed": SEED,
         "pairs_observed": sum(len(r.observations) for r in result.rounds),
+        "routing_destinations": len(world.campaign_destination_asns()),
     }
+
+    sweep_artifact = run_sweep(
+        SweepConfig(seeds=SWEEP_SEEDS, rounds=SWEEP_ROUNDS, workers=SWEEP_WORKERS)
+    )
+    sweep = {
+        "workload": sweep_artifact["workload"],
+        "seeds": list(SWEEP_SEEDS),
+        "rounds": SWEEP_ROUNDS,
+        "workers": SWEEP_WORKERS,
+        "wall_clock_s": sweep_artifact["timing"]["wall_clock_s"],
+        "per_seed_s": sweep_artifact["timing"]["per_seed_s"],
+        "total_pings": sum(m["total_pings"] for m in sweep_artifact["per_seed"]),
+    }
+
     report = {
         "workload": f"{ROUNDS}-round full-world campaign, seed {SEED}",
         "protocol": f"best of {REPEATS} cold runs (fresh world per run)",
         "baseline": BASELINE,
+        "vectorized": VECTORIZED,
         "current": current,
         "speedup": round(BASELINE["wall_clock_s"] / elapsed, 2),
+        "speedup_vs_vectorized": round(VECTORIZED["wall_clock_s"] / elapsed, 2),
+        "sweep": sweep,
     }
     _OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
+
+
+def run_smoke(rounds: int, budget_factor: float) -> int:
+    """One campaign run checked against the recorded wall clock, pro-rated.
+
+    The budget is ``budget_factor x`` the recorded current wall clock
+    scaled to ``rounds``, plus a 2 s grace for fixed per-run costs (world
+    build amortisation, fabric precompute) that do not scale with rounds.
+    Returns a process exit code.
+    """
+    recorded = json.loads(_OUT_PATH.read_text())["current"]
+    budget = budget_factor * recorded["wall_clock_s"] * rounds / recorded["rounds"] + 2.0
+    _, elapsed, result, _world = _run_campaign(rounds)
+    ok = elapsed <= budget
+    print(
+        f"smoke: {rounds}-round campaign took {elapsed:.2f} s "
+        f"(budget {budget:.2f} s = {budget_factor}x pro-rated recorded "
+        f"{recorded['wall_clock_s']} s / {recorded['rounds']} rounds + 2 s grace); "
+        f"{result.total_pings} pings -> {'OK' if ok else 'TOO SLOW'}"
+    )
+    return 0 if ok else 1
 
 
 def test_perf_campaign(report_sink):
@@ -84,16 +167,37 @@ def test_perf_campaign(report_sink):
         f"workload: {report['workload']}\n"
         f"baseline (scalar engine): {BASELINE['wall_clock_s']:.2f} s, "
         f"{BASELINE['pings_per_s']:,} pings/s\n"
-        f"current (vectorized engine): {current['wall_clock_s']:.2f} s, "
+        f"PR 1 (vectorized engine): {VECTORIZED['wall_clock_s']:.2f} s, "
+        f"{VECTORIZED['pings_per_s']:,} pings/s\n"
+        f"current (fabric engine): {current['wall_clock_s']:.2f} s "
+        f"(fabric build {current['fabric_build_s']:.2f} s, "
+        f"{current['routing_destinations']} destinations), "
         f"{current['pings_per_s']:,} pings/s, "
         f"{current['feasibility_checks_per_s']:,} feasibility checks/s\n"
-        f"speedup: {report['speedup']:.1f}x (written to {_OUT_PATH.name})",
+        f"speedup: {report['speedup']:.1f}x vs scalar, "
+        f"{report['speedup_vs_vectorized']:.2f}x vs vectorized\n"
+        f"sweep: {report['sweep']['workload']} in {report['sweep']['wall_clock_s']:.2f} s "
+        f"({report['sweep']['workers']} workers) (written to {_OUT_PATH.name})",
     )
-    # the vectorized engine must stay well ahead of the scalar baseline;
-    # the margin absorbs machine noise without masking real regressions
-    assert report["speedup"] >= 3.0
+    # the fabric engine must stay well ahead of both recorded engines;
+    # the margins absorb machine noise without masking real regressions
+    assert report["speedup"] >= 4.5
+    assert report["speedup_vs_vectorized"] >= 1.2
     assert current["pings"] > 0
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one timed run checked against the recorded wall clock",
+    )
+    parser.add_argument("--rounds", type=int, default=1, help="smoke-run rounds")
+    parser.add_argument(
+        "--budget-factor", type=float, default=3.0,
+        help="smoke budget as a multiple of the pro-rated recorded wall clock",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.smoke:
+        sys.exit(run_smoke(cli_args.rounds, cli_args.budget_factor))
     print(json.dumps(run_bench(), indent=2))

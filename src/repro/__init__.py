@@ -25,12 +25,14 @@ from repro.world import World, WorldConfig, build_world
 from repro.core.config import CampaignConfig
 from repro.core.campaign import MeasurementCampaign
 from repro.core.results import CampaignResult, PairObservation, RoundResult
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.routing.fabric import RoutingFabric
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.analysis.ranking import TopRelayAnalysis
 from repro.analysis.facilities import FacilityTable
 from repro.analysis.stability import StabilityAnalysis
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "World",
@@ -41,6 +43,9 @@ __all__ = [
     "CampaignResult",
     "RoundResult",
     "PairObservation",
+    "SweepConfig",
+    "run_sweep",
+    "RoutingFabric",
     "ImprovementAnalysis",
     "TopRelayAnalysis",
     "FacilityTable",

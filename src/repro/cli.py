@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``)::
     repro summary   --seed 11 [--countries 24]
     repro funnel    --seed 11
     repro campaign  --seed 11 --rounds 4 --out result.json
+    repro sweep     --num-seeds 4 --base-seed 11 --rounds 4 --out sweep.json
     repro analyze   result.json --report fig2
     repro analyze   result.json --report table1 --seed 11
 """
@@ -16,6 +17,7 @@ Usage (also via ``python -m repro``)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -23,7 +25,7 @@ from repro.core.campaign import MeasurementCampaign
 from repro.core.colo import ColoRelayPipeline
 from repro.core.config import CampaignConfig
 from repro.core.io import load_result, save_result
-from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.core.types import RELAY_TYPE_ORDER
 from repro.errors import ReproError
 from repro.topology.config import TopologyConfig
 from repro.world import WorldConfig, build_world
@@ -70,6 +72,40 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     save_result(result, args.out)
     print(f"wrote {result.total_cases} observations to {args.out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.sweep import SweepConfig, run_sweep
+
+    if args.seeds is not None:
+        seeds = tuple(args.seeds)
+    else:
+        seeds = tuple(range(args.base_seed, args.base_seed + args.num_seeds))
+    config = SweepConfig(
+        seeds=seeds,
+        rounds=args.rounds,
+        countries=args.countries,
+        max_countries=args.max_countries,
+        workers=args.workers,
+    )
+    artifact = run_sweep(config)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    timing = artifact["timing"]
+    print(
+        f"{artifact['workload']}: {timing['wall_clock_s']} s "
+        f"({timing['workers']} worker{'s' if timing['workers'] != 1 else ''})",
+        file=sys.stderr,
+    )
+    for key, value in artifact["aggregate"].items():
+        if key.startswith("win_rate_") and value is not None:
+            print(
+                f"{key:>24}: mean {value['mean']:.4f} "
+                f"[{value['min']:.4f}, {value['max']:.4f}]"
+            )
+    print(f"wrote {len(artifact['per_seed'])} seed summaries to {args.out}")
     return 0
 
 
@@ -189,6 +225,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_campaign.add_argument("--out", required=True, help="output JSON path")
     p_campaign.set_defaults(func=_cmd_campaign)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run the campaign for several seeds and aggregate metrics"
+    )
+    p_sweep.add_argument(
+        "--seeds", type=int, nargs="+", default=None,
+        help="explicit seed list (overrides --num-seeds/--base-seed)",
+    )
+    p_sweep.add_argument("--num-seeds", type=int, default=4)
+    p_sweep.add_argument("--base-seed", type=int, default=11)
+    p_sweep.add_argument("--rounds", type=int, default=4)
+    p_sweep.add_argument(
+        "--countries", type=int, default=None,
+        help="limit each world to N countries (default: all)",
+    )
+    p_sweep.add_argument(
+        "--max-countries", type=int, default=None, help="endpoint countries per round"
+    )
+    p_sweep.add_argument(
+        "--workers", type=int, default=1, help="process-pool size (1 = inline)"
+    )
+    p_sweep.add_argument("--out", required=True, help="output JSON path")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_analyze = sub.add_parser("analyze", help="analyse a stored campaign result")
     p_analyze.add_argument("result", help="result JSON written by 'campaign'")

@@ -23,6 +23,12 @@ a handful of RNG calls).  Step 3's Sec 2.4 bound is evaluated for all
 flows matrix-shaped through leg selection and overlay stitching — no
 Python-level per-(pair, relay) loop survives between feasibility and the
 final per-pair observation assembly.
+
+Routing is precomputed rather than faulted in: before the first round the
+campaign asks the world to build its :class:`~repro.routing.fabric
+.RoutingFabric` for the full endpoint+relay destination set, so every BGP
+path a round needs is a predecessor-array walk instead of a first-time
+scalar table computation mid-measurement.
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ from repro.core.results import (
     RoundResult,
 )
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import AnalysisError
 from repro.latency.model import Endpoint
 from repro.measurement.atlas import AtlasProbe
 from repro.world import World
@@ -116,6 +123,7 @@ class MeasurementCampaign:
         ``progress``, if given, is called after each round with
         ``(round_index, round_result)``.
         """
+        self._world.ensure_routing_fabric()
         rounds = []
         for round_index in range(self._cfg.num_rounds):
             result = self.run_round(round_index)
@@ -318,10 +326,16 @@ class MeasurementCampaign:
 
         matrix = self._world.delay_matrix
         n = len(relays)
+        codes = np.asarray(type_codes, dtype=np.intp)
+        # the stitching reductions slice type columns contiguously and group
+        # improving entries by a (pair, type) key — both require the sample
+        # to stay in RELAY_TYPE_ORDER
+        if codes.size and np.any(np.diff(codes) < 0):
+            raise AnalysisError("relay sample not grouped in RELAY_TYPE_ORDER")
         return _RelayArrays(
             items=tuple(relays),
             registry_idx=np.fromiter((idx for idx, _ in relays), np.intp, n),
-            type_codes=np.asarray(type_codes, dtype=np.intp),
+            type_codes=codes,
             ccs=np.array(ccs, dtype="U3"),
             city_idx=matrix.indices(ep.city_key for _, ep in relays),
         )
@@ -388,98 +402,135 @@ class MeasurementCampaign:
         stitched = leg_matrix[e1_rows] + leg_matrix[e2_rows]
         usable = mask & ~np.isnan(stitched)
         improving = usable & (stitched < direct_ms[:, np.newaxis])
+        # country comparison on int codes: elementwise U3 string equality
+        # over a (pairs × relays) broadcast is far slower than int equality
         pair_ccs_1 = np.array([by_id[p1].cc for p1, _ in pair_rows], dtype="U3")
         pair_ccs_2 = np.array([by_id[p2].cc for _, p2 in pair_rows], dtype="U3")
-        same_country = (relays.ccs[np.newaxis, :] == pair_ccs_1[:, np.newaxis]) | (
-            relays.ccs[np.newaxis, :] == pair_ccs_2[:, np.newaxis]
+        cc_codes = np.unique(
+            np.concatenate((relays.ccs, pair_ccs_1, pair_ccs_2)), return_inverse=True
+        )[1]
+        relay_cc = cc_codes[: relays.count]
+        cc1 = cc_codes[relays.count : relays.count + n_pairs]
+        cc2 = cc_codes[relays.count + n_pairs :]
+        same_country = (relay_cc[np.newaxis, :] == cc1[:, np.newaxis]) | (
+            relay_cc[np.newaxis, :] == cc2[:, np.newaxis]
         )
+        diff_country = ~same_country
 
-        # per relay-type reductions, each (pairs,)
+        # per relay-type reductions, each (pairs,).  _assemble_relays adds
+        # relays in RELAY_TYPE_ORDER, so a type's columns are one contiguous
+        # slice — every reduction below works on a view instead of paying a
+        # full-width masked pass per type.
+        type_bounds = np.searchsorted(
+            relays.type_codes, np.arange(num_types + 1)
+        ).tolist()
         feasible_counts = np.zeros((num_types, n_pairs), dtype=np.intp)
         best_cols = np.zeros((num_types, n_pairs), dtype=np.intp)
         best_vals = np.full((num_types, n_pairs), np.inf)
         flags = np.zeros((num_types, 4, n_pairs), dtype=bool)
         arange = np.arange(n_pairs)
         for code in range(num_types if relays.count else 0):
-            type_cols = relays.type_codes == code
-            feasible_counts[code] = np.count_nonzero(
-                mask[:, type_cols], axis=1
-            )
-            usable_t = usable & type_cols[np.newaxis, :]
-            improving_t = improving & type_cols[np.newaxis, :]
+            lo, hi = type_bounds[code], type_bounds[code + 1]
+            if lo == hi:
+                continue  # no relays of the type: zeros / inf defaults hold
+            usable_t = usable[:, lo:hi]
+            improving_t = improving[:, lo:hi]
+            same_t = same_country[:, lo:hi]
+            diff_t = diff_country[:, lo:hi]
+            feasible_counts[code] = np.count_nonzero(mask[:, lo:hi], axis=1)
             # (usable_same, improving_same, usable_diff, improving_diff)
-            flags[code, 0] = np.any(usable_t & same_country, axis=1)
-            flags[code, 1] = np.any(improving_t & same_country, axis=1)
-            flags[code, 2] = np.any(usable_t & ~same_country, axis=1)
-            flags[code, 3] = np.any(improving_t & ~same_country, axis=1)
-            candidates = np.where(usable_t, stitched, np.inf)
-            best_cols[code] = np.argmin(candidates, axis=1)
-            best_vals[code] = candidates[arange, best_cols[code]]
+            flags[code, 0] = np.any(usable_t & same_t, axis=1)
+            flags[code, 1] = np.any(improving_t & same_t, axis=1)
+            flags[code, 2] = np.any(usable_t & diff_t, axis=1)
+            flags[code, 3] = np.any(improving_t & diff_t, axis=1)
+            candidates = np.where(usable_t, stitched[:, lo:hi], np.inf)
+            cols = np.argmin(candidates, axis=1)
+            best_cols[code] = cols + lo
+            best_vals[code] = candidates[arange, cols]
 
-        # improving (relay, gain) entries, grouped per pair in column order
+        # improving (relay, gain) entries: np.nonzero walks row-major and
+        # type columns are contiguous, so entries arrive grouped by
+        # (pair, type) — one searchsorted yields every group's bounds and
+        # the packaging loop below slices instead of iterating entries
         imp_pair, imp_col = np.nonzero(improving)
         imp_reg = relays.registry_idx[imp_col].tolist()
-        imp_type = relays.type_codes[imp_col].tolist()
         imp_gain = (direct_ms[imp_pair] - stitched[imp_pair, imp_col]).tolist()
-        bounds = np.searchsorted(imp_pair, np.arange(n_pairs + 1)).tolist()
+        imp_group = imp_pair * num_types + relays.type_codes[imp_col]
+        group_bounds = np.searchsorted(
+            imp_group, np.arange(n_pairs * num_types + 1)
+        ).tolist()
 
-        # one bulk NumPy->Python conversion; the packaging loop below then
-        # runs on plain lists (per-element np scalar conversion is slow)
+        # one bulk NumPy->Python conversion, then one transpose so the
+        # packaging loop reads each pair's data as a single row (building
+        # its dicts with C-speed dict(zip(...)) instead of per-type Python)
         registry_idx = relays.registry_idx.tolist()
-        best_cols_l = best_cols.tolist()
-        best_vals_l = best_vals.tolist()
-        feasible_counts_l = feasible_counts.tolist()
-        flags_l = [
-            [tuple(flag_row) for flag_row in np.transpose(flags[code]).tolist()]
-            for code in range(num_types)
+        best_cols_rows = np.transpose(best_cols).tolist()  # (pairs, types)
+        best_vals_rows = np.transpose(best_vals).tolist()
+        feasible_rows = np.transpose(feasible_counts).tolist()
+        # (pairs,) of per-type (usable_same, improving_same, usable_diff,
+        # improving_diff) tuples
+        country_rows = [
+            tuple(map(tuple, pair_flags))
+            for pair_flags in np.transpose(flags, (2, 0, 1)).tolist()
         ]
 
         # one packaging loop and one construction site for every step-4
         # pair; pairs absent from step 2's feasibility pass (no packed row)
         # get the same record with empty relay data, as in the scalar engine
         packed = {pair: k for k, pair in enumerate(pair_rows)}
+        endpoint_info = {
+            pid: (p.cc, p.node.city_key) for pid, p in by_id.items()
+        }
         observations = []
         inf = float("inf")
-        for (id1, id2), direct_rtt in direct.items():
-            k = packed.get((id1, id2))
-            p1, p2 = by_id[id1], by_id[id2]
-            best: dict[RelayType, tuple[int, float]] = {}
-            improving_by_type: dict[RelayType, list[tuple[int, float]]] = {
-                t: [] for t in RELAY_TYPE_ORDER
-            }
+        no_relays_feasible = dict(zip(RELAY_TYPE_ORDER, (0,) * num_types))
+        no_relays_groups = dict.fromkeys(
+            RELAY_TYPE_ORDER, (False, False, False, False)
+        )
+        no_relays_improving = dict.fromkeys(RELAY_TYPE_ORDER, ())
+        for pair, direct_rtt in direct.items():
+            k = packed.get(pair)
+            id1, id2 = pair
             if k is not None:
-                for code, relay_type in enumerate(RELAY_TYPE_ORDER):
-                    val = best_vals_l[code][k]
-                    if val != inf:
-                        best[relay_type] = (registry_idx[best_cols_l[code][k]], val)
-                for j in range(bounds[k], bounds[k + 1]):
-                    improving_by_type[RELAY_TYPE_ORDER[imp_type[j]]].append(
-                        (imp_reg[j], imp_gain[j])
+                best = {
+                    relay_type: (registry_idx[col], val)
+                    for relay_type, col, val in zip(
+                        RELAY_TYPE_ORDER, best_cols_rows[k], best_vals_rows[k]
                     )
+                    if val != inf
+                }
+                improving_by_type = dict(no_relays_improving)
+                base = k * num_types
+                for code in range(num_types):
+                    j0 = group_bounds[base + code]
+                    j1 = group_bounds[base + code + 1]
+                    if j1 > j0:
+                        improving_by_type[RELAY_TYPE_ORDER[code]] = tuple(
+                            zip(imp_reg[j0:j1], imp_gain[j0:j1])
+                        )
+                feasible_by_type = dict(zip(RELAY_TYPE_ORDER, feasible_rows[k]))
+                country_groups = dict(zip(RELAY_TYPE_ORDER, country_rows[k]))
+            else:
+                best = {}
+                improving_by_type = dict(no_relays_improving)
+                feasible_by_type = dict(no_relays_feasible)
+                country_groups = dict(no_relays_groups)
+            cc1, city1 = endpoint_info[id1]
+            cc2, city2 = endpoint_info[id2]
             observations.append(
                 PairObservation(
-                    round_index=round_index,
-                    e1_id=id1,
-                    e2_id=id2,
-                    e1_cc=p1.cc,
-                    e2_cc=p2.cc,
-                    e1_city=p1.node.city_key,
-                    e2_city=p2.node.city_key,
-                    direct_rtt_ms=direct_rtt,
-                    best_by_type=best,
-                    improving_by_type={
-                        t: tuple(entries) for t, entries in improving_by_type.items()
-                    },
-                    feasible_by_type={
-                        t: feasible_counts_l[code][k] if k is not None else 0
-                        for code, t in enumerate(RELAY_TYPE_ORDER)
-                    },
-                    country_groups_by_type={
-                        t: flags_l[code][k]
-                        if k is not None
-                        else (False, False, False, False)
-                        for code, t in enumerate(RELAY_TYPE_ORDER)
-                    },
+                    round_index,
+                    id1,
+                    id2,
+                    cc1,
+                    cc2,
+                    city1,
+                    city2,
+                    direct_rtt,
+                    best,
+                    improving_by_type,
+                    feasible_by_type,
+                    country_groups,
                 )
             )
         return observations

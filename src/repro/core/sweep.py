@@ -1,0 +1,166 @@
+"""Multi-seed campaign sweeps.
+
+One seed is one synthetic Internet; the paper's qualitative claims (colo
+relays win most cases, median RTT reductions in the tens of ms) should hold
+across *worlds*, not just across rounds of one world.  :func:`run_sweep`
+runs the full campaign for N seeds — optionally in parallel via
+:mod:`concurrent.futures` — and aggregates each seed's paper-shape metrics
+(per-relay-type win rates, median RTT reduction of improved cases) into a
+single JSON-ready artifact.
+
+Determinism: every per-seed metric depends only on ``(seed, rounds,
+countries, max_countries)``, so the ``config``, ``per_seed`` and
+``aggregate`` sections of the artifact are identical regardless of the
+worker count (the CLI test asserts this).  Wall-clock measurements live in
+a separate ``timing`` section.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.analysis.improvements import ImprovementAnalysis
+from repro.core.campaign import MeasurementCampaign
+from repro.core.config import CampaignConfig
+from repro.core.types import RELAY_TYPE_ORDER
+from repro.errors import ConfigError
+from repro.topology.config import TopologyConfig
+from repro.world import WorldConfig, build_world
+
+
+@dataclass(frozen=True, slots=True)
+class SweepConfig:
+    """Parameters of a multi-seed campaign sweep."""
+
+    seeds: tuple[int, ...]
+    """World seeds to run, one full campaign each."""
+
+    rounds: int = 4
+    """Measurement rounds per seed."""
+
+    countries: int | None = None
+    """Optional world country limit (None = all countries)."""
+
+    max_countries: int | None = None
+    """Optional cap on endpoint countries per round."""
+
+    workers: int = 1
+    """Process-pool size; 1 runs the seeds inline."""
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ConfigError("sweep needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigError(f"duplicate seeds in sweep: {self.seeds}")
+        if self.rounds < 1:
+            raise ConfigError("rounds must be >= 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+
+
+def run_seed_campaign(
+    seed: int,
+    rounds: int,
+    countries: int | None = None,
+    max_countries: int | None = None,
+) -> dict:
+    """Run one seed's campaign and return its paper-shape metrics.
+
+    The returned dict is deterministic given the arguments except for
+    ``wall_clock_s`` (reported under the same key the sweep's ``timing``
+    section uses, and stripped from the deterministic sections).
+    """
+    world = build_world(
+        seed=seed,
+        config=WorldConfig(topology=TopologyConfig(country_limit=countries)),
+    )
+    campaign = MeasurementCampaign(
+        world, CampaignConfig(num_rounds=rounds, max_countries=max_countries)
+    )
+    start = time.perf_counter()
+    result = campaign.run()
+    wall_clock_s = time.perf_counter() - start
+
+    analysis = ImprovementAnalysis(result)
+    metrics: dict = {
+        "seed": seed,
+        "total_cases": result.total_cases,
+        "total_pings": result.total_pings,
+        "relays_registered": len(result.registry),
+    }
+    for relay_type in RELAY_TYPE_ORDER:
+        name = relay_type.value
+        metrics[f"win_rate_{name}"] = round(analysis.improved_fraction(relay_type), 4)
+        median = analysis.median_improvement(relay_type)
+        metrics[f"median_rtt_reduction_ms_{name}"] = (
+            round(median, 3) if median is not None else None
+        )
+    return {"metrics": metrics, "wall_clock_s": round(wall_clock_s, 3)}
+
+
+def _sweep_job(args: tuple[int, int, int | None, int | None]) -> dict:
+    """Picklable process-pool entry point."""
+    return run_seed_campaign(*args)
+
+
+def _aggregate(per_seed: list[dict]) -> dict:
+    """Mean / min / max of every numeric metric across seeds.
+
+    ``None`` entries (a relay type that improved nothing for some seed) are
+    skipped; a metric that is None for every seed aggregates to None.
+    """
+    aggregate: dict = {}
+    for key in per_seed[0]:
+        if key == "seed":
+            continue
+        values = [m[key] for m in per_seed if m[key] is not None]
+        if not values:
+            aggregate[key] = None
+            continue
+        aggregate[key] = {
+            "mean": round(sum(values) / len(values), 4),
+            "min": min(values),
+            "max": max(values),
+        }
+    return aggregate
+
+
+def run_sweep(config: SweepConfig) -> dict:
+    """Run the sweep and return the aggregated artifact (JSON-ready).
+
+    Artifact sections: ``config`` (the sweep parameters), ``per_seed``
+    (each seed's metrics, in ``config.seeds`` order), ``aggregate``
+    (mean/min/max across seeds) — all deterministic across worker counts —
+    plus ``timing`` (wall clocks, worker count).
+    """
+    jobs = [
+        (seed, config.rounds, config.countries, config.max_countries)
+        for seed in config.seeds
+    ]
+    start = time.perf_counter()
+    if config.workers == 1:
+        outcomes = [_sweep_job(job) for job in jobs]
+    else:
+        with ProcessPoolExecutor(max_workers=config.workers) as pool:
+            outcomes = list(pool.map(_sweep_job, jobs))
+    wall_clock_s = time.perf_counter() - start
+
+    per_seed = [outcome["metrics"] for outcome in outcomes]
+    return {
+        "workload": f"{len(config.seeds)}-seed sweep, {config.rounds} rounds each",
+        "config": {
+            "seeds": list(config.seeds),
+            "rounds": config.rounds,
+            "countries": config.countries,
+            "max_countries": config.max_countries,
+        },
+        "per_seed": per_seed,
+        "aggregate": _aggregate(per_seed),
+        "timing": {
+            "workers": config.workers,
+            "wall_clock_s": round(wall_clock_s, 3),
+            "per_seed_s": [outcome["wall_clock_s"] for outcome in outcomes],
+        },
+    }

@@ -8,6 +8,12 @@ import enum
 class RelayType(enum.Enum):
     """The relay categories the paper compares (Sec 2.2-2.3)."""
 
+    # enum's default __hash__ is a Python-level function; members are
+    # singletons, so identity hashing is equivalent and C-speed.  Result
+    # packaging builds several small per-type dicts per pair observation,
+    # which makes this hash one of the campaign's hottest calls.
+    __hash__ = object.__hash__
+
     COR = "COR"
     """Colo relay: interface located in a colocation facility."""
 

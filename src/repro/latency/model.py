@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.geo.distance import SPEED_OF_LIGHT_FIBER_KM_PER_MS
 from repro.routing.bgp import BGPRouting
 from repro.routing.geopath import GeoPathWalker
 
@@ -60,6 +61,14 @@ class Endpoint:
             raise ConfigError(f"negative access_ms for {self.node_id}")
         if not 0.0 <= self.loss_prob < 1.0:
             raise ConfigError(f"loss_prob {self.loss_prob} outside [0, 1) for {self.node_id}")
+
+    def __hash__(self) -> int:
+        # node ids are unique per world, so hashing the id alone is
+        # consistent with field equality — and far cheaper than the
+        # generated all-fields hash on the cache-key hot path (str hashes
+        # are cached by the interpreter; the millions of per-leg cache
+        # lookups a campaign makes hit this)
+        return hash(self.node_id)
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,6 +132,21 @@ class LatencyModel:
         self._cfg = config or LatencyConfig()
         # path-RTT cache keyed by (src_asn, src_city, dst_asn, dst_city)
         self._path_cache: dict[tuple[int, str, int, str], float | None] = {}
+        # destination-city-independent walk data keyed by (src_asn,
+        # src_city, dst_asn): (prefix_km, end_idx, end_city, stretch,
+        # hop_ms), or None when unrouted.  Many quadruples differ only in
+        # the destination city (relays spread over a destination AS), so
+        # this drops their path + prefix lookups to one dict hit.
+        self._triple_cache: dict[
+            tuple[int, str, int], tuple[float, int, str, float, float] | None
+        ] = {}
+        # precomputed attachment-to-attachment one-way delay grid (built by
+        # the routing fabric; see set_attachment_grid).  Endpoints outside
+        # the grid (pipeline monitors, looking glasses) fall back to the
+        # per-key batch below.
+        self._grid: np.ndarray | None = None
+        self._grid_ids: dict[tuple[int, str], int] = {}
+        self._att_of: dict[Endpoint, int] = {}
         # (base RTT or NaN-if-unrouted, loss probability) per (hashable)
         # endpoint pair; both are deterministic, and the campaign
         # re-measures the same pairs twice per round (steps 2 and 4) and
@@ -181,6 +205,164 @@ class LatencyModel:
             )
             self._pair_cache[pair] = entry
         return entry
+
+    # ------------------------------------------------------- batched base RTT
+
+    def set_attachment_grid(
+        self, grid: np.ndarray, att_ids: dict[tuple[int, str], int]
+    ) -> None:
+        """Install a precomputed attachment delay grid (see
+        :meth:`RoutingFabric.build_attachment_grid`).
+
+        ``grid[s, t]`` must equal ``path_one_way_ms`` for the corresponding
+        attachment pair (NaN = unrouted); the fabric's vectorized builder
+        guarantees bit-identical values.
+        """
+        self._grid = grid
+        self._grid_ids = att_ids
+        self._att_of = {}
+
+    def _attachment_id(self, endpoint: Endpoint) -> int:
+        """The endpoint's grid row, or -1 if outside the grid."""
+        att = self._att_of.get(endpoint)
+        if att is None:
+            att = self._grid_ids.get((endpoint.asn, endpoint.city_key), -1)
+            self._att_of[endpoint] = att
+        return att
+
+    def _one_way_batch(self, keys: list[tuple[int, str, int, str]]) -> list[float]:
+        """``path_one_way_ms`` for a key list, final segments vectorized.
+
+        Per key the Python work is the cached path and walk-prefix lookups;
+        the final-segment fiber delay, stretch and per-hop arithmetic run
+        as one NumPy gather over the whole miss list, in the same operation
+        order as the scalar code (bit-identical results).  NaN marks
+        unrouted keys.
+        """
+        cache = self._path_cache
+        triples = self._triple_cache
+        routing, walker = self._routing, self._walker
+        matrix = walker.matrix
+        per_hop = self._cfg.per_hop_ms
+        out = [0.0] * len(keys)
+        miss_at: list[int] = []
+        prefix_km: list[float] = []
+        end_idx: list[int] = []
+        dst_idx: list[int] = []
+        stretch: list[float] = []
+        hop_ms: list[float] = []
+        miss_keys: list[tuple[int, str, int, str]] = []
+        nan = float("nan")
+        missing = ()
+        for j, key in enumerate(keys):
+            delay = cache.get(key, missing)
+            if delay is not missing:
+                out[j] = nan if delay is None else delay
+                continue
+            src_asn, src_city, dst_asn, dst_city = key
+            triple = (src_asn, src_city, dst_asn)
+            walk = triples.get(triple, missing)
+            if walk is missing:
+                as_path = routing.path(src_asn, dst_asn)
+                if as_path is None:
+                    walk = None
+                else:
+                    end_city, end, km = walker.walk_prefix(src_city, as_path)
+                    walk = (
+                        km,
+                        end,
+                        end_city,
+                        walker.carrier_stretch(as_path[-1]),
+                        per_hop * (len(as_path) - 1),
+                    )
+                triples[triple] = walk
+            if walk is None:
+                cache[key] = None
+                out[j] = nan
+                continue
+            km, end, end_city, carrier, hops = walk
+            miss_at.append(j)
+            miss_keys.append(key)
+            prefix_km.append(km)
+            end_idx.append(end)
+            # a zero-length final segment multiplies out to +0.0, which is
+            # exact, so the scalar code's dst==end special case needs no
+            # branch here
+            dst_idx.append(end if dst_city == end_city else matrix.index(dst_city))
+            stretch.append(carrier)
+            hop_ms.append(hops)
+        if miss_at:
+            seg = matrix.distance_km_pairs(end_idx, dst_idx)
+            delays = (
+                (np.asarray(prefix_km) + seg * np.asarray(stretch))
+                / SPEED_OF_LIGHT_FIBER_KM_PER_MS
+                + np.asarray(hop_ms)
+            ).tolist()
+            for j, key, delay in zip(miss_at, miss_keys, delays):
+                cache[key] = delay
+                out[j] = delay
+        return out
+
+    def _pair_entries(
+        self, pairs: Sequence[tuple[Endpoint, Endpoint]]
+    ) -> list[tuple[float, float]]:
+        """``(base-or-NaN, loss)`` per pair, computing uncached ones in bulk.
+
+        Base-RTT assembly (forward + reverse + access, skew) runs as NumPy
+        elementwise expressions in the scalar code's operation order, so the
+        cached entries are bit-identical to :meth:`_pair_entry`'s.  One
+        cache pass serves the whole (mostly-warm) leg list.
+        """
+        cache = self._pair_cache
+        entries = [cache.get(p) for p in pairs]
+        if None not in entries:
+            return entries
+        misses = list(
+            dict.fromkeys(p for p, e in zip(pairs, entries) if e is None)
+        )
+        n = len(misses)
+        grid = self._grid
+        if grid is not None:
+            att = self._attachment_id
+            src_ids = np.fromiter((att(s) for s, _ in misses), np.intp, n)
+            dst_ids = np.fromiter((att(d) for _, d in misses), np.intp, n)
+            on_grid = (src_ids >= 0) & (dst_ids >= 0)
+            fwd = np.where(on_grid, grid[src_ids, dst_ids], np.nan)
+            rev = np.where(on_grid, grid[dst_ids, src_ids], np.nan)
+            off = np.nonzero(~on_grid)[0]
+            if off.size:
+                off_list = off.tolist()
+                off_pairs = [misses[i] for i in off_list]
+                both = self._one_way_batch(
+                    [(s.asn, s.city_key, d.asn, d.city_key) for s, d in off_pairs]
+                    + [(d.asn, d.city_key, s.asn, s.city_key) for s, d in off_pairs]
+                )
+                fwd[off] = both[: off.size]
+                rev[off] = both[off.size :]
+        else:
+            both = self._one_way_batch(
+                [(s.asn, s.city_key, d.asn, d.city_key) for s, d in misses]
+                + [(d.asn, d.city_key, s.asn, s.city_key) for s, d in misses]
+            )
+            fwd, rev = np.asarray(both[:n]), np.asarray(both[n:])
+        cfg = self._cfg
+        access = np.fromiter(
+            (2.0 * (s.access_ms + d.access_ms) for s, d in misses), float, n
+        )
+        skew = np.fromiter(
+            (_pair_unit_hash(s.node_id, d.node_id) for s, d in misses), float, n
+        )
+        base = (fwd + rev + access) * (
+            1.0 + (2.0 * skew - 1.0) * cfg.asymmetry_frac
+        )
+        # loss stays scalar-per-pair: its three multiplications must keep
+        # the scalar code's left-to-right association to stay bit-identical
+        loss = [self.loss_probability(s, d) for s, d in misses]
+        for pair, b, p in zip(misses, base.tolist(), loss):
+            cache[pair] = (b, p)
+        return [
+            e if e is not None else cache[p] for p, e in zip(pairs, entries)
+        ]
 
     def _base_rtt_uncached(self, src: Endpoint, dst: Endpoint) -> float | None:
         forward = self.path_one_way_ms(src.asn, src.city_key, dst.asn, dst.city_key)
@@ -257,13 +439,9 @@ class LatencyModel:
         out = np.full((n, count), np.nan)
         if n == 0:
             return out
-        pair_cache = self._pair_cache
-        pair_entry = self._pair_entry
-        base_loss = np.asarray(
-            [pair_cache.get(pair) or pair_entry(pair) for pair in pairs]
-        )
-        base = base_loss[:, 0]
-        loss = base_loss[:, 1]
+        entries = self._pair_entries(pairs)
+        base = np.fromiter((e[0] for e in entries), float, n)
+        loss = np.fromiter((e[1] for e in entries), float, n)
         routed = ~np.isnan(base)
         m = int(np.count_nonzero(routed))
         if m == 0:

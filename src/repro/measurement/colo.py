@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.geo.cities import all_cities, city as city_of
+from repro.geo.cities import all_cities
 from repro.latency.model import Endpoint
 from repro.measurement.config import InfrastructureConfig
 from repro.measurement.nodes import HostAddressBook, MeasurementNode, NodeKind

@@ -29,9 +29,13 @@ from __future__ import annotations
 import enum
 import heapq
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import RoutingError
 from repro.topology.graph import ASGraph
+
+if TYPE_CHECKING:
+    from repro.routing.fabric import RoutingFabric
 
 
 class RouteClass(enum.IntEnum):
@@ -64,16 +68,28 @@ class BGPRouting:
     """Per-destination valley-free routing over an :class:`ASGraph`.
 
     Tables are computed lazily and cached; the graph must not be mutated
-    after the first query.
+    after the first query.  When a :class:`~repro.routing.fabric
+    .RoutingFabric` is attached, queries toward destinations the fabric
+    covers are served from its precomputed arrays; the scalar computation
+    below remains the reference implementation (and the fallback for
+    uncovered destinations).
     """
 
-    def __init__(self, graph: ASGraph) -> None:
+    def __init__(self, graph: ASGraph, fabric: "RoutingFabric | None" = None) -> None:
         self._graph = graph
+        self._fabric = fabric
         self._tables: dict[int, dict[int, Route]] = {}
         # reconstructed paths are re-requested constantly by the latency
         # model (every endpoint-relay attachment pair, twice per direction);
-        # cache them per (src, dst).  Callers must not mutate the lists.
+        # cache them per (src, dst) regardless of whether they came from the
+        # fabric's predecessor arrays or the scalar walk.  Callers must not
+        # mutate the lists.
         self._paths: dict[tuple[int, int], list[int] | None] = {}
+
+    @property
+    def fabric(self) -> "RoutingFabric | None":
+        """The attached precomputed fabric, if any."""
+        return self._fabric
 
     @property
     def graph(self) -> ASGraph:
@@ -86,8 +102,11 @@ class BGPRouting:
         ASes with no valley-free route to ``dst`` are absent from the table.
         """
         if dst not in self._tables:
-            self._graph.get_as(dst)  # raises TopologyError if unknown
-            self._tables[dst] = self._compute_table(dst)
+            if self._fabric is not None and self._fabric.covers(dst):
+                self._tables[dst] = self._fabric.table_to(dst)
+            else:
+                self._graph.get_as(dst)  # raises TopologyError if unknown
+                self._tables[dst] = self._compute_table(dst)
         return self._tables[dst]
 
     def path(self, src: int, dst: int) -> list[int] | None:
@@ -99,7 +118,11 @@ class BGPRouting:
         cached = self._paths.get(key, False)
         if cached is not False:
             return cached
-        path = self._compute_path(src, dst)
+        fabric = self._fabric
+        if fabric is not None and fabric.covers(dst):
+            path = fabric.path(src, dst)
+        else:
+            path = self._compute_path(src, dst)
         self._paths[key] = path
         return path
 
@@ -115,7 +138,10 @@ class BGPRouting:
         while node != dst:
             route = table[node]
             if route.next_hop is None:
-                break
+                # a selected route that dead-ends before the destination
+                # means the table is inconsistent; the pair is unreachable
+                # (returning the truncated prefix would silently mis-route)
+                return None
             node = route.next_hop
             if node in seen:
                 raise RoutingError(f"routing loop toward AS{dst} at AS{node}")

@@ -17,6 +17,14 @@ cached rows instead of recomputing a haversine per lookup, and the
 hot-potato handover choice for a given (position, adjacency) combination is
 memoised outright — across the millions of path walks a campaign triggers,
 the same handovers recur constantly.
+
+On top of the per-hop memoisation, whole propagation walks are memoised
+through the routing fabric's :class:`~repro.routing.fabric.GeoWalkMemo`:
+the stretched-fiber prefix of a walk (everything up to the last handover)
+depends only on ``(source city, AS-path hops)``, so legs that share a
+source city and BGP path — e.g. legs toward relays in different cities of
+one destination AS — pay the hop loop once and a single final-segment
+lookup thereafter.
 """
 
 from __future__ import annotations
@@ -24,9 +32,12 @@ from __future__ import annotations
 from collections.abc import Callable
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import RoutingError
 from repro.geo.distance import FIBER_PATH_STRETCH, SPEED_OF_LIGHT_FIBER_KM_PER_MS
 from repro.geo.matrix import CityDelayMatrix
+from repro.routing.fabric import GeoWalkMemo
 from repro.topology.graph import ASGraph
 
 
@@ -51,7 +62,9 @@ class GeoPathWalker:
     (>= 1) applied to the geodesic fiber delay of its segments; the default
     treats every backbone as a flat 1.2x geodesic.  ``delay_matrix`` lets
     the caller share one :class:`CityDelayMatrix` across subsystems (the
-    world does); without one the walker builds its own.
+    world does); without one the walker builds its own.  ``walk_memo``
+    likewise shares the routing fabric's walk-prefix memo; without one the
+    walker keeps a private memo.
     """
 
     DEFAULT_STRETCH = 1.2
@@ -61,10 +74,17 @@ class GeoPathWalker:
         graph: ASGraph,
         stretch_of: Callable[[int], float] | None = None,
         delay_matrix: CityDelayMatrix | None = None,
+        walk_memo: GeoWalkMemo | None = None,
     ) -> None:
         self._graph = graph
         self._stretch_of = stretch_of
         self._matrix = delay_matrix if delay_matrix is not None else CityDelayMatrix()
+        # propagation-walk prefixes keyed by (src city, AS-path hops); see
+        # propagation_ms.  Shared via the world's fabric when provided.
+        # (explicit None check: an empty GeoWalkMemo is falsy)
+        self._prefix_cache = (
+            walk_memo if walk_memo is not None else GeoWalkMemo()
+        ).prefixes
         # adjacency interconnect tuples recur across walks; cache their
         # (city_key, matrix_index) pairs once per distinct tuple.
         self._candidate_cache: dict[tuple[str, ...], list[tuple[str, int]]] = {}
@@ -78,6 +98,18 @@ class GeoPathWalker:
         # carrier, so the per-hop work is one dict hit each.
         self._adjacency_cities: dict[tuple[int, int], tuple[str, ...]] = {}
         self._stretch_cache: dict[int, float] = {}
+        # fused hop transitions for the prefix walk: (position_idx, a, b) ->
+        # (new_city_key, new_idx, stretched_km_delta); one dict hit covers
+        # the adjacency lookup, the hot-potato handover and the segment km.
+        self._hop_cache: dict[tuple[int, int, int], tuple[str, int, float]] = {}
+        # dense per-edge handover tables for the bulk (wavefront) walker;
+        # built lazily by hop_tables()
+        self._edge_tables: tuple[dict[tuple[int, int], int], np.ndarray, np.ndarray] | None = None
+
+    @property
+    def matrix(self) -> CityDelayMatrix:
+        """The city-geometry matrix all walk distances come from."""
+        return self._matrix
 
     # ------------------------------------------------------------- geometry
 
@@ -174,6 +206,59 @@ class GeoPathWalker:
             return [src_city]
         return [segs[0][0]] + [seg[1] for seg in segs]
 
+    # ------------------------------------------------------------ bulk walk
+
+    def hop_tables(self) -> tuple[dict[tuple[int, int], int], np.ndarray, np.ndarray]:
+        """Dense hop-transition tables for the vectorized wavefront walker.
+
+        Returns ``(edge_ids, handover, km)``: ``edge_ids`` maps an AS
+        adjacency (both orientations) to a row of the ``(edges × cities)``
+        tables; ``handover[e, p]`` is the hot-potato interconnection city a
+        packet at city ``p`` crossing edge ``e`` hands over at (the first
+        minimum in the adjacency's ``interconnect_cities`` order, exactly
+        like the scalar walker); ``km[e, p]`` is the great-circle distance
+        of that hop (0.0 when the handover city *is* the current city —
+        matching the scalar walker skipping the zero-length segment).
+        Built once per walker, vectorized, and cached.
+        """
+        if self._edge_tables is not None:
+            return self._edge_tables
+        matrix = self._matrix
+        n_cities = matrix.size
+        full_km = matrix.distance_km_matrix(
+            np.arange(n_cities, dtype=np.intp), np.arange(n_cities, dtype=np.intp)
+        )
+        edges = list(self._graph.edges())
+        edge_ids: dict[tuple[int, int], int] = {}
+        city_lists = []
+        for eid, adj in enumerate(edges):
+            edge_ids[(adj.a, adj.b)] = eid
+            edge_ids[(adj.b, adj.a)] = eid
+            city_lists.append(matrix.indices(adj.interconnect_cities))
+        num_edges = len(edges)
+        width = max((c.size for c in city_lists), default=1)
+        padded = np.zeros((num_edges, width), dtype=np.intp)
+        pad_mask = np.ones((num_edges, width), dtype=bool)
+        for eid, cities in enumerate(city_lists):
+            padded[eid, : cities.size] = cities
+            pad_mask[eid, : cities.size] = False
+        # candidate distances per (city, edge, slot); argmin over slots
+        # reproduces the scalar min()'s first-minimum tie-break because
+        # slots follow interconnect_cities order
+        handover = np.empty((num_edges, n_cities), dtype=np.intp)
+        km = np.empty((num_edges, n_cities))
+        chunk = max(1, 2_000_000 // (n_cities * width))
+        for lo in range(0, num_edges, chunk):
+            hi = min(num_edges, lo + chunk)
+            cand = full_km[:, padded[lo:hi].ravel()].reshape(n_cities, hi - lo, width)
+            cand[:, pad_mask[lo:hi]] = np.inf
+            arg = cand.argmin(axis=2)  # (cities, edges_chunk)
+            rows = np.arange(hi - lo)[np.newaxis, :]
+            handover[lo:hi] = padded[lo:hi][rows, arg].T
+            km[lo:hi] = np.take_along_axis(cand, arg[:, :, np.newaxis], 2)[:, :, 0].T
+        self._edge_tables = (edge_ids, handover, km)
+        return self._edge_tables
+
     # -------------------------------------------------------------- latency
 
     def _stretch(self, asn: int) -> float:
@@ -181,7 +266,7 @@ class GeoPathWalker:
             return self.DEFAULT_STRETCH
         return self._stretch_of(asn)
 
-    def _carrier_stretch(self, asn: int) -> float:
+    def carrier_stretch(self, asn: int) -> float:
         """The carrier's validated stretch, cached per ASN."""
         stretch = self._stretch_cache.get(asn)
         if stretch is None:
@@ -193,16 +278,73 @@ class GeoPathWalker:
             self._stretch_cache[asn] = stretch
         return stretch
 
+    def walk_prefix(self, src_city: str, as_path: list[int]) -> tuple[str, int, float]:
+        """Stretched fiber km of the walk up to its last handover, memoised.
+
+        Returns ``(end_city_key, end_city_index, stretched_km)``; the
+        destination-independent part of :meth:`propagation_ms`'s sum, in
+        the same accumulation order (so memoised results are bit-identical
+        to un-memoised ones).  Memoised per ``(src_city, AS-path)`` in the
+        shared :class:`GeoWalkMemo`.
+        """
+        key = (src_city, tuple(as_path))
+        prefix = self._prefix_cache.get(key)
+        if prefix is None:
+            prefix = self._walk_prefix_uncached(src_city, as_path)
+            self._prefix_cache[key] = prefix
+        return prefix
+
+    def _hop(self, position_idx: int, position: str, a: int, b: int) -> tuple[str, int, float]:
+        """One fused prefix-walk transition (slow path of the hop cache)."""
+        cities = self._adjacency_cities.get((a, b))
+        if cities is None:
+            if not self._graph.are_adjacent(a, b):
+                raise RoutingError(f"AS{a} and AS{b} are not adjacent on the path")
+            cities = self._graph.adjacency(a, b).interconnect_cities
+            self._adjacency_cities[(a, b)] = cities
+        handover, handover_idx = self._handover(position_idx, cities)
+        if handover == position:
+            # a zero-km hop: += 0.0 keeps the accumulated km bit-exact
+            transition = (position, position_idx, 0.0)
+        else:
+            transition = (
+                handover,
+                handover_idx,
+                self._row(position_idx)[handover_idx] * self.carrier_stretch(a),
+            )
+        self._hop_cache[(position_idx, a, b)] = transition
+        return transition
+
+    def _walk_prefix_uncached(
+        self, src_city: str, as_path: list[int]
+    ) -> tuple[str, int, float]:
+        if not as_path:
+            raise RoutingError("empty AS path")
+        position = src_city
+        position_idx = self._matrix.index(src_city)
+        km_stretched = 0.0
+        hop_cache = self._hop_cache
+        for a, b in zip(as_path, as_path[1:]):
+            transition = hop_cache.get((position_idx, a, b))
+            if transition is None:
+                transition = self._hop(position_idx, position, a, b)
+            position, position_idx, delta = transition
+            km_stretched += delta
+        return position, position_idx, km_stretched
+
     def propagation_ms(self, src_city: str, as_path: list[int], dst_city: str) -> float:
         """One-way propagation delay along the path, with per-carrier
-        backbone stretch applied to every segment, in ms."""
-        km_stretched = 0.0
-        for _, to_city, from_idx, to_idx, carrier in self._walk(
-            src_city, as_path, dst_city
-        ):
-            if to_idx < 0:
-                to_idx = self._matrix.index(to_city)
-            km_stretched += self._row(from_idx)[to_idx] * self._carrier_stretch(carrier)
+        backbone stretch applied to every segment, in ms.
+
+        The destination-independent prefix of the walk is memoised per
+        ``(src_city, AS-path)`` (see :class:`GeoWalkMemo`); only the final
+        segment to ``dst_city`` is computed per call.
+        """
+        end_city, end_idx, km_stretched = self.walk_prefix(src_city, as_path)
+        if dst_city != end_city:
+            km_stretched += self._row(end_idx)[
+                self._matrix.index(dst_city)
+            ] * self.carrier_stretch(as_path[-1])
         return km_stretched / SPEED_OF_LIGHT_FIBER_KM_PER_MS
 
     def waypoint_propagation_ms(self, waypoint_keys: list[str]) -> float:

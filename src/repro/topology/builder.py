@@ -21,7 +21,6 @@ from repro.geo.cities import City, all_cities, cities_in_country, city as city_o
 from repro.geo.countries import all_countries
 from repro.geo.distance import great_circle_km
 from repro.net.allocator import PrefixAllocator
-from repro.net.ipv4 import IPv4Prefix
 from repro.topology.config import TopologyConfig
 from repro.topology.facilities import IXP, Facility
 from repro.topology.graph import ASGraph

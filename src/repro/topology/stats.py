@@ -14,7 +14,6 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.topology.graph import ASGraph, Relationship
-from repro.topology.types import ASType
 
 
 def customer_cone(graph: ASGraph, asn: int) -> frozenset[int]:

@@ -30,6 +30,7 @@ from repro.measurement.nodes import HostAddressBook, MeasurementNode
 from repro.measurement.planetlab import PlanetLabEmulator
 from repro.net.ipv4 import IPv4Address
 from repro.routing.bgp import BGPRouting
+from repro.routing.fabric import RoutingFabric
 from repro.routing.geopath import GeoPathWalker
 from repro.topology.builder import Topology, TopologyBuilder
 from repro.topology.config import TopologyConfig
@@ -60,7 +61,12 @@ class World:
 
         self.topology: Topology = TopologyBuilder(config.topology, self.seeds).build()
         self.graph = self.topology.graph
-        self.routing = BGPRouting(self.graph)
+        #: This world's precomputed routing fabric.  Created empty (CSR
+        #: adjacency arrays only); destination tables are bulk-computed by
+        #: :meth:`ensure_routing_fabric` when a campaign starts, and served
+        #: through :attr:`routing` transparently.
+        self.fabric = RoutingFabric(self.graph)
+        self.routing = BGPRouting(self.graph, fabric=self.fabric)
         self.backbone_stretch = BackboneStretch(self.graph)
         #: This world's vectorized city-geometry cache; shared by the path
         #: walker and the campaign's feasibility filter so delay rows are
@@ -70,6 +76,7 @@ class World:
             self.graph,
             stretch_of=self.backbone_stretch.factor,
             delay_matrix=self.delay_matrix,
+            walk_memo=self.fabric.walk_memo,
         )
         self.latency = LatencyModel(self.routing, self.walker, config.latency)
         self.ping_engine = PingEngine(self.latency)
@@ -99,6 +106,7 @@ class World:
         self._nodes_by_id: dict[str, MeasurementNode] = {}
         self._nodes_by_ip: dict[IPv4Address, MeasurementNode] = {}
         self._index_nodes()
+        self._fabric_ready = False
 
     def _index_nodes(self) -> None:
         nodes: list[MeasurementNode] = [p.node for p in self.atlas.all_probes()]
@@ -131,6 +139,49 @@ class World:
     def num_nodes(self) -> int:
         """Total number of indexed vantage points."""
         return len(self._nodes_by_id)
+
+    # ---------------------------------------------------------------- routing
+
+    def campaign_destination_asns(self) -> list[int]:
+        """Every ASN a measurement campaign can ping toward.
+
+        The union of the hosting ASes of all Atlas probes (endpoints and
+        RAR relays), PlanetLab nodes (PLR relays) and colo interfaces (COR
+        relays) — the destination set of every direct pair and relay leg a
+        campaign can measure.
+        """
+        return sorted({node.asn for node in self._campaign_nodes()})
+
+    def ensure_routing_fabric(self) -> RoutingFabric:
+        """Bulk-precompute routing for the campaign destination set.
+
+        Computes every destination routing table in one batched pass, then
+        the attachment-to-attachment one-way delay grid (vectorized
+        wavefront walks over the predecessor arrays) that the latency model
+        serves base RTTs from.  Idempotent; returns the fabric.  Called
+        eagerly by :class:`~repro.core.campaign.MeasurementCampaign` so no
+        round pays for first-time routing computation.
+        """
+        if self._fabric_ready:
+            return self.fabric
+        self.fabric.ensure(self.campaign_destination_asns())
+        attachments = sorted(
+            {(n.asn, n.city_key) for n in self._campaign_nodes()}
+        )
+        grid, att_ids = self.fabric.build_attachment_grid(
+            self.walker, attachments, self.config.latency.per_hop_ms
+        )
+        self.latency.set_attachment_grid(grid, att_ids)
+        self._fabric_ready = True
+        return self.fabric
+
+    def _campaign_nodes(self):
+        for probe in self.atlas.all_probes():
+            yield probe.node
+        for pl_node in self.planetlab.all_nodes():
+            yield pl_node.node
+        for interface in self.colo_pool.interfaces():
+            yield interface.node
 
     def summary(self) -> dict[str, int]:
         """Entity counts across the world, for logging and sanity checks."""

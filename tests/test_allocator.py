@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import AddressError, MeasurementError
+from repro.errors import AddressError
 from repro.net.allocator import PrefixAllocator
 from repro.net.ipv4 import IPv4Prefix
 

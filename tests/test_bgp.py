@@ -9,7 +9,7 @@ import pytest
 
 from repro.errors import TopologyError
 from repro.net.ipv4 import IPv4Prefix
-from repro.routing.bgp import BGPRouting, RouteClass
+from repro.routing.bgp import BGPRouting, Route, RouteClass
 from repro.topology.graph import ASGraph, Relationship
 from repro.topology.types import ASType, AutonomousSystem
 
@@ -139,6 +139,21 @@ class TestValleyFreeBasics:
         assert routing.cached_destinations() == 2
         routing.path(1, 2)
         assert routing.cached_destinations() == 2
+
+    def test_dead_end_route_is_unreachable_not_truncated(self):
+        # regression: a table whose walk dead-ends (next_hop None before
+        # reaching dst) must yield None, not a truncated path that silently
+        # ends at the wrong AS
+        g = _mk_graph(3)
+        g.add_c2p(1, 2, CITY)
+        g.add_c2p(2, 3, CITY)
+        routing = BGPRouting(g)
+        table = dict(routing.table_to(3))
+        # doctor AS2's route to a dead end, as a corrupted or partially
+        # built table would present it
+        table[2] = Route(RouteClass.CUSTOMER, 1, None)
+        routing._tables[3] = table
+        assert routing._compute_path(1, 3) is None
 
 
 def _is_valley_free(graph: ASGraph, path: list[int]) -> bool:

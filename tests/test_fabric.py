@@ -1,0 +1,180 @@
+"""Equivalence suite for the precomputed routing fabric.
+
+The fabric's batched, level-synchronous relaxation must reproduce the lazy
+scalar :class:`BGPRouting` computation *exactly* — same route classes, same
+distances, same lowest-next-hop-ASN tie-breaks — on hand-built topologies
+and on generated worlds.  The scalar code stays in the tree as the
+reference implementation precisely so this suite can compare against it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.net.ipv4 import IPv4Prefix
+from repro.routing.bgp import BGPRouting
+from repro.routing.fabric import GeoWalkMemo, RoutingFabric
+from repro.topology.graph import ASGraph
+from repro.topology.types import ASType, AutonomousSystem
+
+
+def _mk_graph(n: int) -> ASGraph:
+    g = ASGraph()
+    for asn in range(1, n + 1):
+        g.add_as(
+            AutonomousSystem(
+                asn=asn,
+                name=f"AS{asn}",
+                as_type=ASType.EYEBALL,
+                cc="DE",
+                pop_cities=("Frankfurt/DE",),
+                prefixes=(IPv4Prefix.parse(f"10.{asn}.0.0/16"),),
+            )
+        )
+    return g
+
+
+CITY = ["Frankfurt/DE"]
+
+
+def _fabric_all(graph: ASGraph) -> RoutingFabric:
+    fabric = RoutingFabric(graph)
+    fabric.ensure(graph.asns())
+    return fabric
+
+
+def _assert_tables_equal(graph: ASGraph, destinations=None) -> None:
+    reference = BGPRouting(graph)  # no fabric: pure scalar computation
+    fabric = _fabric_all(graph)
+    for dst in destinations if destinations is not None else graph.asns():
+        assert fabric.table_to(dst) == reference._compute_table(dst), f"dst {dst}"
+
+
+class TestHandBuiltEquivalence:
+    def test_chain(self):
+        g = _mk_graph(3)
+        g.add_c2p(1, 2, CITY)
+        g.add_c2p(2, 3, CITY)
+        _assert_tables_equal(g)
+
+    def test_peer_valley(self):
+        g = _mk_graph(5)
+        g.add_p2p(1, 2, CITY)
+        g.add_p2p(2, 3, CITY)
+        g.add_c2p(4, 1, CITY)
+        g.add_c2p(5, 3, CITY)
+        _assert_tables_equal(g)
+        fabric = _fabric_all(g)
+        assert fabric.path(4, 5) is None  # two peer hops: valley-free forbids
+        assert fabric.path(1, 3) is None
+
+    def test_customer_preferred_even_if_longer(self):
+        g = _mk_graph(6)
+        g.add_c2p(2, 1, CITY)
+        g.add_c2p(3, 2, CITY)
+        g.add_c2p(6, 3, CITY)
+        g.add_c2p(6, 5, CITY)
+        g.add_p2p(1, 5, CITY)
+        _assert_tables_equal(g)
+        assert _fabric_all(g).path(1, 6) == [1, 2, 3, 6]
+
+    def test_lowest_next_hop_tiebreak(self):
+        g = _mk_graph(4)
+        g.add_c2p(1, 2, CITY)
+        g.add_c2p(1, 3, CITY)
+        g.add_c2p(2, 4, CITY)
+        g.add_c2p(3, 4, CITY)
+        _assert_tables_equal(g)
+        assert _fabric_all(g).path(1, 4) == [1, 2, 4]
+
+    def test_self_path_even_for_unknown_asn(self):
+        g = _mk_graph(2)
+        g.add_c2p(1, 2, CITY)
+        fabric = _fabric_all(g)
+        assert fabric.path(1, 1) == [1]
+        assert fabric.path(99, 99) == [99]  # scalar path() behaves the same
+
+    def test_unknown_source_is_unreachable(self):
+        g = _mk_graph(2)
+        g.add_c2p(1, 2, CITY)
+        assert _fabric_all(g).path(99, 2) is None
+
+    def test_ensure_rejects_unknown_destination(self):
+        g = _mk_graph(2)
+        g.add_c2p(1, 2, CITY)
+        with pytest.raises(TopologyError):
+            RoutingFabric(g).ensure([99])
+
+    def test_ensure_is_incremental(self):
+        g = _mk_graph(3)
+        g.add_c2p(1, 2, CITY)
+        g.add_c2p(2, 3, CITY)
+        fabric = RoutingFabric(g)
+        assert fabric.ensure([2]) == 1
+        assert fabric.covers(2) and not fabric.covers(3)
+        assert fabric.ensure([2, 3]) == 1  # only the missing one computed
+        assert fabric.num_destinations() == 2
+
+
+class TestSeededWorldEquivalence:
+    def test_tables_identical_on_seeded_world(self, small_world):
+        graph = small_world.graph
+        reference = BGPRouting(graph)
+        fabric = _fabric_all(graph)
+        for dst in graph.asns():
+            assert fabric.table_to(dst) == reference._compute_table(dst), f"dst {dst}"
+
+    def test_paths_identical_on_seeded_world(self, small_world):
+        graph = small_world.graph
+        reference = BGPRouting(graph)
+        fabric = _fabric_all(graph)
+        asns = graph.asns()
+        checked = 0
+        for src in asns[::3]:
+            for dst in asns[::5]:
+                assert reference._compute_path(src, dst) == fabric.path(src, dst)
+                checked += 1
+        assert checked > 1000
+
+    def test_world_routing_serves_fabric_tables(self, small_world):
+        """The world's BGPRouting delegates to its fabric once built."""
+        small_world.ensure_routing_fabric()
+        fabric = small_world.fabric
+        assert fabric.num_destinations() > 0
+        dst = small_world.campaign_destination_asns()[0]
+        assert fabric.covers(dst)
+        assert small_world.routing.table_to(dst) == fabric.table_to(dst)
+
+    def test_worlds_same_seed_build_identical_fabrics(self):
+        from repro.topology.config import TopologyConfig
+        from repro.world import WorldConfig, build_world
+
+        config = WorldConfig(topology=TopologyConfig(country_limit=8))
+        w1 = build_world(seed=5, config=config)
+        w2 = build_world(seed=5, config=config)
+        f1 = w1.ensure_routing_fabric()
+        f2 = w2.ensure_routing_fabric()
+        assert f1.num_destinations() == f2.num_destinations()
+        for dst in w1.campaign_destination_asns()[:25]:
+            assert f1.table_to(dst) == f2.table_to(dst)
+
+
+class TestFabricArrays:
+    def test_predecessor_arrays_are_int32(self, small_world):
+        fabric = _fabric_all(small_world.graph)
+        batch = fabric._batches[0]
+        assert batch.next_hop.dtype == np.int32
+        assert batch.rclass.dtype == np.int8
+
+    def test_walk_memo_shared_with_walker(self, small_world):
+        memo = small_world.fabric.walk_memo
+        assert isinstance(memo, GeoWalkMemo)
+        asns = small_world.graph.asns()
+        path = small_world.routing.path(asns[-1], asns[0])
+        assert path is not None
+        src_city = small_world.graph.get_as(path[0]).primary_city
+        dst_city = small_world.graph.get_as(path[-1]).primary_city
+        before = len(memo)
+        small_world.walker.propagation_ms(src_city, path, dst_city)
+        assert len(memo) >= before  # walk prefixes land in the shared memo
+        assert (src_city, tuple(path)) in memo.prefixes

@@ -2,8 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
-
 from repro.errors import ConfigError, MeasurementError
 from repro.latency.backbone import STRETCH_RANGES, BackboneStretch
 from repro.latency.model import Endpoint, LatencyConfig

@@ -5,7 +5,7 @@ import pytest
 
 from repro.analysis.multihop import two_relay_study
 from repro.core.oracle import RelayPredictor, evaluate_prediction
-from repro.core.results import CampaignResult, PairObservation, RelayRegistry
+from repro.core.results import CampaignResult, PairObservation
 from repro.core.types import RelayType
 from repro.errors import AnalysisError
 

@@ -1,0 +1,124 @@
+"""Tests for the multi-seed sweep runner and its CLI subcommand."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.core.types import RELAY_TYPE_ORDER
+from repro.errors import ConfigError
+
+
+class TestSweepConfig:
+    def test_rejects_empty_seeds(self):
+        with pytest.raises(ConfigError):
+            SweepConfig(seeds=())
+
+    def test_rejects_duplicate_seeds(self):
+        with pytest.raises(ConfigError):
+            SweepConfig(seeds=(3, 3))
+
+    def test_rejects_bad_rounds_and_workers(self):
+        with pytest.raises(ConfigError):
+            SweepConfig(seeds=(1,), rounds=0)
+        with pytest.raises(ConfigError):
+            SweepConfig(seeds=(1,), workers=0)
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return run_sweep(SweepConfig(seeds=(3, 4), rounds=1, countries=8))
+
+    def test_artifact_shape(self, artifact):
+        assert artifact["config"]["seeds"] == [3, 4]
+        assert artifact["config"]["rounds"] == 1
+        assert [m["seed"] for m in artifact["per_seed"]] == [3, 4]
+        for metrics in artifact["per_seed"]:
+            assert metrics["total_cases"] > 0
+            assert metrics["total_pings"] > 0
+            for relay_type in RELAY_TYPE_ORDER:
+                assert f"win_rate_{relay_type.value}" in metrics
+                assert f"median_rtt_reduction_ms_{relay_type.value}" in metrics
+        assert "timing" in artifact and artifact["timing"]["workers"] == 1
+
+    def test_aggregate_bounds(self, artifact):
+        aggregate = artifact["aggregate"]
+        for relay_type in RELAY_TYPE_ORDER:
+            entry = aggregate[f"win_rate_{relay_type.value}"]
+            if entry is None:
+                continue
+            assert 0.0 <= entry["min"] <= entry["mean"] <= entry["max"] <= 1.0
+        cases = aggregate["total_cases"]
+        assert cases["min"] <= cases["mean"] <= cases["max"]
+
+    def test_deterministic_across_worker_counts(self, artifact):
+        parallel = run_sweep(
+            SweepConfig(seeds=(3, 4), rounds=1, countries=8, workers=2)
+        )
+        a = copy.deepcopy(artifact)
+        b = copy.deepcopy(parallel)
+        a.pop("timing")
+        b.pop("timing")
+        assert a == b
+
+    def test_aggregate_none_when_metric_missing_everywhere(self):
+        artifact = run_sweep(
+            SweepConfig(seeds=(3,), rounds=1, countries=8)
+        )
+        aggregate = artifact["aggregate"]
+        for key, entry in aggregate.items():
+            per_seed_values = [m[key] for m in artifact["per_seed"]]
+            if all(v is None for v in per_seed_values):
+                assert entry is None
+            else:
+                assert entry is not None
+
+
+class TestSweepCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "--out", "x.json"])
+        assert args.num_seeds == 4
+        assert args.base_seed == 11
+        assert args.rounds == 4
+        assert args.workers == 1
+        assert args.seeds is None
+
+    def test_parser_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_parser_explicit_seed_list(self):
+        args = build_parser().parse_args(
+            ["sweep", "--seeds", "7", "8", "9", "--out", "x.json"]
+        )
+        assert args.seeds == [7, 8, 9]
+
+    def test_end_to_end(self, tmp_path, capsys):
+        out_file = tmp_path / "sweep.json"
+        code = main(
+            [
+                "sweep",
+                "--seeds", "3", "4",
+                "--rounds", "1",
+                "--countries", "8",
+                "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "win_rate_COR" in printed
+        assert str(out_file) in printed
+        artifact = json.loads(out_file.read_text())
+        assert artifact["config"]["seeds"] == [3, 4]
+        assert len(artifact["per_seed"]) == 2
+
+    def test_duplicate_seeds_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--seeds", "3", "3", "--rounds", "1",
+             "--countries", "8", "--out", str(tmp_path / "x.json")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Unit tests for the longest-prefix-match trie."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.net.ipv4 import IPv4Address, IPv4Prefix
