@@ -26,13 +26,14 @@ from repro.core.config import CampaignConfig
 from repro.core.campaign import MeasurementCampaign
 from repro.core.results import CampaignResult, PairObservation, RoundResult
 from repro.core.sweep import SweepConfig, run_sweep
+from repro.core.table import ObservationTable, TablePools
 from repro.routing.fabric import RoutingFabric
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.analysis.ranking import TopRelayAnalysis
 from repro.analysis.facilities import FacilityTable
 from repro.analysis.stability import StabilityAnalysis
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "World",
@@ -43,6 +44,8 @@ __all__ = [
     "CampaignResult",
     "RoundResult",
     "PairObservation",
+    "ObservationTable",
+    "TablePools",
     "SweepConfig",
     "run_sweep",
     "RoutingFabric",

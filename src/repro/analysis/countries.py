@@ -6,11 +6,17 @@ non-inflated route.  The paper finds that when the min-latency COR relay
 sits in a different country than both endpoints, it improves 75% of cases,
 dropping to 50% when it shares a country with an endpoint; it also notes
 that 74% of pairs are intercontinental.
+
+Country relations are integer-code comparisons over the campaign table's
+interned country columns; the per-group rates reduce the precomputed
+``country_flags`` column directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.results import CampaignResult
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
@@ -54,24 +60,26 @@ class CountryChangeAnalysis:
         if result.total_cases == 0:
             raise AnalysisError("campaign result has no observations")
         self._result = result
+        self._table = result.table
+        # registry countries re-coded into the table's country pool, so the
+        # relation test is one integer gather + compare per relay type
+        self._registry_cc = self._table.country_codes_for(
+            record.cc for record in result.registry
+        )
 
     def split(self, relay_type: RelayType) -> CountrySplit:
         """Improvement rates by country relation of the type's best relay."""
-        registry = self._result.registry
-        diff_total = diff_improved = same_total = same_improved = 0
-        for obs in self._result.observations():
-            entry = obs.best_by_type.get(relay_type)
-            if entry is None:
-                continue
-            idx, stitched = entry
-            relay_cc = registry.get(idx).cc
-            improved = stitched < obs.direct_rtt_ms
-            if relay_cc != obs.e1_cc and relay_cc != obs.e2_cc:
-                diff_total += 1
-                diff_improved += int(improved)
-            else:
-                same_total += 1
-                same_improved += int(improved)
+        table = self._table
+        code = RELAY_TYPE_ORDER.index(relay_type)
+        best_relay = table.best_relay[code]
+        has_best = best_relay >= 0
+        relay_cc = self._registry_cc[best_relay[has_best]]
+        improved = table.best_stitched[code, has_best] < table.direct_rtt_ms[has_best]
+        same = (relay_cc == table.e1_cc[has_best]) | (relay_cc == table.e2_cc[has_best])
+        same_total = int(np.count_nonzero(same))
+        same_improved = int(np.count_nonzero(same & improved))
+        diff_total = int(np.count_nonzero(~same))
+        diff_improved = int(np.count_nonzero(~same & improved))
         return CountrySplit(diff_total, diff_improved, same_total, same_improved)
 
     def group_rates(self, relay_type: RelayType) -> CountrySplit:
@@ -83,26 +91,25 @@ class CountryChangeAnalysis:
         country; ``same`` = relays sharing a country with an endpoint.
         Denominators are cases where the group had a usable relay at all.
         """
-        diff_total = diff_improved = same_total = same_improved = 0
-        for obs in self._result.observations():
-            flags = obs.country_groups_by_type.get(relay_type)
-            if flags is None:
-                continue
-            usable_same, improving_same, usable_diff, improving_diff = flags
-            if usable_same:
-                same_total += 1
-                same_improved += int(improving_same)
-            if usable_diff:
-                diff_total += 1
-                diff_improved += int(improving_diff)
-        return CountrySplit(diff_total, diff_improved, same_total, same_improved)
+        code = RELAY_TYPE_ORDER.index(relay_type)
+        flags = self._table.country_flags[code]
+        usable_same, improving_same, usable_diff, improving_diff = flags
+        return CountrySplit(
+            different_total=int(np.count_nonzero(usable_diff)),
+            different_improved=int(np.count_nonzero(usable_diff & improving_diff)),
+            same_total=int(np.count_nonzero(usable_same)),
+            same_improved=int(np.count_nonzero(usable_same & improving_same)),
+        )
 
     def intercontinental_fraction(self) -> float:
         """Fraction of pairs with endpoints on different continents
         (paper: 74%)."""
-        total = self._result.total_cases
-        inter = sum(1 for obs in self._result.observations() if obs.is_intercontinental)
-        return inter / total
+        table = self._table
+        continents = table.continent_codes()
+        inter = np.count_nonzero(
+            continents[table.e1_cc] != continents[table.e2_cc]
+        )
+        return int(inter) / table.num_cases
 
     def summary(self) -> dict[str, float | None]:
         """Per-type country-split rates plus the intercontinental share."""

@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.analysis.ranking import TopRelayAnalysis
 from repro.core.results import CampaignResult
-from repro.core.types import RelayType
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
 from repro.world import World
 
 
@@ -63,21 +65,22 @@ class FacilityTable:
             if (fac_id := registry.get(idx).facility_id) is not None
         }
 
-        # % of COR-improved cases that include a relay from each facility
-        improved_cases = 0
-        cases_with_facility: dict[int, int] = {f: 0 for f in candidate_facilities}
-        for obs in self._result.observations():
-            entries = obs.improving_by_type.get(RelayType.COR, ())
-            if not entries:
-                continue
-            improved_cases += 1
-            seen = {
-                registry.get(idx).facility_id
-                for idx, _ in entries
-                if registry.get(idx).facility_id is not None
-            }
-            for fac_id in candidate_facilities & seen:
-                cases_with_facility[fac_id] += 1
+        # % of COR-improved cases that include a relay from each facility:
+        # for each candidate facility, count the distinct cases among the
+        # CSR entries whose relay it hosts
+        table = self._result.table
+        cor_code = RELAY_TYPE_ORDER.index(RelayType.COR)
+        cases, relays, _ = table.type_entries(cor_code)
+        improved_cases = table.improved_count(cor_code)
+        facility_of = np.full(len(registry), -1, np.int64)
+        for record in registry:
+            if record.facility_id is not None:
+                facility_of[record.index] = record.facility_id
+        entry_facility = facility_of[relays] if relays.size else facility_of[:0]
+        cases_with_facility = {
+            fac_id: int(np.unique(cases[entry_facility == fac_id]).size)
+            for fac_id in candidate_facilities
+        }
 
         # the paper ranks the table by frequency of presence in improved
         # paths, i.e. facility-level improvement share

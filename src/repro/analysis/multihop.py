@@ -74,43 +74,42 @@ def two_relay_study(
         chosen = rng.choice(len(pair_indices), size=max_pairs, replace=False)
         pair_indices = [pair_indices[i] for i in sorted(chosen)]
 
+    # the leg and inter-relay base RTTs form three small matrices; the
+    # O(pairs x relays^2) two-relay search is then a masked min-reduction
+    # instead of a nested Python loop (identical floats: IEEE addition and
+    # minima do not depend on the reduction shape)
+    num_r = len(relays)
+    used = sorted({i for i, _ in pair_indices} | {j for _, j in pair_indices})
+    leg_ms = np.full((len(endpoints), num_r), np.inf)
+    for i in used:
+        for k, r in enumerate(relays):
+            rtt = model.base_rtt_ms(endpoints[i], r)
+            if rtt is not None:
+                leg_ms[i, k] = rtt
+    mid_ms = np.full((num_r, num_r), np.inf)
+    for k1, r1 in enumerate(relays):
+        for k2, r2 in enumerate(relays):
+            if r1.node_id == r2.node_id:
+                continue
+            rtt = model.base_rtt_ms(r1, r2)
+            if rtt is not None:
+                mid_ms[k1, k2] = rtt
+
     pairs = one_improved = two_improved = 0
     extra_gains: list[float] = []
     captured = candidates = 0
     for i, j in pair_indices:
-        e1, e2 = endpoints[i], endpoints[j]
-        direct = model.base_rtt_ms(e1, e2)
+        direct = model.base_rtt_ms(endpoints[i], endpoints[j])
         if direct is None:
             continue
-        legs_e1 = {r.node_id: model.base_rtt_ms(e1, r) for r in relays}
-        legs_e2 = {r.node_id: model.base_rtt_ms(e2, r) for r in relays}
-        best_one = None
-        for r in relays:
-            a, b = legs_e1[r.node_id], legs_e2[r.node_id]
-            if a is None or b is None:
-                continue
-            rtt = a + b
-            if best_one is None or rtt < best_one:
-                best_one = rtt
-        best_two = None
-        for r1 in relays:
-            a = legs_e1[r1.node_id]
-            if a is None:
-                continue
-            for r2 in relays:
-                if r1.node_id == r2.node_id:
-                    continue
-                b = legs_e2[r2.node_id]
-                if b is None:
-                    continue
-                mid = model.base_rtt_ms(r1, r2)
-                if mid is None:
-                    continue
-                rtt = a + mid + b
-                if best_two is None or rtt < best_two:
-                    best_two = rtt
-        if best_one is None or best_two is None:
+        a, b = leg_ms[i], leg_ms[j]
+        one = float(np.min(a + b))
+        # (e1 -> r1) + (r1 -> r2) + (r2 -> e2) over the full (r1, r2) grid,
+        # summed left-to-right like the scalar code so floats are identical
+        two = float(np.min((a[:, np.newaxis] + mid_ms) + b[np.newaxis, :]))
+        if one == np.inf or two == np.inf:
             continue
+        best_one, best_two = one, two
         pairs += 1
         if best_one < direct:
             one_improved += 1

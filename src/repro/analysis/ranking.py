@@ -6,9 +6,15 @@ cases the top-N relays cover; Fig. 4 sweeps an improvement threshold and
 compares the top-10 subset against the full relay set.  The paper's
 punchline lives here: ~10 Colo relays in ~6 facilities match the coverage
 that takes RIPE Atlas hundreds of relays.
+
+Frequencies are one ``bincount`` over the table's CSR improving block per
+type; the coverage and threshold curves are segment reductions
+(``minimum.reduceat`` / ``maximum.reduceat``) over the same entries.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.core.results import CampaignResult
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
@@ -22,16 +28,19 @@ class TopRelayAnalysis:
         if result.total_cases == 0:
             raise AnalysisError("campaign result has no observations")
         self._result = result
-        self._freq: dict[RelayType, dict[int, int]] = {t: {} for t in RELAY_TYPE_ORDER}
-        for obs in result.observations():
-            for relay_type in RELAY_TYPE_ORDER:
-                for idx, _ in obs.improving_by_type.get(relay_type, ()):
-                    freq = self._freq[relay_type]
-                    freq[idx] = freq.get(idx, 0) + 1
-        self._ranked: dict[RelayType, list[int]] = {
-            t: sorted(freq, key=lambda i: (-freq[i], i))
-            for t, freq in self._freq.items()
-        }
+        self._table = result.table
+        num_relays = len(result.registry)
+        self._freq: dict[RelayType, dict[int, int]] = {}
+        self._ranked: dict[RelayType, list[int]] = {}
+        for code, relay_type in enumerate(RELAY_TYPE_ORDER):
+            _, relays, _ = self._table.type_entries(code)
+            counts = np.bincount(relays, minlength=num_relays)
+            improving = np.nonzero(counts)[0]
+            freq = {int(i): int(counts[i]) for i in improving}
+            self._freq[relay_type] = freq
+            self._ranked[relay_type] = sorted(
+                freq, key=lambda i: (-freq[i], i)
+            )
 
     # ----------------------------------------------------------------- rank
 
@@ -59,25 +68,35 @@ class TopRelayAnalysis:
 
     # ---------------------------------------------------------------- Fig 3
 
+    def _best_ranks(self, relay_type: RelayType) -> np.ndarray:
+        """Per improved case: the best (lowest) rank among its improving
+        relays — a segment minimum over the type's CSR entries."""
+        code = RELAY_TYPE_ORDER.index(relay_type)
+        cases, relays, _ = self._table.type_entries(code)
+        if cases.size == 0:
+            return np.zeros(0, np.int64)
+        rank_of = np.zeros(len(self._result.registry), np.int64)
+        for rank, idx in enumerate(self._ranked[relay_type], start=1):
+            rank_of[idx] = rank
+        starts = np.flatnonzero(np.diff(cases, prepend=-1))
+        return np.minimum.reduceat(rank_of[relays], starts)
+
     def fig3_curve(self, relay_type: RelayType, max_n: int = 100) -> list[tuple[int, float]]:
         """(N, % of total cases improved using only the top-N relays).
 
         A case counts as covered by top-N if at least one of its improving
         relays ranks within the top N.
         """
-        rank_of = {idx: rank for rank, idx in enumerate(self._ranked[relay_type], start=1)}
         total = self._result.total_cases
-        # per case: the best (lowest) rank among its improving relays
-        best_ranks = []
-        for obs in self._result.observations():
-            entries = obs.improving_by_type.get(relay_type, ())
-            if entries:
-                best_ranks.append(min(rank_of[idx] for idx, _ in entries))
-        curve = []
-        for n in range(1, max_n + 1):
-            covered = sum(1 for rank in best_ranks if rank <= n)
-            curve.append((n, 100.0 * covered / total))
-        return curve
+        best_ranks = self._best_ranks(relay_type)
+        # covered(n) = |{best_rank <= n}|: a clipped bincount cumsum
+        per_rank = np.bincount(
+            np.minimum(best_ranks, max_n + 1), minlength=max_n + 2
+        )
+        covered = np.cumsum(per_rank[: max_n + 1])
+        return [
+            (n, 100.0 * int(covered[n]) / total) for n in range(1, max_n + 1)
+        ]
 
     def coverage_of_top(self, relay_type: RelayType, n: int) -> float:
         """Fraction of total cases improved using only the top-N relays."""
@@ -100,20 +119,23 @@ class TopRelayAnalysis:
         improvement frequency; None uses every relay (the "-ALL" series).
         The best improvement within the allowed subset decides each case.
         """
-        allowed: set[int] | None = None
+        code = RELAY_TYPE_ORDER.index(relay_type)
+        cases, relays, gains = self._table.type_entries(code)
         if top_n is not None:
-            allowed = set(self.top_relays(relay_type, top_n))
+            allowed = np.zeros(len(self._result.registry), bool)
+            allowed[self.top_relays(relay_type, top_n)] = True
+            keep = allowed[relays]
+            cases, gains = cases[keep], gains[keep]
         total = self._result.total_cases
-        best_gains = []
-        for obs in self._result.observations():
-            entries = obs.improving_by_type.get(relay_type, ())
-            gains = [
-                gain for idx, gain in entries if allowed is None or idx in allowed
-            ]
-            if gains:
-                best_gains.append(max(gains))
-        curve = []
-        for threshold in thresholds_ms:
-            count = sum(1 for gain in best_gains if gain > threshold)
-            curve.append((threshold, 100.0 * count / total))
-        return curve
+        if cases.size:
+            starts = np.flatnonzero(np.diff(cases, prepend=-1))
+            best_gains = np.maximum.reduceat(gains, starts)
+        else:
+            best_gains = gains
+        return [
+            (
+                threshold,
+                100.0 * int(np.count_nonzero(best_gains > threshold)) / total,
+            )
+            for threshold in thresholds_ms
+        ]

@@ -35,12 +35,14 @@ def full_report(result: CampaignResult, world: World | None = None) -> str:
     """
     if result.total_cases == 0:
         raise AnalysisError("campaign result has no observations")
+    table = result.table
     lines: list[str] = []
     lines.append("Shortcuts through Colocation Facilities — campaign report")
     lines.append("=" * 58)
     lines.append(
-        f"rounds: {len(result.rounds)}   total cases: {result.total_cases}   "
-        f"pings: {result.total_pings}   relays: {len(result.registry)}"
+        f"rounds: {len(result.rounds)}   total cases: {table.num_cases}   "
+        f"pings: {result.total_pings}   relays: {len(result.registry)}   "
+        f"improving entries: {int(table.imp_indptr[-1])}"
     )
     lines.append(
         "colo filter funnel: " + " -> ".join(str(v) for v in result.colo_filter_funnel)

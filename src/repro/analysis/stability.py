@@ -87,13 +87,19 @@ class StabilityAnalysis:
     def per_round_improved_fractions(
         self, relay_type: RelayType
     ) -> list[tuple[int, float]]:
-        """(round, improved fraction of the round's cases) series."""
+        """(round, improved fraction of the round's cases) series.
+
+        Served from each round table's cached improving counts — one
+        comparison per round instead of an object walk.
+        """
+        code = RELAY_TYPE_ORDER.index(relay_type)
         out = []
         for rnd in self._result.rounds:
-            if not rnd.observations:
+            if rnd.table.num_cases == 0:
                 continue
-            improved = sum(1 for obs in rnd.observations if obs.improved(relay_type))
-            out.append((rnd.round_index, improved / len(rnd.observations)))
+            out.append(
+                (rnd.round_index, rnd.table.improved_count(code) / rnd.table.num_cases)
+            )
         return out
 
     def summary(self) -> dict[str, float]:

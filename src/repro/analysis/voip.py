@@ -7,8 +7,10 @@ dropping to 11% when each pair may route through its best Colo relay.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.results import CampaignResult
-from repro.core.types import RelayType
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
 from repro.errors import AnalysisError
 
 #: RTT above which a path is considered unusable for VoIP (ITU G.114).
@@ -25,32 +27,26 @@ class VoipAnalysis:
             raise AnalysisError("campaign result has no observations")
         if threshold_ms <= 0:
             raise AnalysisError(f"threshold must be positive, got {threshold_ms}")
-        self._result = result
+        self._table = result.table
         self._threshold = threshold_ms
 
     def direct_poor_fraction(self) -> float:
         """Fraction of direct paths above the threshold (paper: 19%)."""
-        total = self._result.total_cases
-        poor = sum(
-            1
-            for obs in self._result.observations()
-            if obs.direct_rtt_ms > self._threshold
-        )
-        return poor / total
+        table = self._table
+        poor = np.count_nonzero(table.direct_rtt_ms > self._threshold)
+        return int(poor) / table.num_cases
 
     def relayed_poor_fraction(self, relay_type: RelayType = RelayType.COR) -> float:
         """Fraction still above the threshold when each pair may use its
         best relay of ``relay_type`` (paper: 11% with COR)."""
-        total = self._result.total_cases
-        poor = 0
-        for obs in self._result.observations():
-            effective = obs.direct_rtt_ms
-            stitched = obs.best_stitched(relay_type)
-            if stitched is not None and stitched < effective:
-                effective = stitched
-            if effective > self._threshold:
-                poor += 1
-        return poor / total
+        table = self._table
+        code = RELAY_TYPE_ORDER.index(relay_type)
+        stitched = table.best_stitched[code]
+        direct = table.direct_rtt_ms
+        # NaN (no usable relay) fails the < comparison, keeping the direct RTT
+        effective = np.where(stitched < direct, stitched, direct)
+        poor = np.count_nonzero(effective > self._threshold)
+        return int(poor) / table.num_cases
 
     def summary(self) -> dict[str, float]:
         """Direct vs COR-relayed poor-path fractions."""

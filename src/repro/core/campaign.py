@@ -20,9 +20,11 @@ a handful of RNG calls).  Step 3's Sec 2.4 bound is evaluated for all
 (pair, relay) combinations at once as a NumPy broadcast over the round's
 (endpoints × relays) delay matrix from the world's
 :class:`~repro.geo.matrix.CityDelayMatrix`, and the resulting boolean mask
-flows matrix-shaped through leg selection and overlay stitching — no
-Python-level per-(pair, relay) loop survives between feasibility and the
-final per-pair observation assembly.
+flows matrix-shaped through leg selection, overlay stitching and straight
+into the round's columnar :class:`~repro.core.table.ObservationTable` — no
+Python-level per-(pair, relay) loop survives anywhere between feasibility
+and the stored result, and no per-pair observation objects are built
+unless a caller materializes them.
 
 Routing is precomputed rather than faulted in: before the first round the
 campaign asks the world to build its :class:`~repro.routing.fabric
@@ -45,10 +47,10 @@ from repro.core.feasibility import feasibility_mask
 from repro.core.relays import AtlasRelaySelector, PlanetLabRelaySelector
 from repro.core.results import (
     CampaignResult,
-    PairObservation,
     RelayRegistry,
     RoundResult,
 )
+from repro.core.table import ObservationTable, TablePools
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
 from repro.errors import AnalysisError
 from repro.latency.model import Endpoint
@@ -92,6 +94,9 @@ class MeasurementCampaign:
         self._atlas_relays = AtlasRelaySelector(world, self._cfg)
         self._plr = PlanetLabRelaySelector(world, self._cfg)
         self._registry = RelayRegistry()
+        # string pools shared by every round's observation table, so the
+        # campaign-level concatenation never has to re-code columns
+        self._pools = TablePools.fresh()
 
     @property
     def config(self) -> CampaignConfig:
@@ -175,14 +180,20 @@ class MeasurementCampaign:
         needed = np.zeros((len(endpoints), relay_arrays.count), dtype=bool)
         if relay_arrays.count:
             kept_mask = feasibility.mask[keep]
-            np.logical_or.at(needed, feasibility.e1_rows[keep], kept_mask)
-            np.logical_or.at(needed, feasibility.e2_rows[keep], kept_mask)
+            # accumulate per-endpoint rows with |= instead of
+            # np.logical_or.at: the ufunc.at path is an order of magnitude
+            # slower than ~2 vector ORs per pair
+            e1_kept = feasibility.e1_rows[keep].tolist()
+            e2_kept = feasibility.e2_rows[keep].tolist()
+            for r1, r2, m in zip(e1_kept, e2_kept, kept_mask):
+                needed[r1] |= m
+                needed[r2] |= m
         leg_matrix, leg_medians, sent = self._measure_legs(
             endpoints, needed, relay_arrays, rng
         )
         pings_sent += sent
 
-        observations = self._stitch_observations(
+        table = self._stitch_table(
             round_index,
             by_id,
             step4_direct,
@@ -196,7 +207,7 @@ class MeasurementCampaign:
             timestamp_hours=round_index * cfg.round_interval_hours,
             endpoint_ids=tuple(sorted(endpoint_ids)),
             relay_indices_by_type=self._indices_by_type(relay_arrays),
-            observations=observations,
+            table=table,
             direct_medians=step4_direct,
             relay_medians=leg_medians if cfg.record_relay_medians else None,
             pings_sent=pings_sent,
@@ -370,7 +381,7 @@ class MeasurementCampaign:
         }
         return leg_matrix, leg_medians, sent
 
-    def _stitch_observations(
+    def _stitch_table(
         self,
         round_index: int,
         by_id: dict[str, AtlasProbe],
@@ -378,12 +389,14 @@ class MeasurementCampaign:
         feasibility: _RoundFeasibility,
         relays: _RelayArrays,
         leg_matrix: np.ndarray,
-    ) -> list[PairObservation]:
-        """Assemble per-pair observations from the round's matrices.
+    ) -> ObservationTable:
+        """Assemble the round's columnar observation table from its matrices.
 
         All per-(pair, relay) arithmetic — stitching, improvement, best-relay
-        selection, same-country grouping — happens as broadcasts; the Python
-        loop below only packages each pair's precomputed row.
+        selection, same-country grouping — happens as broadcasts, and the
+        results land directly in :class:`ObservationTable` columns.  No
+        per-pair packaging loop: the only remaining Python iteration interns
+        the round's endpoint identity strings.
         """
         pair_rows = {
             pair: k for k, pair in enumerate(feasibility.pair_keys) if pair in direct
@@ -450,90 +463,83 @@ class MeasurementCampaign:
 
         # improving (relay, gain) entries: np.nonzero walks row-major and
         # type columns are contiguous, so entries arrive grouped by
-        # (pair, type) — one searchsorted yields every group's bounds and
-        # the packaging loop below slices instead of iterating entries
+        # (pair, type) — exactly the CSR group order the table stores
         imp_pair, imp_col = np.nonzero(improving)
-        imp_reg = relays.registry_idx[imp_col].tolist()
-        imp_gain = (direct_ms[imp_pair] - stitched[imp_pair, imp_col]).tolist()
+        imp_reg = relays.registry_idx[imp_col].astype(np.int32)
+        imp_gain = direct_ms[imp_pair] - stitched[imp_pair, imp_col]
         imp_group = imp_pair * num_types + relays.type_codes[imp_col]
-        group_bounds = np.searchsorted(
-            imp_group, np.arange(n_pairs * num_types + 1)
-        ).tolist()
+        group_counts = np.bincount(imp_group, minlength=n_pairs * num_types)
 
-        # one bulk NumPy->Python conversion, then one transpose so the
-        # packaging loop reads each pair's data as a single row (building
-        # its dicts with C-speed dict(zip(...)) instead of per-type Python)
-        registry_idx = relays.registry_idx.tolist()
-        best_cols_rows = np.transpose(best_cols).tolist()  # (pairs, types)
-        best_vals_rows = np.transpose(best_vals).tolist()
-        feasible_rows = np.transpose(feasible_counts).tolist()
-        # (pairs,) of per-type (usable_same, improving_same, usable_diff,
-        # improving_diff) tuples
-        country_rows = [
-            tuple(map(tuple, pair_flags))
-            for pair_flags in np.transpose(flags, (2, 0, 1)).tolist()
-        ]
-
-        # one packaging loop and one construction site for every step-4
-        # pair; pairs absent from step 2's feasibility pass (no packed row)
-        # get the same record with empty relay data, as in the scalar engine
-        packed = {pair: k for k, pair in enumerate(pair_rows)}
-        endpoint_info = {
-            pid: (p.cc, p.node.city_key) for pid, p in by_id.items()
-        }
-        observations = []
-        inf = float("inf")
-        no_relays_feasible = dict(zip(RELAY_TYPE_ORDER, (0,) * num_types))
-        no_relays_groups = dict.fromkeys(
-            RELAY_TYPE_ORDER, (False, False, False, False)
-        )
-        no_relays_improving = dict.fromkeys(RELAY_TYPE_ORDER, ())
-        for pair, direct_rtt in direct.items():
-            k = packed.get(pair)
-            id1, id2 = pair
-            if k is not None:
-                best = {
-                    relay_type: (registry_idx[col], val)
-                    for relay_type, col, val in zip(
-                        RELAY_TYPE_ORDER, best_cols_rows[k], best_vals_rows[k]
-                    )
-                    if val != inf
-                }
-                improving_by_type = dict(no_relays_improving)
-                base = k * num_types
-                for code in range(num_types):
-                    j0 = group_bounds[base + code]
-                    j1 = group_bounds[base + code + 1]
-                    if j1 > j0:
-                        improving_by_type[RELAY_TYPE_ORDER[code]] = tuple(
-                            zip(imp_reg[j0:j1], imp_gain[j0:j1])
-                        )
-                feasible_by_type = dict(zip(RELAY_TYPE_ORDER, feasible_rows[k]))
-                country_groups = dict(zip(RELAY_TYPE_ORDER, country_rows[k]))
-            else:
-                best = {}
-                improving_by_type = dict(no_relays_improving)
-                feasible_by_type = dict(no_relays_feasible)
-                country_groups = dict(no_relays_groups)
-            cc1, city1 = endpoint_info[id1]
-            cc2, city2 = endpoint_info[id2]
-            observations.append(
-                PairObservation(
-                    round_index,
-                    id1,
-                    id2,
-                    cc1,
-                    cc2,
-                    city1,
-                    city2,
-                    direct_rtt,
-                    best,
-                    improving_by_type,
-                    feasible_by_type,
-                    country_groups,
-                )
+        # scatter the packed (step-2 ∩ step-4) rows into step-4 case order.
+        # Both pair_rows and `direct` iterate subsequences of the round's
+        # pair list, so the packed pairs appear in the same relative order
+        # in both — the entry arrays above are already in case order and
+        # only the per-case counts need scattering.
+        n_obs = len(direct)
+        if len(pair_rows) == n_obs:  # pair_rows ⊆ direct, so equal size ⇒ equal
+            case_of_packed = np.arange(n_obs)
+        else:
+            packed = set(pair_rows)
+            case_of_packed = np.fromiter(
+                (j for j, pair in enumerate(direct) if pair in packed),
+                np.intp,
+                len(pair_rows),
             )
-        return observations
+
+        usable_best = best_vals != np.inf
+        best_relay_col = np.full((num_types, n_obs), -1, np.int32)
+        if relays.count:
+            best_relay_col[:, case_of_packed] = np.where(
+                usable_best, relays.registry_idx[best_cols], -1
+            )
+        best_stitched_col = np.full((num_types, n_obs), np.nan)
+        best_stitched_col[:, case_of_packed] = np.where(
+            usable_best, best_vals, np.nan
+        )
+        feasible_col = np.zeros((num_types, n_obs), np.int32)
+        feasible_col[:, case_of_packed] = feasible_counts
+        flags_col = np.zeros((num_types, 4, n_obs), bool)
+        flags_col[:, :, case_of_packed] = flags
+        counts_col = np.zeros((n_obs, num_types), np.int64)
+        counts_col[case_of_packed] = group_counts.reshape(n_pairs, num_types)
+        indptr = np.zeros(n_obs * num_types + 1, np.int64)
+        np.cumsum(counts_col.reshape(-1), out=indptr[1:])
+
+        # endpoint identity columns: intern each round endpoint once, then
+        # gather per pair
+        pools = self._pools
+        code_of: dict[str, tuple[int, int, int]] = {}
+        for pid, probe in by_id.items():
+            code_of[pid] = (
+                pools.endpoint_ids.code(pid),
+                pools.countries.code(probe.cc),
+                pools.cities.code(probe.node.city_key),
+            )
+        e1_codes = np.fromiter(
+            (c for pair in direct for c in code_of[pair[0]]), np.int32, 3 * n_obs
+        ).reshape(n_obs, 3)
+        e2_codes = np.fromiter(
+            (c for pair in direct for c in code_of[pair[1]]), np.int32, 3 * n_obs
+        ).reshape(n_obs, 3)
+
+        return ObservationTable(
+            pools,
+            round_idx=np.full(n_obs, round_index, np.int32),
+            e1_id=e1_codes[:, 0].copy(),
+            e2_id=e2_codes[:, 0].copy(),
+            e1_cc=e1_codes[:, 1].copy(),
+            e2_cc=e2_codes[:, 1].copy(),
+            e1_city=e1_codes[:, 2].copy(),
+            e2_city=e2_codes[:, 2].copy(),
+            direct_rtt_ms=np.fromiter(direct.values(), float, n_obs),
+            best_relay=best_relay_col,
+            best_stitched=best_stitched_col,
+            feasible=feasible_col,
+            country_flags=flags_col,
+            imp_indptr=indptr,
+            imp_relay=imp_reg,
+            imp_gain=imp_gain,
+        )
 
     def _indices_by_type(self, relays: _RelayArrays) -> dict[RelayType, tuple[int, ...]]:
         return {

@@ -123,15 +123,17 @@ class ColoRelayPipeline:
         ]
         counts.append((self.STAGE_NAMES[0], len(records)))
 
-        # 2. pingability (3 probe packets from the monitor)
-        survivors = []
-        for record in records:
-            node = world.node_by_ip(record.ip)
-            if node is None:
-                continue
-            if world.ping_engine.is_responsive(self._monitor, node.endpoint, rng):
-                survivors.append(record)
-        records = survivors
+        # 2. pingability (3 probe packets from the monitor, one batched
+        # sweep over every candidate instead of one ping batch each)
+        candidates = [
+            (record, node)
+            for record in records
+            if (node := world.node_by_ip(record.ip)) is not None
+        ]
+        alive = world.ping_engine.any_response_many(
+            [(self._monitor, node.endpoint) for _, node in candidates], rng
+        )
+        records = [record for (record, _), ok in zip(candidates, alive) if ok]
         counts.append((self.STAGE_NAMES[1], len(records)))
 
         # 3. same IP-ownership, no MOAS

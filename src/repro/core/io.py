@@ -19,6 +19,7 @@ from repro.core.results import (
     RelayRegistry,
     RoundResult,
 )
+from repro.core.table import ObservationTable, TablePools
 from repro.core.types import RelayType
 from repro.errors import AnalysisError
 
@@ -160,6 +161,9 @@ def load_result(path: str | pathlib.Path) -> CampaignResult:
             )
 
     rounds = []
+    # one pools object across rounds so the campaign-level table
+    # concatenation stays a plain array concatenate (as in a live campaign)
+    pools = TablePools.fresh()
     for rnd in payload["rounds"]:
         rounds.append(
             RoundResult(
@@ -170,7 +174,11 @@ def load_result(path: str | pathlib.Path) -> CampaignResult:
                     RelayType(t): tuple(indices)
                     for t, indices in rnd["relay_indices_by_type"].items()
                 },
-                observations=[_obs_from_json(o) for o in rnd["observations"]],
+                table=ObservationTable.from_observations(
+                    [_obs_from_json(o) for o in rnd["observations"]],
+                    pools=pools,
+                    cache_objects=True,
+                ),
                 direct_medians={
                     (entry[0], entry[1]): entry[2] for entry in rnd["direct_medians"]
                 },

@@ -51,19 +51,18 @@ class PlanetLabRelaySelector:
         for node in candidates:
             by_site.setdefault(node.site_id, []).append(node)
         low, high = cfg.plr_per_site
-        sampled: list[PlanetLabNode] = []
+        chosen: list[PlanetLabNode] = []
         for site_id in sorted(by_site):
             pool = by_site[site_id]
             want = int(rng.integers(low, high + 1))
             take = min(want, len(pool))
             idx = rng.choice(len(pool), size=take, replace=False)
-            for i in sorted(idx):
-                node = pool[i]
-                if self._world.ping_engine.is_responsive(
-                    self._monitor, node.node.endpoint, rng
-                ):
-                    sampled.append(node)
-        return sampled
+            chosen.extend(pool[i] for i in sorted(idx))
+        # liveness for the whole round's candidates in one batched sweep
+        alive = self._world.ping_engine.any_response_many(
+            [(self._monitor, node.node.endpoint) for node in chosen], rng
+        )
+        return [node for node, ok in zip(chosen, alive) if ok]
 
 
 class AtlasRelaySelector:

@@ -1,10 +1,13 @@
 """Result containers of the measurement campaign.
 
-Storage is deliberately compact: relays live once in a registry and are
-referenced by integer index; each endpoint pair stores, per relay type, the
-best stitched RTT and the list of *(relay, improvement)* entries for relays
-that beat the direct path.  That is exactly the information Figures 2-4,
-Table 1 and the in-text analyses consume.
+Storage is columnar: relays live once in a registry and are referenced by
+integer index, and the per-case data (best stitched RTTs, improving-relay
+lists, feasibility counts, country groups) lives in each round's
+:class:`~repro.core.table.ObservationTable` — structure-of-arrays NumPy
+columns the analyses reduce directly.  :class:`PairObservation` survives
+as a lazily materialized per-case adapter: ``round.observations`` and
+``result.observations()`` build the objects on first access, so object-
+oriented callers keep working while the hot paths never leave NumPy.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
+from repro.core.table import ObservationTable
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
 from repro.errors import AnalysisError
 from repro.geo.countries import continent_of
@@ -182,6 +186,8 @@ class PairObservation:
 class RoundResult:
     """Everything measured in one campaign round.
 
+    The per-case data lives columnar in ``table``; ``observations`` is a
+    lazily materialized (and cached) object view over it.
     ``direct_medians`` / ``relay_medians`` keep the raw per-pair medians so
     the temporal-stability analysis can compute per-pair CVs across rounds;
     ``relay_medians`` may be None when the campaign is configured not to
@@ -192,14 +198,19 @@ class RoundResult:
     timestamp_hours: float
     endpoint_ids: tuple[str, ...]
     relay_indices_by_type: dict[RelayType, tuple[int, ...]]
-    observations: list[PairObservation]
+    table: ObservationTable
     direct_medians: dict[tuple[str, str], float]
     relay_medians: dict[tuple[str, int], float] | None
     pings_sent: int
 
+    @property
+    def observations(self) -> list[PairObservation]:
+        """The round's cases as objects (materialized once, then cached)."""
+        return self.table.materialized()
+
     def num_pairs(self) -> int:
         """Endpoint pairs with a valid direct measurement this round."""
-        return len(self.observations)
+        return self.table.num_cases
 
 
 @dataclass(slots=True)
@@ -210,6 +221,20 @@ class CampaignResult:
     registry: RelayRegistry
     verified_eyeball_tuples: int = 0
     colo_filter_funnel: tuple[int, ...] = field(default=())
+    _table: ObservationTable | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def table(self) -> ObservationTable:
+        """All rounds' cases as one columnar table (concatenated lazily).
+
+        Round tables share the campaign's string pools, so this is a plain
+        array concatenation, built once and cached.
+        """
+        if self._table is None:
+            self._table = ObservationTable.concat([r.table for r in self.rounds])
+        return self._table
 
     def observations(self) -> Iterator[PairObservation]:
         """Every pair observation across every round."""
@@ -219,7 +244,7 @@ class CampaignResult:
     @property
     def total_cases(self) -> int:
         """Total pair observations (the paper's "total cases")."""
-        return sum(len(rnd.observations) for rnd in self.rounds)
+        return sum(rnd.table.num_cases for rnd in self.rounds)
 
     @property
     def total_pings(self) -> int:
@@ -229,14 +254,17 @@ class CampaignResult:
     def improved_fraction(self, relay_type: RelayType) -> float:
         """Fraction of total cases the type's relays improved.
 
+        Served from the table's cached per-type improving counts — O(1)
+        after the first call instead of an object walk per relay type.
+
         Raises:
             AnalysisError: if the campaign has no observations.
         """
         total = self.total_cases
         if total == 0:
             raise AnalysisError("campaign produced no observations")
-        improved = sum(1 for obs in self.observations() if obs.improved(relay_type))
-        return improved / total
+        code = RELAY_TYPE_ORDER.index(relay_type)
+        return self.table.improved_count(code) / total
 
     def summary(self) -> dict[str, float | int]:
         """Headline numbers: totals plus per-type improved fractions."""

@@ -8,9 +8,17 @@ runs the full campaign for N seeds — optionally in parallel via
 (per-relay-type win rates, median RTT reduction of improved cases) into a
 single JSON-ready artifact.
 
+Transport is columnar: each worker returns its campaign's
+:class:`~repro.core.table.ObservationTable` as a compact payload (a dozen
+flat NumPy buffers plus string pools) rather than pickling one Python
+object per case.  The parent computes every per-seed metric from the
+received columns and, because whole campaigns come back, can also pool
+all seeds' cases into one cross-world table (the ``pooled`` section) —
+something that previously required shipping object lists.
+
 Determinism: every per-seed metric depends only on ``(seed, rounds,
-countries, max_countries)``, so the ``config``, ``per_seed`` and
-``aggregate`` sections of the artifact are identical regardless of the
+countries, max_countries)``, so the ``config``, ``per_seed``, ``pooled``
+and ``aggregate`` sections of the artifact are identical regardless of the
 worker count (the CLI test asserts this).  Wall-clock measurements live in
 a separate ``timing`` section.
 """
@@ -24,6 +32,7 @@ from dataclasses import dataclass
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.core.campaign import MeasurementCampaign
 from repro.core.config import CampaignConfig
+from repro.core.table import ObservationTable
 from repro.core.types import RELAY_TYPE_ORDER
 from repro.errors import ConfigError
 from repro.topology.config import TopologyConfig
@@ -60,6 +69,63 @@ class SweepConfig:
             raise ConfigError("workers must be >= 1")
 
 
+def _run_seed_columns(
+    seed: int,
+    rounds: int,
+    countries: int | None = None,
+    max_countries: int | None = None,
+) -> dict:
+    """Run one seed's campaign; return its observation columns + scalars.
+
+    This is the worker side of the sweep: the campaign result travels back
+    as a columnar payload (flat arrays) plus the few scalars the table does
+    not carry, never as pickled ``PairObservation`` lists.
+    """
+    world = build_world(
+        seed=seed,
+        config=WorldConfig(topology=TopologyConfig(country_limit=countries)),
+    )
+    campaign = MeasurementCampaign(
+        world, CampaignConfig(num_rounds=rounds, max_countries=max_countries)
+    )
+    start = time.perf_counter()
+    result = campaign.run()
+    wall_clock_s = time.perf_counter() - start
+    return {
+        "seed": seed,
+        "columns": result.table.to_payload(),
+        "total_pings": result.total_pings,
+        "relays_registered": len(result.registry),
+        "wall_clock_s": round(wall_clock_s, 3),
+    }
+
+
+def _type_metrics(table: ObservationTable) -> dict:
+    """Win rate and median reduction per relay type from a table."""
+    analysis = ImprovementAnalysis.from_table(table)
+    metrics: dict = {}
+    for relay_type in RELAY_TYPE_ORDER:
+        name = relay_type.value
+        metrics[f"win_rate_{name}"] = round(analysis.improved_fraction(relay_type), 4)
+        median = analysis.median_improvement(relay_type)
+        metrics[f"median_rtt_reduction_ms_{name}"] = (
+            round(median, 3) if median is not None else None
+        )
+    return metrics
+
+
+def _metrics_from_columns(outcome: dict, table: ObservationTable) -> dict:
+    """The per-seed metrics dict, computed parent-side from the columns."""
+    metrics: dict = {
+        "seed": outcome["seed"],
+        "total_cases": table.num_cases,
+        "total_pings": outcome["total_pings"],
+        "relays_registered": outcome["relays_registered"],
+    }
+    metrics.update(_type_metrics(table))
+    return metrics
+
+
 def run_seed_campaign(
     seed: int,
     rounds: int,
@@ -72,37 +138,17 @@ def run_seed_campaign(
     ``wall_clock_s`` (reported under the same key the sweep's ``timing``
     section uses, and stripped from the deterministic sections).
     """
-    world = build_world(
-        seed=seed,
-        config=WorldConfig(topology=TopologyConfig(country_limit=countries)),
-    )
-    campaign = MeasurementCampaign(
-        world, CampaignConfig(num_rounds=rounds, max_countries=max_countries)
-    )
-    start = time.perf_counter()
-    result = campaign.run()
-    wall_clock_s = time.perf_counter() - start
-
-    analysis = ImprovementAnalysis(result)
-    metrics: dict = {
-        "seed": seed,
-        "total_cases": result.total_cases,
-        "total_pings": result.total_pings,
-        "relays_registered": len(result.registry),
+    outcome = _run_seed_columns(seed, rounds, countries, max_countries)
+    table = ObservationTable.from_payload(outcome["columns"])
+    return {
+        "metrics": _metrics_from_columns(outcome, table),
+        "wall_clock_s": outcome["wall_clock_s"],
     }
-    for relay_type in RELAY_TYPE_ORDER:
-        name = relay_type.value
-        metrics[f"win_rate_{name}"] = round(analysis.improved_fraction(relay_type), 4)
-        median = analysis.median_improvement(relay_type)
-        metrics[f"median_rtt_reduction_ms_{name}"] = (
-            round(median, 3) if median is not None else None
-        )
-    return {"metrics": metrics, "wall_clock_s": round(wall_clock_s, 3)}
 
 
 def _sweep_job(args: tuple[int, int, int | None, int | None]) -> dict:
     """Picklable process-pool entry point."""
-    return run_seed_campaign(*args)
+    return _run_seed_columns(*args)
 
 
 def _aggregate(per_seed: list[dict]) -> dict:
@@ -131,9 +177,13 @@ def run_sweep(config: SweepConfig) -> dict:
     """Run the sweep and return the aggregated artifact (JSON-ready).
 
     Artifact sections: ``config`` (the sweep parameters), ``per_seed``
-    (each seed's metrics, in ``config.seeds`` order), ``aggregate``
-    (mean/min/max across seeds) — all deterministic across worker counts —
-    plus ``timing`` (wall clocks, worker count).
+    (each seed's metrics, in ``config.seeds`` order), ``pooled`` (the same
+    metrics over all seeds' cases pooled into one cross-world table),
+    ``aggregate`` (mean/min/max across seeds) — all deterministic across
+    worker counts — plus ``timing`` (wall clocks, worker count).
+
+    ``pooled`` metrics are identity-free (fractions and gains): relay
+    registry indices are per-seed and are not unified by the pooling.
     """
     jobs = [
         (seed, config.rounds, config.countries, config.max_countries)
@@ -147,7 +197,14 @@ def run_sweep(config: SweepConfig) -> dict:
             outcomes = list(pool.map(_sweep_job, jobs))
     wall_clock_s = time.perf_counter() - start
 
-    per_seed = [outcome["metrics"] for outcome in outcomes]
+    tables = [ObservationTable.from_payload(o["columns"]) for o in outcomes]
+    per_seed = [
+        _metrics_from_columns(outcome, table)
+        for outcome, table in zip(outcomes, tables)
+    ]
+    pooled_table = ObservationTable.concat(tables)
+    pooled = {"total_cases": pooled_table.num_cases}
+    pooled.update(_type_metrics(pooled_table))
     return {
         "workload": f"{len(config.seeds)}-seed sweep, {config.rounds} rounds each",
         "config": {
@@ -157,6 +214,7 @@ def run_sweep(config: SweepConfig) -> dict:
             "max_countries": config.max_countries,
         },
         "per_seed": per_seed,
+        "pooled": pooled,
         "aggregate": _aggregate(per_seed),
         "timing": {
             "workers": config.workers,

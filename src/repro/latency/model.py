@@ -146,13 +146,24 @@ class LatencyModel:
         # per-key batch below.
         self._grid: np.ndarray | None = None
         self._grid_ids: dict[tuple[int, str], int] = {}
-        self._att_of: dict[Endpoint, int] = {}
-        # (base RTT or NaN-if-unrouted, loss probability) per (hashable)
-        # endpoint pair; both are deterministic, and the campaign
-        # re-measures the same pairs twice per round (steps 2 and 4) and
-        # the same legs round after round, so the batch sampler's per-leg
-        # loop is one dict hit on a batch-ready entry.
-        self._pair_cache: dict[tuple[Endpoint, Endpoint], tuple[float, float]] = {}
+        # keyed by id(endpoint): every endpoint reaching this map has
+        # already been pinned by _endpoint_token (see _pair_key callers)
+        self._att_of: dict[int, int] = {}
+        # (base RTT or NaN-if-unrouted, loss probability) per ordered pair,
+        # keyed by per-endpoint cache tokens (see _endpoint_token); both
+        # values are deterministic, and the campaign re-measures the same
+        # pairs twice per round (steps 2 and 4) and the same legs round
+        # after round, so the batch sampler's per-leg loop is one dict hit
+        # on a batch-ready entry.  Token-tuple keys hash entirely in C —
+        # with Endpoint-tuple keys the interpreter pays two Python-level
+        # __hash__ calls per lookup, which profiling put near the top of
+        # the whole campaign.
+        self._pair_cache: dict[tuple, tuple[float, float]] = {}
+        # endpoint-token memo: id(endpoint) -> token, with a strong
+        # reference pinning each memoized object so ids are never reused
+        self._ep_tokens: dict[int, object] = {}
+        self._ep_refs: dict[int, Endpoint] = {}
+        self._ep_owner: dict[str, Endpoint] = {}
 
     @property
     def config(self) -> LatencyConfig:
@@ -194,16 +205,54 @@ class LatencyModel:
         base = self._pair_entry((src, dst))[0]
         return None if base != base else base
 
+    def _endpoint_token(self, endpoint: Endpoint) -> object:
+        """A hashable pair-cache token for an endpoint, memoized by object.
+
+        The world's endpoints are singletons with unique node ids, so the
+        token is normally just the id string (hashed in C, no Python
+        ``__hash__`` frame).  An ad-hoc endpoint reusing a known node id
+        with different fields (tests do this to pin the pair skew) gets a
+        full-fidelity tuple instead, so it can never collide with the
+        original.  Memoized entries hold a strong reference to their
+        endpoint, which pins ``id(endpoint)`` for the model's lifetime.
+        """
+        owner = self._ep_owner.setdefault(endpoint.node_id, endpoint)
+        if owner is endpoint or owner == endpoint:
+            token: object = endpoint.node_id
+        else:
+            token = (
+                endpoint.node_id,
+                endpoint.asn,
+                endpoint.city_key,
+                endpoint.access_ms,
+                endpoint.loss_prob,
+            )
+        key = id(endpoint)
+        self._ep_tokens[key] = token
+        self._ep_refs[key] = endpoint
+        return token
+
+    def _pair_key(self, src: Endpoint, dst: Endpoint) -> tuple:
+        tokens = self._ep_tokens
+        t1 = tokens.get(id(src))
+        if t1 is None:
+            t1 = self._endpoint_token(src)
+        t2 = tokens.get(id(dst))
+        if t2 is None:
+            t2 = self._endpoint_token(dst)
+        return (t1, t2)
+
     def _pair_entry(self, pair: tuple[Endpoint, Endpoint]) -> tuple[float, float]:
-        entry = self._pair_cache.get(pair)
+        src, dst = pair
+        key = self._pair_key(src, dst)
+        entry = self._pair_cache.get(key)
         if entry is None:
-            src, dst = pair
             base = self._base_rtt_uncached(src, dst)
             entry = (
                 float("nan") if base is None else base,
                 self.loss_probability(src, dst),
             )
-            self._pair_cache[pair] = entry
+            self._pair_cache[key] = entry
         return entry
 
     # ------------------------------------------------------- batched base RTT
@@ -224,10 +273,12 @@ class LatencyModel:
 
     def _attachment_id(self, endpoint: Endpoint) -> int:
         """The endpoint's grid row, or -1 if outside the grid."""
-        att = self._att_of.get(endpoint)
+        key = id(endpoint)
+        att = self._att_of.get(key)
         if att is None:
             att = self._grid_ids.get((endpoint.asn, endpoint.city_key), -1)
-            self._att_of[endpoint] = att
+            self._att_of[key] = att
+            self._ep_refs.setdefault(key, endpoint)  # pin the id
         return att
 
     def _one_way_batch(self, keys: list[tuple[int, str, int, str]]) -> list[float]:
@@ -314,12 +365,28 @@ class LatencyModel:
         cache pass serves the whole (mostly-warm) leg list.
         """
         cache = self._pair_cache
-        entries = [cache.get(p) for p in pairs]
+        tokens = self._ep_tokens
+        token_of = self._endpoint_token
+        keys = []
+        append_key = keys.append
+        for s, d in pairs:
+            t1 = tokens.get(id(s))
+            if t1 is None:
+                t1 = token_of(s)
+            t2 = tokens.get(id(d))
+            if t2 is None:
+                t2 = token_of(d)
+            append_key((t1, t2))
+        entries = [cache.get(k) for k in keys]
         if None not in entries:
             return entries
-        misses = list(
-            dict.fromkeys(p for p, e in zip(pairs, entries) if e is None)
-        )
+        # dedup misses preserving first-seen order, keeping one
+        # representative Endpoint pair per key
+        miss_by_key: dict[tuple, tuple[Endpoint, Endpoint]] = {}
+        for key, pair, entry in zip(keys, pairs, entries):
+            if entry is None and key not in miss_by_key:
+                miss_by_key[key] = pair
+        misses = list(miss_by_key.values())
         n = len(misses)
         grid = self._grid
         if grid is not None:
@@ -358,10 +425,10 @@ class LatencyModel:
         # loss stays scalar-per-pair: its three multiplications must keep
         # the scalar code's left-to-right association to stay bit-identical
         loss = [self.loss_probability(s, d) for s, d in misses]
-        for pair, b, p in zip(misses, base.tolist(), loss):
-            cache[pair] = (b, p)
+        for key, b, p in zip(miss_by_key, base.tolist(), loss):
+            cache[key] = (b, p)
         return [
-            e if e is not None else cache[p] for p, e in zip(pairs, entries)
+            e if e is not None else cache[k] for k, e in zip(keys, entries)
         ]
 
     def _base_rtt_uncached(self, src: Endpoint, dst: Endpoint) -> float | None:
@@ -416,9 +483,10 @@ class LatencyModel:
         Returns a ``(count,)`` float array; NaN marks a lost packet (or, for
         every entry, an unrouted pair).  The per-packet model is identical to
         :meth:`sample_rtt_ms` — same base RTT, same jitter / queueing / spike
-        / loss distributions — but all packets' terms come from five
-        vectorized draws, so the random stream is consumed in a different
-        order than ``count`` scalar calls would consume it.
+        / loss distributions — but all packets' terms come from a handful of
+        vectorized draws (see :meth:`sample_rtt_matrix`), so the random
+        stream is consumed in a different order than ``count`` scalar calls
+        would consume it.
         """
         return self.sample_rtt_matrix([(src, dst)], rng, count)[0]
 
@@ -431,9 +499,17 @@ class LatencyModel:
         """Ping outcomes for a whole leg list in vectorized RNG draws.
 
         Returns a ``(len(pairs) × count)`` float array; NaN marks a lost
-        packet, and every entry of an unrouted pair's row.  One call draws
-        the loss, jitter, queueing and spike terms of *all* packets of *all*
-        pairs in five RNG calls total.
+        packet, and every entry of an unrouted pair's row.  The loss and
+        spike uniforms for *all* packets of *all* pairs come out of one
+        RNG call, jitter and queueing out of one each — four RNG calls
+        per batch, and only three when ``spike_prob`` is zero (the spike
+        block is skipped entirely).
+
+        RNG-stream caveat (as with PR 1's vectorization): fusing the two
+        uniform blocks consumes the random stream in a different order
+        than the earlier five-draw engine, so same-seed per-packet values
+        differ from it while every per-packet distribution is unchanged;
+        same-seed runs of this engine are bit-identical to each other.
         """
         n = len(pairs)
         out = np.full((n, count), np.nan)
@@ -448,15 +524,25 @@ class LatencyModel:
             return out
         cfg = self._cfg
         shape = (m, count)
-        u_loss = rng.random(shape)
+        spikes_on = cfg.spike_prob > 0.0
+        if spikes_on:
+            u = rng.random((2, m, count))
+            u_loss, u_spike = u[0], u[1]
+        else:
+            u_loss = rng.random(shape)
         jitter = rng.lognormal(mean=0.0, sigma=cfg.jitter_sigma, size=shape)
         queue = rng.exponential(cfg.queueing_scale_ms, size=shape)
-        u_spike = rng.random(shape)
-        low, high = cfg.spike_range_ms
-        spike = rng.uniform(low, high, size=shape)
-        rtt = base[routed, np.newaxis] * jitter + queue
-        rtt += np.where(u_spike < cfg.spike_prob, spike, 0.0)
+        if m == n:
+            rtt = base[:, np.newaxis] * jitter + queue
+        else:
+            rtt = base[routed, np.newaxis] * jitter + queue
+        if spikes_on:
+            low, high = cfg.spike_range_ms
+            spike = rng.uniform(low, high, size=shape)
+            rtt += np.where(u_spike < cfg.spike_prob, spike, 0.0)
         rtt[u_loss < loss[routed, np.newaxis]] = np.nan
+        if m == n:
+            return rtt
         out[routed] = rtt
         return out
 

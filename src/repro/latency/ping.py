@@ -101,8 +101,8 @@ class PingEngine:
     ) -> list[PingResult]:
         """Send ``count``-packet batches over every ``(src, dst)`` leg.
 
-        All legs' packets are sampled together in five vectorized RNG draws;
-        results come back in leg order.
+        All legs' packets are sampled together in a handful of vectorized
+        RNG draws; results come back in leg order.
 
         Raises:
             MeasurementError: if ``count`` is not positive.
@@ -157,3 +157,23 @@ class PingEngine:
         """True if at least one of ``count`` probe packets is answered."""
         result = self.ping(src, dst, rng, count=count)
         return result.num_received > 0
+
+    def any_response_many(
+        self,
+        legs: Sequence[tuple[Endpoint, Endpoint]],
+        rng: np.random.Generator,
+        count: int = 3,
+    ) -> list[bool]:
+        """Per leg: did at least one of ``count`` probe packets answer?
+
+        The batched form of :meth:`is_responsive` — all legs' probes come
+        out of one vectorized sampling pass, so a relay-liveness sweep
+        costs a handful of RNG calls instead of one batch per candidate.
+
+        Raises:
+            MeasurementError: if ``count`` is not positive.
+        """
+        if count <= 0:
+            raise MeasurementError(f"ping count must be positive, got {count}")
+        matrix = self._model.sample_rtt_matrix(legs, rng, count)
+        return np.any(~np.isnan(matrix), axis=1).tolist()

@@ -75,11 +75,16 @@ class TracerouteEngine:
     def last_hop_rtt(
         self, src: Endpoint, dst: Endpoint, rng: np.random.Generator
     ) -> float | None:
-        """RTT on the last hop of a trace (what Periscope measures)."""
-        hops = self.trace(src, dst, rng)
-        if not hops:
+        """RTT on the last hop of a trace (what Periscope measures).
+
+        The final hop's RTT is a direct ping of the destination and does
+        not depend on the intermediate hops' probe outcomes, so this skips
+        the per-hop response/jitter sampling a full :meth:`trace` pays
+        (consuming correspondingly fewer RNG values).
+        """
+        if self._model.as_path(src, dst) is None:
             return None
-        return hops[-1].rtt_ms
+        return self._model.sample_rtt_ms(src, dst, rng)
 
     @staticmethod
     def _segment_ms(a_key: str, b_key: str) -> float:
