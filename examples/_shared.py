@@ -1,0 +1,80 @@
+"""Shared world/campaign fixture for the example scripts.
+
+Every example needs a built world and most need a campaign result.  Both
+are expensive, and both are pure functions of ``(seed, countries,
+rounds)`` — so this module memoizes them, letting a batch run (CI's
+headless sweep via :mod:`run_all`, or the test suite) build one tiny
+world and one campaign and share them across every example.
+
+Two environment variables shrink the workload without touching the
+scripts, which is how CI keeps the whole example suite under a minute:
+
+* ``REPRO_EXAMPLE_COUNTRIES`` — world country limit overriding each
+  example's default (unset = the example's own size; ``0`` = full world);
+* ``REPRO_EXAMPLE_ROUNDS`` — campaign round cap (examples that need a
+  minimum for their analysis, e.g. stability's recurring pairs, clamp it
+  back up themselves).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro import CampaignConfig, MeasurementCampaign, build_world
+from repro.core.results import CampaignResult
+from repro.topology.config import TopologyConfig
+from repro.world import World, WorldConfig
+
+#: Seed shared by every example (matches the repo's test/benchmark seed).
+SEED = 11
+
+
+def example_countries(default: int | None) -> int | None:
+    """The world size an example should build (None = full world)."""
+    env = os.environ.get("REPRO_EXAMPLE_COUNTRIES")
+    if env is None:
+        return default
+    value = int(env)
+    return value if value > 0 else None
+
+
+def example_rounds(default: int) -> int:
+    """The round count an example should run."""
+    env = os.environ.get("REPRO_EXAMPLE_ROUNDS")
+    return default if env is None else max(1, int(env))
+
+
+def example_world(countries: int | None = None, seed: int = SEED) -> World:
+    """A (memoized) world; ``countries`` should come from
+    :func:`example_countries` so the environment override applies."""
+    # thin wrapper so positional/keyword/defaulted call styles all land on
+    # the same cache entry (lru_cache keys on the raw argument tuple)
+    return _build_example_world(countries, seed)
+
+
+@lru_cache(maxsize=None)
+def _build_example_world(countries: int | None, seed: int) -> World:
+    config = WorldConfig(topology=TopologyConfig(country_limit=countries))
+    return build_world(seed=seed, config=config)
+
+
+def example_campaign_result(
+    rounds: int, countries: int | None = None, seed: int = SEED
+) -> CampaignResult:
+    """A (memoized) campaign result over :func:`example_world`.
+
+    Campaign runs are deterministic per ``(seed, rounds, countries)``
+    regardless of what else ran on the shared world (every round draws
+    from its own named RNG stream), so memoizing results is safe.
+    """
+    return _run_example_campaign(rounds, countries, seed)
+
+
+@lru_cache(maxsize=None)
+def _run_example_campaign(
+    rounds: int, countries: int | None, seed: int
+) -> CampaignResult:
+    world = _build_example_world(countries, seed)
+    campaign = MeasurementCampaign(world, CampaignConfig(num_rounds=rounds))
+    return campaign.run()

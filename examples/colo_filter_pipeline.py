@@ -11,7 +11,7 @@ Run:  python examples/colo_filter_pipeline.py
 
 from __future__ import annotations
 
-from repro import build_world
+from _shared import example_countries, example_world
 from repro.core.colo import ColoRelayPipeline
 
 EXPLANATIONS = {
@@ -30,8 +30,10 @@ EXPLANATIONS = {
 
 
 def main() -> None:
-    print("building full world (seed 11)...")
-    world = build_world(seed=11)
+    countries = example_countries(None)
+    print(f"building {'full' if countries is None else f'{countries}-country'} "
+          "world (seed 11)...")
+    world = example_world(countries)
     pipeline = ColoRelayPipeline(world)
     relays, report = pipeline.run()
 

@@ -17,16 +17,19 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import CampaignConfig, MeasurementCampaign, build_world
+from _shared import example_campaign_result, example_countries, example_rounds
 from repro.core.io import load_result, save_result
 from repro.core.oracle import RelayPredictor, evaluate_prediction
 from repro.core.types import RelayType
 
 
 def main() -> None:
-    print("measuring: full world, 4 rounds...")
-    world = build_world(seed=11)
-    result = MeasurementCampaign(world, CampaignConfig(num_rounds=4)).run()
+    countries = example_countries(None)
+    # train on all but the last round, evaluate on the last: needs >= 2
+    rounds = max(2, example_rounds(4))
+    print(f"measuring: {'full' if countries is None else f'{countries}-country'} "
+          f"world, {rounds} rounds...")
+    result = example_campaign_result(rounds, countries)
 
     store = Path(tempfile.gettempdir()) / "overlay_measurements.json"
     save_result(result, store)
@@ -36,7 +39,7 @@ def main() -> None:
     history = load_result(store)
 
     score = evaluate_prediction(history, RelayType.COR, k=3)
-    print(f"\ntrained on rounds 0-2, evaluated on round 3:")
+    print(f"\ntrained on rounds 0-{rounds - 2}, evaluated on round {rounds - 1}:")
     print(f"  country pairs with history and a live shortcut: {score.evaluated}")
     print(f"  oracle-best relay inside our top-3 predictions: {100 * score.hit_rate:.1f}%")
     print(f"  improvement captured vs the oracle:             {100 * score.captured_gain_frac:.1f}%")

@@ -10,17 +10,16 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import CampaignConfig, MeasurementCampaign, build_world
+from _shared import example_campaign_result, example_countries, example_rounds, example_world
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.core.types import RELAY_TYPE_ORDER
-from repro.topology.config import TopologyConfig
-from repro.world import WorldConfig
 
 
 def main() -> None:
-    print("building world (24 countries, seed 11)...")
-    config = WorldConfig(topology=TopologyConfig(country_limit=24))
-    world = build_world(seed=11, config=config)
+    countries = example_countries(24)
+    rounds = example_rounds(2)
+    print(f"building world ({countries or 'all'} countries, seed 11)...")
+    world = example_world(countries)
     summary = world.summary()
     print(
         f"  {summary['as_total']} ASes, {summary['facilities']} facilities, "
@@ -28,14 +27,13 @@ def main() -> None:
         f"{summary['colo_interfaces']} colo interfaces"
     )
 
-    print("running 2 measurement rounds...")
-    campaign = MeasurementCampaign(world, CampaignConfig(num_rounds=2))
-    result = campaign.run(
-        progress=lambda i, rnd: print(
-            f"  round {i}: {rnd.num_pairs()} endpoint pairs, "
+    print(f"running {rounds} measurement rounds...")
+    result = example_campaign_result(rounds, countries)
+    for rnd in result.rounds:
+        print(
+            f"  round {rnd.round_index}: {rnd.num_pairs()} endpoint pairs, "
             f"{rnd.pings_sent} pings"
         )
-    )
 
     print(f"\ncolo filter funnel: {' -> '.join(map(str, result.colo_filter_funnel))}")
     print(f"total cases: {result.total_cases}\n")

@@ -10,16 +10,19 @@ Run:  python examples/relay_placement_study.py
 
 from __future__ import annotations
 
-from repro import CampaignConfig, MeasurementCampaign, build_world
+from _shared import example_campaign_result, example_countries, example_rounds, example_world
 from repro.analysis.facilities import FacilityTable
 from repro.analysis.ranking import TopRelayAnalysis
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
 
 
 def main() -> None:
-    print("building full world and running 4 rounds...")
-    world = build_world(seed=11)
-    result = MeasurementCampaign(world, CampaignConfig(num_rounds=4)).run()
+    countries = example_countries(None)
+    rounds = example_rounds(4)
+    print(f"building {'full' if countries is None else f'{countries}-country'} "
+          f"world and running {rounds} rounds...")
+    world = example_world(countries)
+    result = example_campaign_result(rounds, countries)
 
     ranking = TopRelayAnalysis(result)
     print("\nhow many relays are enough? (% of total cases improved)")

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Run every example script headlessly in one process.
+
+Imports each example module and calls its ``main()``, sharing the
+memoized worlds and campaign results in :mod:`_shared` — so the whole
+suite costs a couple of world builds instead of six.  This is what CI's
+smoke job executes (with ``--tiny``) to keep the examples from rotting.
+
+Run:  python examples/run_all.py [--tiny]
+
+``--tiny`` shrinks every example to an 8-country world and 2 rounds via
+the ``REPRO_EXAMPLE_*`` environment overrides (explicit environment
+values win over the flag).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import os
+import sys
+import time
+
+#: Module names in presentation order (quickstart first).
+EXAMPLES = (
+    "quickstart",
+    "colo_filter_pipeline",
+    "overlay_service",
+    "relay_placement_study",
+    "temporal_stability",
+    "voip_quality",
+)
+
+
+def run_examples(names: tuple[str, ...] = EXAMPLES) -> list[tuple[str, float]]:
+    """Import and run each example's ``main()``; return (name, seconds)."""
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    timings: list[tuple[str, float]] = []
+    for name in names:
+        print(f"\n{'=' * 72}\n== example: {name}\n{'=' * 72}")
+        module = importlib.import_module(name)
+        start = time.perf_counter()
+        module.main()
+        timings.append((name, time.perf_counter() - start))
+    return timings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="8-country worlds, 2 rounds (CI smoke size)",
+    )
+    args = parser.parse_args(argv)
+    if args.tiny:
+        os.environ.setdefault("REPRO_EXAMPLE_COUNTRIES", "8")
+        os.environ.setdefault("REPRO_EXAMPLE_ROUNDS", "2")
+    timings = run_examples()
+    print(f"\n{'=' * 72}")
+    for name, seconds in timings:
+        print(f"{name:>24}: {seconds:6.2f} s")
+    print(f"{'total':>24}: {sum(s for _, s in timings):6.2f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,15 +11,16 @@ Run:  python examples/voip_quality.py
 
 from __future__ import annotations
 
-from repro import CampaignConfig, MeasurementCampaign, build_world
+from _shared import example_campaign_result, example_countries, example_rounds
 from repro.analysis.voip import VOIP_RTT_THRESHOLD_MS, VoipAnalysis
 from repro.core.types import RelayType
 
 
 def main() -> None:
-    print("building world and running 2 rounds...")
-    world = build_world(seed=11)
-    result = MeasurementCampaign(world, CampaignConfig(num_rounds=2)).run()
+    countries = example_countries(None)
+    rounds = example_rounds(2)
+    print(f"building world and running {rounds} rounds...")
+    result = example_campaign_result(rounds, countries)
 
     voip = VoipAnalysis(result)
     direct = voip.direct_poor_fraction()

@@ -28,12 +28,13 @@ from repro.core.results import CampaignResult, PairObservation, RoundResult
 from repro.core.sweep import SweepConfig, run_sweep
 from repro.core.table import ObservationTable, TablePools
 from repro.routing.fabric import RoutingFabric
+from repro.scenarios import Scenario, all_scenarios, get_scenario, scenario_names
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.analysis.ranking import TopRelayAnalysis
 from repro.analysis.facilities import FacilityTable
 from repro.analysis.stability import StabilityAnalysis
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "World",
@@ -49,6 +50,10 @@ __all__ = [
     "SweepConfig",
     "run_sweep",
     "RoutingFabric",
+    "Scenario",
+    "all_scenarios",
+    "get_scenario",
+    "scenario_names",
     "ImprovementAnalysis",
     "TopRelayAnalysis",
     "FacilityTable",

@@ -10,6 +10,9 @@ Usage (also via ``python -m repro``)::
     repro funnel    --seed 11
     repro campaign  --seed 11 --rounds 4 --out result.json
     repro sweep     --num-seeds 4 --base-seed 11 --rounds 4 --out sweep.json
+    repro sweep     --scenario lossy spike-storm --seeds 11 12 --out sweep.json
+    repro scenarios
+    repro scenarios --verify sweep.json
     repro analyze   result.json --report fig2
     repro analyze   result.json --report table1 --seed 11
 """
@@ -88,24 +91,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         countries=args.countries,
         max_countries=args.max_countries,
         workers=args.workers,
+        scenarios=tuple(args.scenario),
     )
     artifact = run_sweep(config)
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(artifact, fh, indent=2)
-        fh.write("\n")
     timing = artifact["timing"]
     print(
         f"{artifact['workload']}: {timing['wall_clock_s']} s "
         f"({timing['workers']} worker{'s' if timing['workers'] != 1 else ''})",
         file=sys.stderr,
     )
-    for key, value in artifact["aggregate"].items():
-        if key.startswith("win_rate_") and value is not None:
-            print(
-                f"{key:>24}: mean {value['mean']:.4f} "
-                f"[{value['min']:.4f}, {value['max']:.4f}]"
-            )
-    print(f"wrote {len(artifact['per_seed'])} seed summaries to {args.out}")
+    if args.out is None:
+        # no output file: the deterministic artifact goes to stdout, byte
+        # identical across worker counts (timing is the one section that
+        # is not, so it stays on stderr above)
+        deterministic = {k: v for k, v in artifact.items() if k != "timing"}
+        json.dump(deterministic, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+        return 0
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+        fh.write("\n")
+    for name, section in artifact["scenarios"].items():
+        for key, value in section["aggregate"].items():
+            if key.startswith("win_rate_") and value is not None:
+                print(
+                    f"{name + ' ' + key:>36}: mean {value['mean']:.4f} "
+                    f"[{value['min']:.4f}, {value['max']:.4f}]"
+                )
+        verdict = section["expectations"]
+        print(f"{name + ' paper shapes':>36}: {'ok' if verdict['ok'] else 'FAILED'}")
+    print(f"wrote {len(artifact['per_seed'])} campaign summaries to {args.out}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import all_scenarios
+
+    if args.verify is not None:
+        with open(args.verify, encoding="utf-8") as fh:
+            artifact = json.load(fh)
+        sections = artifact.get("scenarios", {})
+        if not sections:
+            print("error: artifact has no scenarios section", file=sys.stderr)
+            return 2
+        ok = True
+        for name, section in sections.items():
+            verdict = section["expectations"]
+            status = "ok" if verdict["ok"] else "FAILED"
+            print(f"{name:>16}: {status}")
+            for failure in verdict["failed"]:
+                ok = False
+                print(
+                    f"{'':>16}  {failure['shape']}: expected "
+                    f"{failure['expected']}, observed {failure['observed']}"
+                )
+        return 0 if ok else 1
+    for scenario in all_scenarios():
+        print(f"{scenario.name:>16}: {scenario.description}")
     return 0
 
 
@@ -246,8 +288,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "--workers", type=int, default=1, help="process-pool size (1 = inline)"
     )
-    p_sweep.add_argument("--out", required=True, help="output JSON path")
+    p_sweep.add_argument(
+        "--scenario", nargs="+", default=["baseline"], metavar="NAME",
+        help="scenario preset(s) to fan out over (see 'repro scenarios')",
+    )
+    p_sweep.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: deterministic artifact to stdout)",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_scenarios = sub.add_parser(
+        "scenarios", help="list scenario presets / verify a sweep artifact"
+    )
+    p_scenarios.add_argument(
+        "--verify", default=None, metavar="ARTIFACT",
+        help="check a sweep artifact's paper-shape expectations "
+             "(exit 1 on any failure)",
+    )
+    p_scenarios.set_defaults(func=_cmd_scenarios)
 
     p_analyze = sub.add_parser("analyze", help="analyse a stored campaign result")
     p_analyze.add_argument("result", help="result JSON written by 'campaign'")

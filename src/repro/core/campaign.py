@@ -86,9 +86,21 @@ class _RoundFeasibility:
 class MeasurementCampaign:
     """Runs the paper's measurement methodology against a world."""
 
-    def __init__(self, world: World, config: CampaignConfig | None = None) -> None:
+    def __init__(
+        self,
+        world: World,
+        config: CampaignConfig | None = None,
+        *,
+        use_pair_grid: bool = True,
+    ) -> None:
         self._world = world
         self._cfg = config or CampaignConfig()
+        #: Resolve measurement legs through per-round
+        #: :class:`~repro.latency.model.PairGrid` matrices (the default)
+        #: instead of the per-leg pair-cache loop.  Both paths are
+        #: bit-identical (asserted by tests/test_latency_model.py's parity
+        #: suite); the flag exists so the legacy path stays exercisable.
+        self._use_pair_grid = use_pair_grid
         self._eyeballs = EyeballSelector(world, self._cfg)
         self._colo = ColoRelayPipeline(world, self._cfg)
         self._atlas_relays = AtlasRelaySelector(world, self._cfg)
@@ -157,12 +169,28 @@ class MeasurementCampaign:
         by_id = {p.probe_id: p for p in endpoints}
         endpoint_ids = set(by_id)
 
+        n_ep = len(endpoints)
         direct_pairs = [
             (p1, p2) for i, p1 in enumerate(endpoints) for p2 in endpoints[i + 1 :]
         ]
+        # the round's deterministic pair terms as one (endpoints × endpoints)
+        # grid: both direct steps gather their legs' base/loss by index
+        # instead of resolving each leg through the pair cache
+        endpoint_eps = [p.node.endpoint for p in endpoints]
+        if self._use_pair_grid:
+            egrid = self._world.latency.pair_grid(endpoint_eps, endpoint_eps)
+            pair_idx = (
+                np.repeat(np.arange(n_ep), np.arange(n_ep - 1, -1, -1)),
+                np.concatenate(
+                    [np.arange(i + 1, n_ep) for i in range(n_ep)]
+                    or [np.empty(0, np.intp)]
+                ),
+            )
+        else:
+            egrid = pair_idx = None
 
         # step 2: direct medians (drive feasibility)
-        step2_direct, sent = self._measure_direct(direct_pairs, rng)
+        step2_direct, sent = self._measure_direct(direct_pairs, rng, egrid, pair_idx)
         pings_sent += sent
 
         # step 3: relay sets + per-pair feasibility as one broadcast mask
@@ -170,7 +198,7 @@ class MeasurementCampaign:
         feasibility = self._feasible_relays(endpoints, relay_arrays, step2_direct)
 
         # step 4: synced re-measurement + legs + stitching
-        step4_direct, sent = self._measure_direct(direct_pairs, rng)
+        step4_direct, sent = self._measure_direct(direct_pairs, rng, egrid, pair_idx)
         pings_sent += sent
         keep = np.fromiter(
             (pair in step4_direct for pair in feasibility.pair_keys),
@@ -188,8 +216,15 @@ class MeasurementCampaign:
             for r1, r2, m in zip(e1_kept, e2_kept, kept_mask):
                 needed[r1] |= m
                 needed[r2] |= m
+        rgrid = (
+            self._world.latency.pair_grid(
+                endpoint_eps, [ep for _, ep in relay_arrays.items]
+            )
+            if self._use_pair_grid and relay_arrays.count
+            else None
+        )
         leg_matrix, leg_medians, sent = self._measure_legs(
-            endpoints, needed, relay_arrays, rng
+            endpoints, needed, relay_arrays, rng, rgrid
         )
         pings_sent += sent
 
@@ -235,18 +270,51 @@ class MeasurementCampaign:
             self._world.atlas.charge(sent)
         return medians, sent
 
+    def _median_entries(
+        self,
+        base: np.ndarray,
+        loss: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, int]:
+        """Batch medians for legs gathered from a pair grid (NaN = invalid)."""
+        cfg = self._cfg
+        medians = self._world.ping_engine.median_from_entries(
+            base, loss, rng, count=cfg.pings_per_pair, min_valid=cfg.min_valid_rtts
+        )
+        sent = len(base) * cfg.pings_per_pair
+        self._world.atlas.charge(sent)
+        return medians, sent
+
     def _measure_direct(
-        self, pairs: list[tuple[AtlasProbe, AtlasProbe]], rng: np.random.Generator
+        self,
+        pairs: list[tuple[AtlasProbe, AtlasProbe]],
+        rng: np.random.Generator,
+        grid=None,
+        pair_idx: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> tuple[dict[tuple[str, str], float], int]:
-        """Median direct RTT per endpoint pair (ping direction randomised)."""
-        flips = (rng.random(len(pairs)) < 0.5).tolist()
-        legs = [
-            (p2.node.endpoint, p1.node.endpoint)
-            if flip
-            else (p1.node.endpoint, p2.node.endpoint)
-            for (p1, p2), flip in zip(pairs, flips)
-        ]
-        medians, sent = self._median_legs(legs, rng)
+        """Median direct RTT per endpoint pair (ping direction randomised).
+
+        With a round grid, each leg's deterministic terms are gathered by
+        endpoint index (flips swap indices instead of building swapped leg
+        tuples); without one, the legacy per-leg path runs.  Both consume
+        the RNG identically and produce bit-identical medians.
+        """
+        flips = rng.random(len(pairs)) < 0.5
+        if grid is not None:
+            i_idx, j_idx = pair_idx
+            src = np.where(flips, j_idx, i_idx)
+            dst = np.where(flips, i_idx, j_idx)
+            medians, sent = self._median_entries(
+                grid.base[src, dst], grid.loss[src, dst], rng
+            )
+        else:
+            legs = [
+                (p2.node.endpoint, p1.node.endpoint)
+                if flip
+                else (p1.node.endpoint, p2.node.endpoint)
+                for (p1, p2), flip in zip(pairs, flips.tolist())
+            ]
+            medians, sent = self._median_legs(legs, rng)
         return {
             self._pair_key(p1.probe_id, p2.probe_id): med
             for (p1, p2), med in zip(pairs, medians.tolist())
@@ -291,13 +359,14 @@ class MeasurementCampaign:
         relays: list[tuple[int, Endpoint]] = []
         type_codes: list[int] = []
         ccs: list[str] = []
+        mix = {RelayType[name] for name in self._cfg.relay_mix}
 
         def _add(idx: int, node, relay_type: RelayType) -> None:
             relays.append((idx, node.endpoint))
             type_codes.append(RELAY_TYPE_ORDER.index(relay_type))
             ccs.append(node.cc)
 
-        for colo in self._colo.sample_relays(rng):
+        for colo in self._colo.sample_relays(rng) if RelayType.COR in mix else ():
             node = colo.node
             idx = self._registry.register(
                 node.node_id,
@@ -309,7 +378,9 @@ class MeasurementCampaign:
             )
             _add(idx, node, RelayType.COR)
 
-        for pl_node in self._plr.sample(round_index, rng):
+        for pl_node in (
+            self._plr.sample(round_index, rng) if RelayType.PLR in mix else ()
+        ):
             node = pl_node.node
             idx = self._registry.register(
                 node.node_id,
@@ -321,14 +392,22 @@ class MeasurementCampaign:
             )
             _add(idx, node, RelayType.PLR)
 
-        for probe in self._atlas_relays.sample_other(rng, endpoint_ids):
+        for probe in (
+            self._atlas_relays.sample_other(rng, endpoint_ids)
+            if RelayType.RAR_OTHER in mix
+            else ()
+        ):
             node = probe.node
             idx = self._registry.register(
                 node.node_id, RelayType.RAR_OTHER, node.asn, node.cc, node.city_key
             )
             _add(idx, node, RelayType.RAR_OTHER)
 
-        for probe in self._atlas_relays.sample_eye(rng, endpoint_ids):
+        for probe in (
+            self._atlas_relays.sample_eye(rng, endpoint_ids)
+            if RelayType.RAR_EYE in mix
+            else ()
+        ):
             node = probe.node
             idx = self._registry.register(
                 node.node_id, RelayType.RAR_EYE, node.asn, node.cc, node.city_key
@@ -357,19 +436,27 @@ class MeasurementCampaign:
         needed: np.ndarray,
         relays: _RelayArrays,
         rng: np.random.Generator,
+        grid=None,
     ) -> tuple[np.ndarray, dict[tuple[str, int], float], int]:
         """Median RTT for every needed (endpoint, relay) leg.
 
         Returns the (endpoints × relays) leg-median matrix (NaN where a leg
         was not measured or had too few replies), the same medians keyed by
         ``(probe_id, registry_idx)`` for the round record, and pings sent.
+        With a round (endpoints × relays) grid, the needed legs' terms are
+        gathered straight off it — no leg tuple list is built at all.
         """
         e_rows, cols = np.nonzero(needed)
         e_list, c_list = e_rows.tolist(), cols.tolist()
-        endpoint_eps = [p.node.endpoint for p in endpoints]
-        relay_eps = [ep for _, ep in relays.items]
-        legs = [(endpoint_eps[e], relay_eps[c]) for e, c in zip(e_list, c_list)]
-        medians, sent = self._median_legs(legs, rng)
+        if grid is not None:
+            medians, sent = self._median_entries(
+                grid.base[e_rows, cols], grid.loss[e_rows, cols], rng
+            )
+        else:
+            endpoint_eps = [p.node.endpoint for p in endpoints]
+            relay_eps = [ep for _, ep in relays.items]
+            legs = [(endpoint_eps[e], relay_eps[c]) for e, c in zip(e_list, c_list)]
+            medians, sent = self._median_legs(legs, rng)
         leg_matrix = np.full(needed.shape, np.nan)
         leg_matrix[e_rows, cols] = medians
         probe_ids = [p.probe_id for p in endpoints]

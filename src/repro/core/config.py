@@ -51,6 +51,12 @@ class CampaignConfig:
     """Optional cap on endpoint countries per round (None = all with
     eligible probes); useful to shrink experiments."""
 
+    relay_mix: tuple[str, ...] = ("COR", "PLR", "RAR_OTHER", "RAR_EYE")
+    """Relay types the campaign samples each round (RelayType names).
+    Scenario regimes restrict this — e.g. a no-probe-relays deployment
+    runs ``("COR", "PLR")`` — while analyses keep reporting every type
+    (absent ones observe zero cases)."""
+
     record_relay_medians: bool = True
     """Keep per-round endpoint-relay medians (needed by the stability
     analysis; costs memory on long campaigns)."""
@@ -79,3 +85,11 @@ class CampaignConfig:
             raise ConfigError("plr_consistency_threshold outside [0, 1]")
         if self.max_countries is not None and self.max_countries < 2:
             raise ConfigError("max_countries must be >= 2 (need endpoint pairs)")
+        if not self.relay_mix:
+            raise ConfigError("relay_mix must keep at least one relay type")
+        valid = {"COR", "PLR", "RAR_OTHER", "RAR_EYE"}
+        unknown = set(self.relay_mix) - valid
+        if unknown:
+            raise ConfigError(f"unknown relay types in relay_mix: {sorted(unknown)}")
+        if len(set(self.relay_mix)) != len(self.relay_mix):
+            raise ConfigError(f"duplicate relay types in relay_mix: {self.relay_mix}")

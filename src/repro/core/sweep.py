@@ -1,26 +1,28 @@
-"""Multi-seed campaign sweeps.
+"""Multi-seed, multi-scenario campaign sweeps.
 
-One seed is one synthetic Internet; the paper's qualitative claims (colo
-relays win most cases, median RTT reductions in the tens of ms) should hold
-across *worlds*, not just across rounds of one world.  :func:`run_sweep`
-runs the full campaign for N seeds — optionally in parallel via
-:mod:`concurrent.futures` — and aggregates each seed's paper-shape metrics
-(per-relay-type win rates, median RTT reduction of improved cases) into a
-single JSON-ready artifact.
+One seed is one synthetic Internet; one scenario is one measurement
+regime (a named world/latency/workload configuration from
+:mod:`repro.scenarios`).  The paper's qualitative claims (colo relays win
+most cases, median RTT reductions in the tens of ms) should hold across
+*worlds* and survive *regimes*, not just rounds of one world —
+:func:`run_sweep` runs the full campaign for every (scenario, seed)
+combination — optionally in parallel via :mod:`concurrent.futures` — and
+aggregates each run's paper-shape metrics into a single JSON-ready
+artifact.
 
 Transport is columnar: each worker returns its campaign's
 :class:`~repro.core.table.ObservationTable` as a compact payload (a dozen
 flat NumPy buffers plus string pools) rather than pickling one Python
-object per case.  The parent computes every per-seed metric from the
-received columns and, because whole campaigns come back, can also pool
-all seeds' cases into one cross-world table (the ``pooled`` section) —
-something that previously required shipping object lists.
+object per case.  The parent computes every metric from the received
+columns and pools each scenario's seeds into one cross-world table, which
+also feeds the scenario's paper-shape verdict
+(:func:`repro.analysis.scenarios.paper_shapes` against the preset's
+expectations) and the cross-scenario ``comparison`` section.
 
-Determinism: every per-seed metric depends only on ``(seed, rounds,
-countries, max_countries)``, so the ``config``, ``per_seed``, ``pooled``
-and ``aggregate`` sections of the artifact are identical regardless of the
-worker count (the CLI test asserts this).  Wall-clock measurements live in
-a separate ``timing`` section.
+Determinism: every per-run metric depends only on ``(scenario, seed,
+rounds, countries, max_countries)``, so everything except the ``timing``
+section is identical regardless of the worker count (the CLI test asserts
+this byte for byte).
 """
 
 from __future__ import annotations
@@ -30,33 +32,41 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.analysis.improvements import ImprovementAnalysis
+from repro.analysis.scenarios import (
+    check_expectations,
+    compare_scenarios,
+    relay_type_metrics,
+    scenario_report,
+)
 from repro.core.campaign import MeasurementCampaign
-from repro.core.config import CampaignConfig
 from repro.core.table import ObservationTable
-from repro.core.types import RELAY_TYPE_ORDER
 from repro.errors import ConfigError
-from repro.topology.config import TopologyConfig
-from repro.world import WorldConfig, build_world
+from repro.scenarios import get_scenario, scenario_with
+from repro.world import build_world
 
 
 @dataclass(frozen=True, slots=True)
 class SweepConfig:
-    """Parameters of a multi-seed campaign sweep."""
+    """Parameters of a multi-seed, multi-scenario campaign sweep."""
 
     seeds: tuple[int, ...]
-    """World seeds to run, one full campaign each."""
+    """World seeds to run, one full campaign each per scenario."""
 
     rounds: int = 4
-    """Measurement rounds per seed."""
+    """Measurement rounds per campaign."""
 
     countries: int | None = None
-    """Optional world country limit (None = all countries)."""
+    """Optional world country limit (None = the scenario's own scope)."""
 
     max_countries: int | None = None
     """Optional cap on endpoint countries per round."""
 
     workers: int = 1
-    """Process-pool size; 1 runs the seeds inline."""
+    """Process-pool size; 1 runs the campaigns inline."""
+
+    scenarios: tuple[str, ...] = ("baseline",)
+    """Registered scenario names to fan out over (see
+    :mod:`repro.scenarios`); every scenario runs every seed."""
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -67,31 +77,42 @@ class SweepConfig:
             raise ConfigError("rounds must be >= 1")
         if self.workers < 1:
             raise ConfigError("workers must be >= 1")
+        if not self.scenarios:
+            raise ConfigError("sweep needs at least one scenario")
+        if len(set(self.scenarios)) != len(self.scenarios):
+            raise ConfigError(f"duplicate scenarios in sweep: {self.scenarios}")
+        for name in self.scenarios:
+            get_scenario(name)  # raises ConfigError for unknown names
 
 
 def _run_seed_columns(
+    scenario_name: str,
     seed: int,
     rounds: int,
     countries: int | None = None,
     max_countries: int | None = None,
 ) -> dict:
-    """Run one seed's campaign; return its observation columns + scalars.
+    """Run one (scenario, seed) campaign; return its columns + scalars.
 
-    This is the worker side of the sweep: the campaign result travels back
-    as a columnar payload (flat arrays) plus the few scalars the table does
-    not carry, never as pickled ``PairObservation`` lists.
+    This is the worker side of the sweep: the scenario is resolved from
+    the registry by name (names travel cheaply to pool processes), and the
+    campaign result travels back as a columnar payload (flat arrays) plus
+    the few scalars the table does not carry, never as pickled
+    ``PairObservation`` lists.
     """
-    world = build_world(
-        seed=seed,
-        config=WorldConfig(topology=TopologyConfig(country_limit=countries)),
+    scenario = scenario_with(
+        get_scenario(scenario_name),
+        rounds=rounds,
+        countries=countries,
+        max_countries=max_countries,
     )
-    campaign = MeasurementCampaign(
-        world, CampaignConfig(num_rounds=rounds, max_countries=max_countries)
-    )
+    world = build_world(seed=seed, config=scenario.world)
+    campaign = MeasurementCampaign(world, scenario.campaign)
     start = time.perf_counter()
     result = campaign.run()
     wall_clock_s = time.perf_counter() - start
     return {
+        "scenario": scenario_name,
         "seed": seed,
         "columns": result.table.to_payload(),
         "total_pings": result.total_pings,
@@ -100,29 +121,17 @@ def _run_seed_columns(
     }
 
 
-def _type_metrics(table: ObservationTable) -> dict:
-    """Win rate and median reduction per relay type from a table."""
-    analysis = ImprovementAnalysis.from_table(table)
-    metrics: dict = {}
-    for relay_type in RELAY_TYPE_ORDER:
-        name = relay_type.value
-        metrics[f"win_rate_{name}"] = round(analysis.improved_fraction(relay_type), 4)
-        median = analysis.median_improvement(relay_type)
-        metrics[f"median_rtt_reduction_ms_{name}"] = (
-            round(median, 3) if median is not None else None
-        )
-    return metrics
-
-
 def _metrics_from_columns(outcome: dict, table: ObservationTable) -> dict:
-    """The per-seed metrics dict, computed parent-side from the columns."""
+    """The per-run metrics dict, computed parent-side from the columns."""
     metrics: dict = {
+        "scenario": outcome["scenario"],
         "seed": outcome["seed"],
         "total_cases": table.num_cases,
         "total_pings": outcome["total_pings"],
         "relays_registered": outcome["relays_registered"],
     }
-    metrics.update(_type_metrics(table))
+    analysis = ImprovementAnalysis.from_table(table) if table.num_cases else None
+    metrics.update(relay_type_metrics(analysis))
     return metrics
 
 
@@ -131,14 +140,15 @@ def run_seed_campaign(
     rounds: int,
     countries: int | None = None,
     max_countries: int | None = None,
+    scenario: str = "baseline",
 ) -> dict:
-    """Run one seed's campaign and return its paper-shape metrics.
+    """Run one (scenario, seed) campaign and return its metrics.
 
     The returned dict is deterministic given the arguments except for
     ``wall_clock_s`` (reported under the same key the sweep's ``timing``
     section uses, and stripped from the deterministic sections).
     """
-    outcome = _run_seed_columns(seed, rounds, countries, max_countries)
+    outcome = _run_seed_columns(scenario, seed, rounds, countries, max_countries)
     table = ObservationTable.from_payload(outcome["columns"])
     return {
         "metrics": _metrics_from_columns(outcome, table),
@@ -146,20 +156,20 @@ def run_seed_campaign(
     }
 
 
-def _sweep_job(args: tuple[int, int, int | None, int | None]) -> dict:
+def _sweep_job(args: tuple[str, int, int, int | None, int | None]) -> dict:
     """Picklable process-pool entry point."""
     return _run_seed_columns(*args)
 
 
 def _aggregate(per_seed: list[dict]) -> dict:
-    """Mean / min / max of every numeric metric across seeds.
+    """Mean / min / max of every numeric metric across runs.
 
     ``None`` entries (a relay type that improved nothing for some seed) are
     skipped; a metric that is None for every seed aggregates to None.
     """
     aggregate: dict = {}
     for key in per_seed[0]:
-        if key == "seed":
+        if key in ("seed", "scenario"):
             continue
         values = [m[key] for m in per_seed if m[key] is not None]
         if not values:
@@ -176,17 +186,31 @@ def _aggregate(per_seed: list[dict]) -> dict:
 def run_sweep(config: SweepConfig) -> dict:
     """Run the sweep and return the aggregated artifact (JSON-ready).
 
-    Artifact sections: ``config`` (the sweep parameters), ``per_seed``
-    (each seed's metrics, in ``config.seeds`` order), ``pooled`` (the same
-    metrics over all seeds' cases pooled into one cross-world table),
-    ``aggregate`` (mean/min/max across seeds) — all deterministic across
-    worker counts — plus ``timing`` (wall clocks, worker count).
+    Artifact sections, all deterministic across worker counts:
+
+    * ``config`` — the sweep parameters;
+    * ``per_seed`` — each (scenario, seed) run's metrics, scenario-major
+      in ``config.scenarios`` × ``config.seeds`` order;
+    * ``scenarios`` — per scenario: its description, the same metrics
+      over all its seeds' cases pooled into one cross-world table
+      (``pooled``), the paper-shape booleans of that pooled table
+      (``shapes``), the verdict against the scenario's expectations
+      (``expectations``: ``{"ok": bool, "failed": [...]}``) and the
+      across-seed ``aggregate`` (mean/min/max per metric);
+    * ``comparison`` — pooled metrics pivoted metric-first so regimes
+      read side by side;
+    * ``shapes_ok`` — True iff every scenario met its expectations;
+    * ``pooled`` / ``aggregate`` — single-scenario sweeps only: aliases
+      of that scenario's sections (the pre-scenario artifact shape).
+
+    A separate ``timing`` section carries wall clocks and worker count.
 
     ``pooled`` metrics are identity-free (fractions and gains): relay
     registry indices are per-seed and are not unified by the pooling.
     """
     jobs = [
-        (seed, config.rounds, config.countries, config.max_countries)
+        (scenario, seed, config.rounds, config.countries, config.max_countries)
+        for scenario in config.scenarios
         for seed in config.seeds
     ]
     start = time.perf_counter()
@@ -202,23 +226,50 @@ def run_sweep(config: SweepConfig) -> dict:
         _metrics_from_columns(outcome, table)
         for outcome, table in zip(outcomes, tables)
     ]
-    pooled_table = ObservationTable.concat(tables)
-    pooled = {"total_cases": pooled_table.num_cases}
-    pooled.update(_type_metrics(pooled_table))
-    return {
-        "workload": f"{len(config.seeds)}-seed sweep, {config.rounds} rounds each",
+
+    scenario_sections: dict[str, dict] = {}
+    for pos, name in enumerate(config.scenarios):
+        scenario = get_scenario(name)
+        lo = pos * len(config.seeds)
+        hi = lo + len(config.seeds)
+        pooled_table = ObservationTable.concat(tables[lo:hi])
+        pooled_metrics, shapes = scenario_report(pooled_table)
+        scenario_sections[name] = {
+            "description": scenario.description,
+            "pooled": pooled_metrics,
+            "shapes": shapes,
+            "expectations": check_expectations(shapes, scenario.expect),
+            "aggregate": _aggregate(per_seed[lo:hi]),
+        }
+
+    artifact = {
+        "workload": (
+            f"{len(config.seeds)}-seed x {len(config.scenarios)}-scenario "
+            f"sweep, {config.rounds} rounds each"
+        ),
         "config": {
             "seeds": list(config.seeds),
             "rounds": config.rounds,
             "countries": config.countries,
             "max_countries": config.max_countries,
+            "scenarios": list(config.scenarios),
         },
         "per_seed": per_seed,
-        "pooled": pooled,
-        "aggregate": _aggregate(per_seed),
-        "timing": {
-            "workers": config.workers,
-            "wall_clock_s": round(wall_clock_s, 3),
-            "per_seed_s": [outcome["wall_clock_s"] for outcome in outcomes],
-        },
+        "scenarios": scenario_sections,
+        "comparison": compare_scenarios(
+            {name: section["pooled"] for name, section in scenario_sections.items()}
+        ),
+        "shapes_ok": all(
+            section["expectations"]["ok"] for section in scenario_sections.values()
+        ),
     }
+    if len(config.scenarios) == 1:
+        only = scenario_sections[config.scenarios[0]]
+        artifact["pooled"] = only["pooled"]
+        artifact["aggregate"] = only["aggregate"]
+    artifact["timing"] = {
+        "workers": config.workers,
+        "wall_clock_s": round(wall_clock_s, 3),
+        "per_seed_s": [outcome["wall_clock_s"] for outcome in outcomes],
+    }
+    return artifact

@@ -118,6 +118,26 @@ def _pair_unit_hash(a: str, b: str) -> float:
     return int.from_bytes(digest, "big") / 2**64
 
 
+@dataclass(frozen=True, slots=True)
+class PairGrid:
+    """Deterministic pair terms for a (rows × cols) endpoint grid.
+
+    ``base[i, j]`` is the base RTT from ``rows[i]`` to ``cols[j]`` (NaN when
+    either direction is unrouted) and ``loss[i, j]`` the pair's per-packet
+    loss probability — the same two values :meth:`LatencyModel._pair_entries`
+    resolves per leg, assembled once for the whole grid.  A measurement step
+    gathers its legs' entries by index instead of running the per-leg
+    token/cache loop.
+    """
+
+    base: np.ndarray  #: (rows × cols) base RTT, NaN = unrouted
+    loss: np.ndarray  #: (rows × cols) per-packet loss probability
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.base.shape
+
+
 class LatencyModel:
     """Computes base and sampled RTTs between :class:`Endpoint` objects."""
 
@@ -159,6 +179,13 @@ class LatencyModel:
         # __hash__ calls per lookup, which profiling put near the top of
         # the whole campaign.
         self._pair_cache: dict[tuple, tuple[float, float]] = {}
+        # ordered-pair skew memo as a growable code-indexed matrix: blake2b
+        # per pair is the one irreducibly scalar term of the pair grid, and
+        # campaign rounds revisit mostly-overlapping endpoint/relay sets —
+        # warm cells come back as one fancy-indexed gather, NaN cells are
+        # hashed once and written back
+        self._skew_codes: dict[str, int] = {}
+        self._skew_matrix: np.ndarray = np.full((0, 0), np.nan)
         # endpoint-token memo: id(endpoint) -> token, with a strong
         # reference pinning each memoized object so ids are never reused
         self._ep_tokens: dict[int, object] = {}
@@ -431,6 +458,120 @@ class LatencyModel:
             e if e is not None else cache[k] for k, e in zip(keys, entries)
         ]
 
+    # ----------------------------------------------------------- pair grid
+
+    def _one_way_grid(
+        self, rows: Sequence[Endpoint], cols: Sequence[Endpoint]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(rows × cols) forward and reverse one-way delay matrices.
+
+        With the attachment grid installed and every endpoint on it, both
+        matrices are two fancy-indexed gathers.  Otherwise (no fabric yet,
+        or off-grid endpoints such as pipeline monitors) every product key
+        goes through :meth:`_one_way_batch`, which serves warm keys from the
+        path cache — bit-identical values either way, NaN = unrouted.
+        """
+        r, c = len(rows), len(cols)
+        grid = self._grid
+        if grid is not None:
+            att = self._attachment_id
+            row_ids = np.fromiter((att(e) for e in rows), np.intp, r)
+            col_ids = np.fromiter((att(e) for e in cols), np.intp, c)
+            if (row_ids >= 0).all() and (col_ids >= 0).all():
+                fwd = grid[row_ids[:, np.newaxis], col_ids[np.newaxis, :]]
+                rev = grid[col_ids[np.newaxis, :], row_ids[:, np.newaxis]]
+                return fwd, rev
+        row_keys = [(e.asn, e.city_key) for e in rows]
+        col_keys = [(e.asn, e.city_key) for e in cols]
+        keys = [rk + ck for rk in row_keys for ck in col_keys]
+        keys += [ck + rk for rk in row_keys for ck in col_keys]
+        both = np.asarray(self._one_way_batch(keys))
+        return both[: r * c].reshape(r, c), both[r * c :].reshape(r, c)
+
+    def _skew_code(self, node_id: str) -> int:
+        """The endpoint's row/column in the skew memo, growing it on demand."""
+        codes = self._skew_codes
+        code = codes.get(node_id)
+        if code is None:
+            code = len(codes)
+            codes[node_id] = code
+            cap = self._skew_matrix.shape[0]
+            if code >= cap:
+                grown = np.full((max(256, 2 * cap),) * 2, np.nan)
+                if cap:
+                    grown[:cap, :cap] = self._skew_matrix
+                self._skew_matrix = grown
+        return code
+
+    def _skew_grid(
+        self, row_ids: Sequence[str], col_ids: Sequence[str]
+    ) -> np.ndarray:
+        """(rows × cols) deterministic per-ordered-pair skew units.
+
+        Warm pairs are one gather out of the memo matrix; NaN cells (first
+        visit of the ordered pair) are hashed scalar and written back.
+        """
+        code = self._skew_code
+        rows = np.fromiter((code(a) for a in row_ids), np.intp, len(row_ids))
+        cols = np.fromiter((code(b) for b in col_ids), np.intp, len(col_ids))
+        memo = self._skew_matrix  # after every code is assigned (may grow)
+        sub = memo[np.ix_(rows, cols)]
+        miss_i, miss_j = np.nonzero(np.isnan(sub))
+        if miss_i.size:
+            blake = hashlib.blake2b
+            from_bytes = int.from_bytes
+            fresh = np.asarray(
+                [
+                    from_bytes(
+                        blake(
+                            f"{row_ids[i]}|{col_ids[j]}".encode("utf-8"),
+                            digest_size=8,
+                        ).digest(),
+                        "big",
+                    )
+                    / 2**64
+                    for i, j in zip(miss_i.tolist(), miss_j.tolist())
+                ]
+            )
+            memo[rows[miss_i], cols[miss_j]] = fresh
+            sub[miss_i, miss_j] = fresh
+        return sub
+
+    def pair_grid(
+        self, rows: Sequence[Endpoint], cols: Sequence[Endpoint]
+    ) -> PairGrid:
+        """Base-RTT and loss matrices for every ordered (row, col) pair.
+
+        Entries are bit-identical to what :meth:`_pair_entries` resolves for
+        the same ordered pair: the base assembly mirrors the scalar code's
+        operation order term by term ((fwd + rev + access) * skew factor,
+        loss as the same left-to-right product), and the one-way delays come
+        from the same attachment grid / path cache.  Building the grid costs
+        O(rows + cols) Python work per endpoint plus one cached hash per
+        ordered pair; gathering a leg's entry afterwards is pure NumPy
+        indexing — this replaces the per-leg token/cache loop on the
+        campaign's measurement hot path.
+        """
+        r, c = len(rows), len(cols)
+        fwd, rev = self._one_way_grid(rows, cols)
+        access = 2.0 * (
+            np.fromiter((e.access_ms for e in rows), float, r)[:, np.newaxis]
+            + np.fromiter((e.access_ms for e in cols), float, c)[np.newaxis, :]
+        )
+        skew = self._skew_grid(
+            [e.node_id for e in rows], [e.node_id for e in cols]
+        )
+        cfg = self._cfg
+        base = (fwd + rev + access) * (
+            1.0 + (2.0 * skew - 1.0) * cfg.asymmetry_frac
+        )
+        loss = 1.0 - (
+            (1.0 - cfg.base_loss_prob)
+            * (1.0 - np.fromiter((e.loss_prob for e in rows), float, r))[:, np.newaxis]
+            * (1.0 - np.fromiter((e.loss_prob for e in cols), float, c))[np.newaxis, :]
+        )
+        return PairGrid(base=base, loss=loss)
+
     def _base_rtt_uncached(self, src: Endpoint, dst: Endpoint) -> float | None:
         forward = self.path_one_way_ms(src.asn, src.city_key, dst.asn, dst.city_key)
         if forward is None:
@@ -512,12 +653,33 @@ class LatencyModel:
         same-seed runs of this engine are bit-identical to each other.
         """
         n = len(pairs)
-        out = np.full((n, count), np.nan)
         if n == 0:
-            return out
+            return np.full((n, count), np.nan)
         entries = self._pair_entries(pairs)
         base = np.fromiter((e[0] for e in entries), float, n)
         loss = np.fromiter((e[1] for e in entries), float, n)
+        return self.sample_rtt_entries(base, loss, rng, count)
+
+    def sample_rtt_entries(
+        self,
+        base: np.ndarray,
+        loss: np.ndarray,
+        rng: np.random.Generator,
+        count: int,
+    ) -> np.ndarray:
+        """Ping outcomes for legs whose ``(base, loss)`` entries are given.
+
+        The vectorized sampling tail of :meth:`sample_rtt_matrix`: callers
+        that gathered their legs' deterministic terms from a
+        :class:`PairGrid` hand them in directly, skipping the per-leg pair
+        resolution entirely.  RNG consumption is identical to
+        :meth:`sample_rtt_matrix` for the same entry vectors, so the two
+        paths produce bit-identical packets.
+        """
+        n = len(base)
+        out = np.full((n, count), np.nan)
+        if n == 0:
+            return out
         routed = ~np.isnan(base)
         m = int(np.count_nonzero(routed))
         if m == 0:

@@ -137,12 +137,40 @@ class PingEngine:
         if count <= 0:
             raise MeasurementError(f"ping count must be positive, got {count}")
         matrix = self._model.sample_rtt_matrix(legs, rng, count)
+        return self._batch_medians(matrix, min_valid)
+
+    def median_from_entries(
+        self,
+        base: np.ndarray,
+        loss: np.ndarray,
+        rng: np.random.Generator,
+        count: int = 6,
+        min_valid: int = 3,
+    ) -> np.ndarray:
+        """Batch medians for legs whose ``(base, loss)`` entries are given.
+
+        The grid-indexed twin of :meth:`median_many`: the campaign gathers
+        each leg's deterministic terms from a per-round
+        :class:`~repro.latency.model.PairGrid` and hands them in, so no
+        per-leg pair resolution runs at all.  Same sampling, same RNG
+        consumption, bit-identical medians for the same entry vectors.
+
+        Raises:
+            MeasurementError: if ``count`` is not positive.
+        """
+        if count <= 0:
+            raise MeasurementError(f"ping count must be positive, got {count}")
+        matrix = self._model.sample_rtt_entries(base, loss, rng, count)
+        return self._batch_medians(matrix, min_valid)
+
+    @staticmethod
+    def _batch_medians(matrix: np.ndarray, min_valid: int) -> np.ndarray:
         valid = np.count_nonzero(~np.isnan(matrix), axis=1)
         # NaN sorts to the end, so row r's valid RTTs occupy the first
         # valid[r] sorted slots; gather the middle one(s) directly (much
         # faster than np.nanmedian's masked pass, identical values)
         ordered = np.sort(matrix, axis=1)
-        rows = np.arange(len(legs))
+        rows = np.arange(matrix.shape[0])
         lo = ordered[rows, np.maximum(0, (valid - 1) // 2)]
         hi = ordered[rows, np.maximum(0, valid // 2)]
         return np.where(valid >= max(min_valid, 1), (lo + hi) / 2.0, np.nan)

@@ -1,0 +1,24 @@
+"""Named world/latency/workload regimes for campaigns and sweeps.
+
+See :mod:`repro.scenarios.registry` for the :class:`Scenario` model and
+the preset definitions, and :mod:`repro.analysis.scenarios` for the
+paper-shape reductions the expectations are checked against.
+"""
+
+from repro.scenarios.registry import (
+    Scenario,
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+    scenario_with,
+)
+
+__all__ = [
+    "Scenario",
+    "all_scenarios",
+    "get_scenario",
+    "register",
+    "scenario_names",
+    "scenario_with",
+]

@@ -1,0 +1,246 @@
+"""Named measurement regimes: the scenario registry.
+
+The paper's claims (colo relays win most pairs, median RTT reductions in
+the tens of milliseconds) are only credible if they survive *regimes*,
+not just seeds.  A :class:`Scenario` bundles a complete world
+configuration (topology, latency model, measurement infrastructure) with
+a campaign configuration and a set of paper-shape expectations — which of
+the headline results should still hold under that regime, and which are
+expected to bend (a probes-free deployment observes no RAR cases; an
+intra-EU world has little room for tens-of-ms gains).
+
+The sweep runner fans out (scenario × seed), so one artifact answers
+"does the shape hold across worlds *and* regimes"; CI runs every
+registered preset and asserts its expectations against the pooled
+observation columns (see :mod:`repro.analysis.scenarios`).
+
+Adding a preset is one :func:`register` call — see the definitions at the
+bottom of this module for the idiom.  Registered names must be unique;
+lookups are by name via :func:`get_scenario`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.core.config import CampaignConfig
+from repro.errors import ConfigError
+from repro.latency.model import LatencyConfig
+from repro.measurement.config import InfrastructureConfig
+from repro.topology.config import TopologyConfig
+from repro.world import WorldConfig
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named measurement regime.
+
+    Attributes:
+        name: Registry key (kebab-case).
+        description: One-line summary shown by ``repro scenarios``.
+        world: Complete world configuration (topology + latency +
+            infrastructure + datasets).
+        campaign: Campaign configuration (rounds are typically overridden
+            by the sweep; the preset's other knobs — ping profile, relay
+            mix, country caps — are the regime).
+        expect: Paper-shape expectations, mapping a shape key produced by
+            :func:`repro.analysis.scenarios.paper_shapes` to the boolean
+            the regime should exhibit.  Keys absent from the mapping are
+            not asserted for the scenario.
+    """
+
+    name: str
+    description: str
+    world: WorldConfig = field(default_factory=WorldConfig)
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    expect: Mapping[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.strip().lower():
+            raise ConfigError(f"scenario name must be lowercase, got {self.name!r}")
+        # freeze the expectation mapping so presets are safely shareable
+        object.__setattr__(self, "expect", MappingProxyType(dict(self.expect)))
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (returns it for chaining).
+
+    Raises:
+        ConfigError: if the name is already taken.
+    """
+    if scenario.name in _REGISTRY:
+        raise ConfigError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name.
+
+    Raises:
+        ConfigError: for unknown names (message lists what exists).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_scenarios() -> tuple[Scenario, ...]:
+    """Every registered scenario, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+# --------------------------------------------------------------- presets
+#
+# The baseline expectations every regime starts from: the paper's headline
+# shapes.  Presets that bend a shape override the entry (or drop it when
+# the regime makes the shape meaningless).
+
+_HEADLINE = {
+    "cases_observed": True,
+    "cor_wins_majority": True,
+    "cor_leads_relay_types": True,
+    "cor_reduction_tens_of_ms": True,
+    "voip_no_worse_with_cor": True,
+    "rar_relays_observed": True,
+}
+
+register(
+    Scenario(
+        name="baseline",
+        description="The paper's defaults: full world, calibrated latency model.",
+        expect=_HEADLINE,
+    )
+)
+
+register(
+    Scenario(
+        name="lossy",
+        description="Degraded networks: ~10x path loss, flakier probes and relays.",
+        world=WorldConfig(
+            latency=LatencyConfig(base_loss_prob=0.04),
+            infrastructure=InfrastructureConfig(
+                probe_loss_prob=(0.01, 0.08),
+                planetlab_loss_prob=(0.02, 0.10),
+                colo_loss_prob=(0.002, 0.02),
+            ),
+        ),
+        expect=_HEADLINE,
+    )
+)
+
+register(
+    Scenario(
+        name="spike-storm",
+        description="Congestion storms: frequent large latency spikes, heavy queueing.",
+        world=WorldConfig(
+            latency=LatencyConfig(
+                spike_prob=0.12,
+                spike_range_ms=(50.0, 500.0),
+                queueing_scale_ms=1.2,
+            ),
+        ),
+        expect=_HEADLINE,
+    )
+)
+
+register(
+    Scenario(
+        name="regional-eu",
+        description="Intra-EU deployment: endpoints, relays and facilities in Europe only.",
+        world=WorldConfig(
+            topology=TopologyConfig(continent_scope=("EU",)),
+        ),
+        # short intra-continental paths leave little room for tens-of-ms
+        # gains; the win-rate shapes must still hold
+        expect={**_HEADLINE, "cor_reduction_tens_of_ms": False},
+    )
+)
+
+register(
+    Scenario(
+        name="colo-sparse",
+        description="Thin colo ecosystem: one facility per hub, few pingable tenants.",
+        world=WorldConfig(
+            topology=TopologyConfig(
+                max_facilities_per_hub=1,
+                facility_base_membership_prob=0.25,
+            ),
+            infrastructure=InfrastructureConfig(colo_member_interface_prob=0.15),
+        ),
+        expect=_HEADLINE,
+    )
+)
+
+register(
+    Scenario(
+        name="voip-heavy",
+        description="Interactive-voice workload: 12-ping windows, jittery access paths.",
+        world=WorldConfig(
+            latency=LatencyConfig(jitter_sigma=0.04, queueing_scale_ms=0.8),
+        ),
+        campaign=CampaignConfig(pings_per_pair=12, min_valid_rtts=6),
+        expect=_HEADLINE,
+    )
+)
+
+register(
+    Scenario(
+        name="mega-world",
+        description="Dense deployment: more eyeball ASes and probes per country.",
+        world=WorldConfig(
+            topology=TopologyConfig(max_eyeballs_per_country=12),
+            infrastructure=InfrastructureConfig(probes_per_eyeball_lambda=2.6),
+        ),
+        expect=_HEADLINE,
+    )
+)
+
+register(
+    Scenario(
+        name="no-probes",
+        description="No probe-hosted relays: COR and PLR only (dedicated infrastructure).",
+        campaign=CampaignConfig(relay_mix=("COR", "PLR")),
+        expect={**_HEADLINE, "rar_relays_observed": False},
+    )
+)
+
+
+def scenario_with(
+    base: Scenario,
+    *,
+    rounds: int | None = None,
+    countries: int | None = None,
+    max_countries: int | None = None,
+) -> Scenario:
+    """A copy of ``base`` with sweep-level overrides applied.
+
+    The sweep runner owns round counts and world-size caps (they are
+    workload knobs, not regime knobs), so it rewrites them into the
+    scenario's configs just before building the world.
+    """
+    world = base.world
+    campaign = base.campaign
+    if countries is not None:
+        world = replace(world, topology=replace(world.topology, country_limit=countries))
+    updates: dict = {}
+    if rounds is not None:
+        updates["num_rounds"] = rounds
+    if max_countries is not None:
+        updates["max_countries"] = max_countries
+    if updates:
+        campaign = replace(campaign, **updates)
+    return replace(base, world=world, campaign=campaign)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import TopologyError
+from repro.errors import ConfigError, TopologyError
 from repro.geo.cities import City, all_cities, cities_in_country, city as city_of, hub_cities
 from repro.geo.countries import all_countries
 from repro.geo.distance import great_circle_km
@@ -146,18 +146,34 @@ class TopologyBuilder:
         self._next_asn = config.first_asn
         self._by_type: dict[ASType, list[int]] = {t: [] for t in ASType}
         self._hub_list: tuple[City, ...] = hub_cities()
+        if config.continent_scope is not None:
+            scope = set(config.continent_scope)
+            # scoping the hub list scopes everything placed at hubs —
+            # tier-1 PoPs, content/cloud presence, facilities and IXPs —
+            # so a regional world has no out-of-scope infrastructure
+            self._hub_list = tuple(c for c in self._hub_list if c.continent in scope)
+            if not self._hub_list:
+                raise ConfigError(
+                    f"continent_scope {config.continent_scope} has no hub metros"
+                )
         self._hub_weights = self._compute_hub_weights()
-        self._countries = self._select_countries(config.country_limit)
+        self._countries = self._select_countries(
+            config.country_limit, config.continent_scope
+        )
 
     @staticmethod
-    def _select_countries(limit: int | None):
+    def _select_countries(limit: int | None, scope: tuple[str, ...] | None = None):
         """The countries the world places ASes in.
 
         With a limit, pick round-robin across continents so a small world
         still spans the globe (intercontinental pairs dominate the paper's
-        dataset and drive its path-inflation findings).
+        dataset and drive its path-inflation findings).  A continent scope
+        restricts the pool before the limit applies.
         """
         countries = all_countries()
+        if scope is not None:
+            allowed = set(scope)
+            countries = [c for c in countries if c.continent in allowed]
         if limit is None or limit >= len(countries):
             return list(countries)
         by_continent: dict[str, list] = {}
@@ -292,6 +308,8 @@ class TopologyBuilder:
             continent_hubs = [c for c in self._hub_list if c.continent == continent]
             continent_cities = [c for c in all_cities() if c.continent == continent]
             candidates = countries_by_continent.get(continent, [])
+            if not candidates:
+                continue  # continent outside the world's scope
             for i in range(count):
                 home = candidates[int(rng.integers(len(candidates)))]
                 home_cities = list(cities_in_country(home.code))

@@ -52,6 +52,13 @@ class TopologyConfig:
     diversity); None means every country in the embedded database.  Use
     small values to build fast test worlds."""
 
+    continent_scope: tuple[str, ...] | None = None
+    """Optional continent whitelist (codes like ``"EU"``, ``"NA"``): the
+    world only places ASes in countries on these continents, and only the
+    scoped entries of :attr:`regional_per_continent` apply.  None means the
+    whole globe.  Regional-only scenarios (e.g. an intra-EU deployment)
+    use this to study relay gains without intercontinental pairs."""
+
     num_tier1: int = 12
     regional_per_continent: tuple[tuple[str, int], ...] = (
         ("EU", 14),
@@ -115,3 +122,12 @@ class TopologyConfig:
         continents = [cc for cc, _ in self.regional_per_continent]
         if len(set(continents)) != len(continents):
             raise ConfigError("duplicate continent in regional_per_continent")
+        if self.continent_scope is not None:
+            if not self.continent_scope:
+                raise ConfigError("continent_scope must name at least one continent")
+            unknown = set(self.continent_scope) - set(continents)
+            if unknown:
+                raise ConfigError(
+                    f"continent_scope names continents without regional transit "
+                    f"configuration: {sorted(unknown)}"
+                )

@@ -1,0 +1,81 @@
+"""Every example script must run headlessly.
+
+The examples share the memoized tiny-world fixture in
+``examples/_shared.py`` (shrunk via the ``REPRO_EXAMPLE_*`` environment
+overrides), so the whole suite costs one world build and one campaign.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def tiny_example_environment(monkeypatch_module):
+    monkeypatch_module.setenv("REPRO_EXAMPLE_COUNTRIES", "8")
+    monkeypatch_module.setenv("REPRO_EXAMPLE_ROUNDS", "2")
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    from _pytest.monkeypatch import MonkeyPatch
+
+    mp = MonkeyPatch()
+    yield mp
+    mp.undo()
+
+
+def _run(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_run_all_covers_every_script():
+    run_all = importlib.import_module("run_all")
+    scripts = {
+        p.stem
+        for p in EXAMPLES_DIR.glob("*.py")
+        if not p.stem.startswith("_") and p.stem != "run_all"
+    }
+    assert set(run_all.EXAMPLES) == scripts
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart", capsys)
+    assert "colo filter funnel" in out
+    assert "relay type" in out
+
+
+def test_colo_filter_pipeline(capsys):
+    out = _run("colo_filter_pipeline", capsys)
+    assert "verified relay pool" in out
+
+
+def test_overlay_service(capsys):
+    out = _run("overlay_service", capsys)
+    assert "oracle-best relay" in out
+
+
+def test_relay_placement_study(capsys):
+    out = _run("relay_placement_study", capsys)
+    assert "how many relays are enough?" in out
+
+
+def test_temporal_stability(capsys):
+    out = _run("temporal_stability", capsys)
+    assert "recurring (measured in >=2 rounds) node pairs" in out
+
+
+def test_voip_quality(capsys):
+    out = _run("voip_quality", capsys)
+    assert "RTT threshold for poor VoIP" in out

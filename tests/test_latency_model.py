@@ -216,3 +216,84 @@ class TestBackboneStretch:
         content = [stretch.factor(a) for a in topo.asns_of_type(ASType.CONTENT)]
         eyeball = [stretch.factor(a) for a in topo.asns_of_type(ASType.EYEBALL)]
         assert sum(content) / len(content) < sum(eyeball) / len(eyeball)
+
+
+class TestPairGrid:
+    """The grid-indexed base/skew path must be bit-identical to the
+    per-leg pair-cache path it replaces."""
+
+    @pytest.fixture(scope="class")
+    def grid_endpoints(self, small_world):
+        probes = small_world.atlas.all_probes()[:12]
+        return [p.node.endpoint for p in probes]
+
+    def test_entries_match_pair_cache(self, small_world, grid_endpoints):
+        model = small_world.latency
+        rows, cols = grid_endpoints[:6], grid_endpoints[6:]
+        grid = model.pair_grid(rows, cols)
+        pairs = [(s, d) for s in rows for d in cols]
+        entries = model._pair_entries(pairs)
+        base = np.array([e[0] for e in entries]).reshape(grid.shape)
+        loss = np.array([e[1] for e in entries]).reshape(grid.shape)
+        assert np.array_equal(grid.base, base, equal_nan=True)
+        assert np.array_equal(grid.loss, loss)
+
+    def test_entries_match_with_attachment_grid(self, grid_endpoints, small_world):
+        small_world.ensure_routing_fabric()
+        model = small_world.latency
+        rows, cols = grid_endpoints[:6], grid_endpoints[6:]
+        grid = model.pair_grid(rows, cols)
+        for i, s in enumerate(rows):
+            for j, d in enumerate(cols):
+                scalar = model.base_rtt_ms(s, d)
+                cell = grid.base[i, j]
+                if scalar is None:
+                    assert cell != cell
+                else:
+                    assert cell == scalar
+                assert grid.loss[i, j] == model.loss_probability(s, d)
+
+    def test_skew_memo_warm_gather(self, small_world, grid_endpoints):
+        model = small_world.latency
+        rows, cols = grid_endpoints[:6], grid_endpoints[6:]
+        first = model.pair_grid(rows, cols)
+        again = model.pair_grid(rows, cols)
+        assert np.array_equal(first.base, again.base, equal_nan=True)
+        assert np.array_equal(first.loss, again.loss)
+
+    def test_sample_rtt_entries_matches_matrix(self, small_world, grid_endpoints):
+        model = small_world.latency
+        rows, cols = grid_endpoints[:6], grid_endpoints[6:]
+        pairs = [(s, d) for s in rows for d in cols]
+        grid = model.pair_grid(rows, cols)
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        via_pairs = model.sample_rtt_matrix(pairs, rng_a, count=4)
+        via_entries = model.sample_rtt_entries(
+            grid.base.reshape(-1), grid.loss.reshape(-1), rng_b, count=4
+        )
+        assert np.array_equal(via_pairs, via_entries, equal_nan=True)
+
+    def test_median_from_entries_matches_median_many(
+        self, small_world, grid_endpoints
+    ):
+        engine = PingEngine(small_world.latency)
+        rows, cols = grid_endpoints[:6], grid_endpoints[6:]
+        pairs = [(s, d) for s in rows for d in cols]
+        grid = small_world.latency.pair_grid(rows, cols)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        via_pairs = engine.median_many(pairs, rng_a)
+        via_entries = engine.median_from_entries(
+            grid.base.reshape(-1), grid.loss.reshape(-1), rng_b
+        )
+        assert np.array_equal(via_pairs, via_entries, equal_nan=True)
+
+    def test_empty_grid(self, small_world):
+        grid = small_world.latency.pair_grid([], [])
+        assert grid.shape == (0, 0)
+        out = small_world.latency.sample_rtt_entries(
+            grid.base.reshape(-1), grid.loss.reshape(-1),
+            np.random.default_rng(0), count=3,
+        )
+        assert out.shape == (0, 3)

@@ -26,6 +26,14 @@ class TestSweepConfig:
         with pytest.raises(ConfigError):
             SweepConfig(seeds=(1,), workers=0)
 
+    def test_rejects_bad_scenarios(self):
+        with pytest.raises(ConfigError):
+            SweepConfig(seeds=(1,), scenarios=())
+        with pytest.raises(ConfigError):
+            SweepConfig(seeds=(1,), scenarios=("baseline", "baseline"))
+        with pytest.raises(ConfigError):
+            SweepConfig(seeds=(1,), scenarios=("no-such-regime",))
+
 
 class TestRunSweep:
     @pytest.fixture(scope="class")
@@ -35,14 +43,31 @@ class TestRunSweep:
     def test_artifact_shape(self, artifact):
         assert artifact["config"]["seeds"] == [3, 4]
         assert artifact["config"]["rounds"] == 1
+        assert artifact["config"]["scenarios"] == ["baseline"]
         assert [m["seed"] for m in artifact["per_seed"]] == [3, 4]
         for metrics in artifact["per_seed"]:
+            assert metrics["scenario"] == "baseline"
             assert metrics["total_cases"] > 0
             assert metrics["total_pings"] > 0
             for relay_type in RELAY_TYPE_ORDER:
                 assert f"win_rate_{relay_type.value}" in metrics
                 assert f"median_rtt_reduction_ms_{relay_type.value}" in metrics
         assert "timing" in artifact and artifact["timing"]["workers"] == 1
+
+    def test_scenario_sections(self, artifact):
+        section = artifact["scenarios"]["baseline"]
+        assert section["pooled"]["total_cases"] == sum(
+            m["total_cases"] for m in artifact["per_seed"]
+        )
+        assert set(section["shapes"]) >= {"cases_observed", "cor_wins_majority"}
+        assert isinstance(section["expectations"]["ok"], bool)
+        assert isinstance(artifact["shapes_ok"], bool)
+        assert artifact["comparison"]["total_cases"]["baseline"] == (
+            section["pooled"]["total_cases"]
+        )
+        # single-scenario sweeps keep the legacy top-level aliases
+        assert artifact["pooled"] == section["pooled"]
+        assert artifact["aggregate"] == section["aggregate"]
 
     def test_aggregate_bounds(self, artifact):
         aggregate = artifact["aggregate"]
@@ -77,6 +102,38 @@ class TestRunSweep:
                 assert entry is not None
 
 
+class TestMultiScenarioSweep:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        return run_sweep(
+            SweepConfig(
+                seeds=(3,), rounds=1, countries=8,
+                scenarios=("baseline", "no-probes"),
+            )
+        )
+
+    def test_scenario_major_run_order(self, artifact):
+        runs = [(m["scenario"], m["seed"]) for m in artifact["per_seed"]]
+        assert runs == [("baseline", 3), ("no-probes", 3)]
+
+    def test_per_scenario_sections(self, artifact):
+        assert set(artifact["scenarios"]) == {"baseline", "no-probes"}
+        # no legacy top-level aliases for multi-scenario artifacts
+        assert "pooled" not in artifact
+        assert "aggregate" not in artifact
+
+    def test_relay_mix_shows_in_columns(self, artifact):
+        no_probes = artifact["scenarios"]["no-probes"]
+        assert no_probes["pooled"]["win_rate_RAR_OTHER"] == 0.0
+        assert no_probes["pooled"]["win_rate_RAR_EYE"] == 0.0
+        assert no_probes["shapes"]["rar_relays_observed"] is False
+        assert artifact["scenarios"]["baseline"]["shapes"]["rar_relays_observed"]
+
+    def test_comparison_pivots_metrics(self, artifact):
+        row = artifact["comparison"]["win_rate_COR"]
+        assert set(row) == {"baseline", "no-probes"}
+
+
 class TestSweepCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["sweep", "--out", "x.json"])
@@ -85,10 +142,14 @@ class TestSweepCli:
         assert args.rounds == 4
         assert args.workers == 1
         assert args.seeds is None
+        assert args.scenario == ["baseline"]
 
-    def test_parser_requires_out(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["sweep"])
+    def test_parser_out_optional_scenarios_repeatable(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scenario", "lossy", "spike-storm"]
+        )
+        assert args.out is None
+        assert args.scenario == ["lossy", "spike-storm"]
 
     def test_parser_explicit_seed_list(self):
         args = build_parser().parse_args(
@@ -122,3 +183,70 @@ class TestSweepCli:
         )
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["sweep", "--seeds", "3", "--rounds", "1", "--countries", "8",
+             "--scenario", "nope", "--out", str(tmp_path / "x.json")]
+        )
+        assert code == 1
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_stdout_artifact_byte_deterministic_across_workers(self, capsys):
+        """The ISSUE's acceptance shape: same scenario sweep, different
+        worker counts, byte-identical deterministic output."""
+        outputs = []
+        for workers in ("1", "2"):
+            code = main(
+                ["sweep", "--scenario", "lossy", "--seeds", "11", "12",
+                 "--rounds", "1", "--countries", "8", "--workers", workers]
+            )
+            assert code == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        artifact = json.loads(outputs[0])
+        assert "timing" not in artifact
+        assert artifact["config"]["scenarios"] == ["lossy"]
+
+
+class TestScenariosCli:
+    def test_list(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "lossy", "spike-storm", "regional-eu",
+                     "colo-sparse", "voip-heavy", "mega-world", "no-probes"):
+            assert name in out
+
+    def test_verify_ok(self, tmp_path, capsys):
+        artifact = run_sweep(
+            SweepConfig(seeds=(3,), rounds=1, countries=8)
+        )
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(artifact))
+        assert main(["scenarios", "--verify", str(path)]) == 0
+        assert "baseline: ok" in capsys.readouterr().out.replace("  ", " ").strip()
+
+    def test_verify_fails_on_unmet_expectations(self, tmp_path, capsys):
+        artifact = {
+            "scenarios": {
+                "baseline": {
+                    "expectations": {
+                        "ok": False,
+                        "failed": [
+                            {"shape": "cor_wins_majority",
+                             "expected": True, "observed": False}
+                        ],
+                    }
+                }
+            }
+        }
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(artifact))
+        assert main(["scenarios", "--verify", str(path)]) == 1
+        assert "cor_wins_majority" in capsys.readouterr().out
+
+    def test_verify_rejects_artifact_without_scenarios(self, tmp_path, capsys):
+        path = tmp_path / "x.json"
+        path.write_text("{}")
+        assert main(["scenarios", "--verify", str(path)]) == 2
+        assert "no scenarios section" in capsys.readouterr().err
