@@ -2,25 +2,27 @@
 """Operating an overlay service on top of the measured shortcuts.
 
 Puts the pieces together the way a real latency-optimisation service (a
-Skype/Hola-style overlay, the paper's motivating application) would:
+Skype/Hola-style overlay, the paper's motivating application) would,
+using the online serving layer (:mod:`repro.service`):
 
-1. run a few measurement rounds and persist the raw results;
-2. train the VIA-style history predictor on the stored data;
-3. for the next round's traffic, pick each pair's relay from the top-3
-   predictions and compare against the oracle-best relay.
+1. run a few measurement rounds and compile them into a relay directory;
+2. score the VIA-style history prediction on the held-out last round;
+3. answer live routing queries through the pair -> country -> direct
+   fallback tiers, then ingest the new round incrementally;
+4. snapshot the service to ``.npz`` and restore it (operator restart);
+5. replay Zipf-shaped synthetic traffic to measure serving throughput.
 
 Run:  python examples/overlay_service.py
 """
 
 from __future__ import annotations
 
-import tempfile
-from pathlib import Path
+import io
 
 from _shared import example_campaign_result, example_countries, example_rounds
-from repro.core.io import load_result, save_result
-from repro.core.oracle import RelayPredictor, evaluate_prediction
+from repro.core.oracle import evaluate_prediction
 from repro.core.types import RelayType
+from repro.service import LoadgenConfig, ShortcutService, replay
 
 
 def main() -> None:
@@ -31,39 +33,58 @@ def main() -> None:
           f"world, {rounds} rounds...")
     result = example_campaign_result(rounds, countries)
 
-    store = Path(tempfile.gettempdir()) / "overlay_measurements.json"
-    save_result(result, store)
-    print(f"stored {result.total_cases} observations at {store}")
+    # compile the serving directory from every round except the one we
+    # pretend is "next round's traffic"
+    service = ShortcutService.from_result(result, rounds=result.rounds[:-1])
+    stats = service.stats()
+    print(f"compiled directory: {stats['endpoints']} endpoints, "
+          f"{stats['countries']} countries, "
+          f"{stats['lanes_pair_COR']} exact-pair / "
+          f"{stats['lanes_country_COR']} country COR lanes")
 
-    # an operator process would load the archive later:
-    history = load_result(store)
-
-    score = evaluate_prediction(history, RelayType.COR, k=3)
+    score = evaluate_prediction(result, RelayType.COR, k=3)
     print(f"\ntrained on rounds 0-{rounds - 2}, evaluated on round {rounds - 1}:")
     print(f"  country pairs with history and a live shortcut: {score.evaluated}")
     print(f"  oracle-best relay inside our top-3 predictions: {100 * score.hit_rate:.1f}%")
     print(f"  improvement captured vs the oracle:             {100 * score.captured_gain_frac:.1f}%")
 
-    predictor = RelayPredictor(RelayType.COR)
-    for rnd in history.rounds[:-1]:
-        for obs in rnd.observations:
-            predictor.observe(obs)
-    print("\nsample routing decisions for round 3 traffic:")
+    print(f"\nsample routing decisions for round {rounds - 1} traffic:")
     shown = 0
-    for obs in history.rounds[-1].observations:
-        predictions = predictor.predict(obs, k=1)
-        gains = dict(obs.improving_by_type.get(RelayType.COR, ()))
-        if not predictions or predictions[0] not in gains:
+    for obs in result.rounds[-1].observations:
+        decision = service.route(obs.e1_id, obs.e2_id, RelayType.COR, k=1)
+        if decision.relay_id is None:
             continue
-        relay = history.registry.get(predictions[0])
+        relay = result.registry.get(decision.relay_id)
         print(
-            f"  {obs.e1_cc} <-> {obs.e2_cc}: relay via "
-            f"{relay.city_key:<18} saves {gains[predictions[0]]:.0f} ms"
+            f"  {obs.e1_cc} <-> {obs.e2_cc}: relay via {relay.city_key:<18} "
+            f"[{decision.tier:>7} tier] expect -{decision.expected_reduction_ms:.0f} ms"
         )
         shown += 1
         if shown == 8:
             break
-    store.unlink(missing_ok=True)
+
+    # the round completes: fold it into the directory incrementally
+    ingest = service.ingest_round(result.rounds[-1])
+    print(f"\ningested round {ingest['round_id']}: "
+          f"{ingest['touched_lanes']} lanes recompiled, "
+          f"{ingest['retained_rounds']} rounds retained")
+
+    # operator restart: snapshot to .npz, restore, verify nothing moved
+    snapshot = io.BytesIO()
+    service.save(snapshot)
+    snapshot.seek(0)
+    restored = ShortcutService.load(snapshot)
+    same = restored.directory.block_signature() == service.directory.block_signature()
+    print(f"snapshot round-trip: {len(snapshot.getvalue())} bytes, "
+          f"restored {'identical' if same else 'MISMATCH'}")
+
+    # replay synthetic user traffic (Zipf-weighted country pairs)
+    load = replay(restored, LoadgenConfig(num_queries=20_000, batch_size=1024))
+    tiers = load["tier_counts"]
+    print(f"\ntraffic replay: {load['queries']} queries -> "
+          f"{load['queries_per_s']:,} queries/s "
+          f"(pair {tiers['pair']}, country {tiers['country']}, "
+          f"direct {tiers['direct']})")
 
 
 if __name__ == "__main__":

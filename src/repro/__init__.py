@@ -29,6 +29,7 @@ from repro.core.sweep import SweepConfig, run_sweep
 from repro.core.table import ObservationTable, TablePools
 from repro.routing.fabric import RoutingFabric
 from repro.scenarios import Scenario, all_scenarios, get_scenario, scenario_names
+from repro.service import RelayDirectory, ShortcutService
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.analysis.ranking import TopRelayAnalysis
 from repro.analysis.facilities import FacilityTable
@@ -54,6 +55,8 @@ __all__ = [
     "all_scenarios",
     "get_scenario",
     "scenario_names",
+    "RelayDirectory",
+    "ShortcutService",
     "ImprovementAnalysis",
     "TopRelayAnalysis",
     "FacilityTable",

@@ -15,6 +15,8 @@ Usage (also via ``python -m repro``)::
     repro scenarios --verify sweep.json
     repro analyze   result.json --report fig2
     repro analyze   result.json --report table1 --seed 11
+    repro serve-bench
+    repro serve-bench --scenario paper-scale --rounds 12 --queries 200000
 """
 
 from __future__ import annotations
@@ -149,6 +151,135 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     for scenario in all_scenarios():
         print(f"{scenario.name:>16}: {scenario.description}")
     return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import io
+    import time
+
+    from repro.core.types import RelayType
+    from repro.service import LoadgenConfig, ShortcutService, replay
+
+    scenario = None
+    if args.result is not None:
+        if args.scenario is not None or args.rounds is not None or (
+            args.countries is not None
+        ):
+            print(
+                "error: --result replays stored measurements; it cannot be "
+                "combined with --scenario/--rounds/--countries",
+                file=sys.stderr,
+            )
+            return 2
+        result = load_result(args.result)
+        workload = f"stored result {args.result}"
+    elif args.scenario is not None:
+        from repro.scenarios import get_scenario, scenario_with
+
+        scenario = scenario_with(
+            get_scenario(args.scenario),
+            rounds=args.rounds,
+            countries=args.countries,
+        )
+        world = build_world(seed=args.seed, config=scenario.world)
+        result = MeasurementCampaign(world, scenario.campaign).run()
+        workload = (
+            f"scenario {args.scenario}, seed {args.seed}, "
+            f"{scenario.campaign.num_rounds} rounds"
+        )
+    else:
+        # the default "tiny world" serving workload: small, fast, enough
+        # history for every fallback tier to fire
+        countries = args.countries if args.countries is not None else 8
+        rounds = args.rounds if args.rounds is not None else 3
+        topology = TopologyConfig(country_limit=countries)
+        world = build_world(seed=args.seed, config=WorldConfig(topology=topology))
+        result = MeasurementCampaign(
+            world, CampaignConfig(num_rounds=rounds)
+        ).run()
+        workload = f"{countries}-country world, seed {args.seed}, {rounds} rounds"
+
+    start = time.perf_counter()
+    service = ShortcutService.from_result(result, max_rounds=args.max_rounds)
+    compile_s = time.perf_counter() - start
+
+    # snapshot round-trip: restart cost, and a live determinism check
+    buffer = io.BytesIO()
+    service.save(buffer)
+    snapshot_bytes = len(buffer.getvalue())
+    buffer.seek(0)
+    start = time.perf_counter()
+    restored = ShortcutService.load(buffer)
+    restore_s = time.perf_counter() - start
+    snapshot_ok = (
+        restored.directory.block_signature() == service.directory.block_signature()
+    )
+
+    config = LoadgenConfig(
+        num_queries=args.queries,
+        batch_size=args.batch_size,
+        zipf_exponent=args.zipf,
+        seed=args.loadgen_seed,
+        k=args.k,
+        relay_type=RelayType[args.relay_type],
+        workers=args.workers,
+    )
+    stats = replay(service, config)
+
+    print(f"serve-bench: {workload}", file=sys.stderr)
+    print(
+        f"  compile: {compile_s:.3f} s over {result.total_cases} cases "
+        f"({len(result.rounds)} rounds); snapshot {snapshot_bytes} bytes, "
+        f"restore {restore_s:.3f} s, round-trip "
+        f"{'ok' if snapshot_ok else 'MISMATCH'}",
+        file=sys.stderr,
+    )
+    tiers = stats["tier_counts"]
+    print(
+        f"  replay: {stats['queries']} queries x k={config.k} in "
+        f"{stats['wall_clock_s']} s -> {stats['queries_per_s']:,} queries/s "
+        f"(tiers: pair {tiers['pair']}, country {tiers['country']}, "
+        f"direct {tiers['direct']}; relay answers "
+        f"{100 * stats['relay_answer_frac']:.1f}%)",
+        file=sys.stderr,
+    )
+
+    failures: list[str] = []
+    if not snapshot_ok:
+        failures.append("snapshot round-trip changed the compiled directory")
+    if args.min_qps is not None and stats["queries_per_s"] < args.min_qps:
+        failures.append(
+            f"{stats['queries_per_s']} queries/s under the "
+            f"--min-qps {args.min_qps} floor"
+        )
+    if scenario is not None:
+        floor = scenario.service_expect.get("min_relay_answer_frac")
+        if floor is not None and stats["relay_answer_frac"] < floor:
+            failures.append(
+                f"relay answer fraction {stats['relay_answer_frac']} under "
+                f"the scenario's {floor} expectation"
+            )
+    report = {
+        "workload": workload,
+        "compile_s": round(compile_s, 4),
+        "snapshot_bytes": snapshot_bytes,
+        "restore_s": round(restore_s, 4),
+        "snapshot_roundtrip_ok": snapshot_ok,
+        "directory": service.stats(),
+        "replay": stats,
+        "failures": failures,
+        "ok": not failures,
+    }
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    for failure in failures:
+        print(f"serve-bench: FAILED: {failure}", file=sys.stderr)
+    return 0 if not failures else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -307,6 +438,59 @@ def build_parser() -> argparse.ArgumentParser:
              "(exit 1 on any failure)",
     )
     p_scenarios.set_defaults(func=_cmd_scenarios)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="compile the serving layer and replay synthetic traffic against it",
+    )
+    p_serve.add_argument("--seed", type=int, default=11, help="world seed")
+    p_serve.add_argument(
+        "--countries", type=int, default=None,
+        help="world country limit (default: 8 for the tiny serving workload)",
+    )
+    p_serve.add_argument(
+        "--rounds", type=int, default=None,
+        help="campaign rounds to ingest (default: 3; scenarios keep their own)",
+    )
+    p_serve.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="build the history under a scenario preset and check its "
+             "service expectations",
+    )
+    p_serve.add_argument(
+        "--result", default=None, metavar="FILE",
+        help="compile from a stored campaign result instead of measuring",
+    )
+    p_serve.add_argument(
+        "--max-rounds", type=int, default=None,
+        help="staleness window: retain only the newest N rounds",
+    )
+    p_serve.add_argument("--queries", type=int, default=100_000)
+    p_serve.add_argument("--batch-size", type=int, default=1024)
+    p_serve.add_argument("--k", type=int, default=3, help="relay candidates per query")
+    p_serve.add_argument(
+        "--relay-type", default="COR",
+        choices=[t.value for t in RELAY_TYPE_ORDER],
+    )
+    p_serve.add_argument(
+        "--zipf", type=float, default=1.1, help="country-popularity Zipf exponent"
+    )
+    p_serve.add_argument(
+        "--loadgen-seed", type=int, default=0, help="query-stream seed"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="query-synthesis shards (stream is identical for any count)",
+    )
+    p_serve.add_argument(
+        "--min-qps", type=int, default=None,
+        help="fail (exit 1) under this sustained queries/s floor",
+    )
+    p_serve.add_argument(
+        "--json-out", default=None,
+        help="write the JSON report here instead of stdout",
+    )
+    p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_analyze = sub.add_parser("analyze", help="analyse a stored campaign result")
     p_analyze.add_argument("result", help="result JSON written by 'campaign'")

@@ -7,14 +7,33 @@ practical way a real overlay would use its measurements, so we provide the
 baseline: rank relays per endpoint-country-pair by how often they improved
 that pair in past rounds, predict the top-k for the next round, and score
 the prediction against that round's oracle-best relay.
+
+Two implementations live here:
+
+* :class:`LaneHistory` / :func:`evaluate_prediction` — the columnar path:
+  history is accumulated and ranked as NumPy reductions over
+  :class:`~repro.core.table.ObservationTable` columns (country pairs packed
+  into int64 *lane* keys, per-lane relay counts ranked ``(-count, relay)``
+  in one lexsort).  The serving layer (:mod:`repro.service`) compiles its
+  relay directory through the same kernels (:func:`rank_lane_entries`,
+  :func:`csr_top_k`), so service rankings and predictor rankings cannot
+  drift apart.
+* :class:`RelayPredictor` / :func:`evaluate_prediction_loop` — the original
+  per-:class:`~repro.core.results.PairObservation` loops, kept as the
+  reference implementation; the columnar path is asserted bit-equal to it
+  (same ``PredictionScore`` fields, including the float sum) in
+  ``tests/test_oracle_multihop.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.results import CampaignResult, PairObservation
-from repro.core.types import RelayType
+from repro.core.table import ObservationTable
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
 from repro.errors import AnalysisError
 
 
@@ -45,7 +64,12 @@ class PredictionScore:
 
 
 class RelayPredictor:
-    """Frequency-based relay prediction over campaign history."""
+    """Frequency-based relay prediction over campaign history.
+
+    The *loop reference*: one dict update per observation, one sort per
+    prediction.  The hot paths use :class:`LaneHistory` instead; this class
+    stays as the semantics oracle the columnar path is tested against.
+    """
 
     def __init__(self, relay_type: RelayType = RelayType.COR) -> None:
         self._relay_type = relay_type
@@ -81,12 +105,289 @@ class RelayPredictor:
         return bool(self._history.get(self._pair_key(obs)))
 
 
+class LaneHistory:
+    """Columnar relay history: per country-pair *lane*, relays ranked by
+    how often they improved the lane.
+
+    Built in three NumPy passes over a table's CSR improving block (filter,
+    group-count, rank) instead of one dict update per observation.  Ranking
+    is ``(-count, relay index)`` — identical to
+    :meth:`RelayPredictor.predict`'s sort key — and lanes are canonical
+    unordered country pairs, so the two implementations group and rank
+    identically (asserted bit-equal in the tests).
+
+    Attributes:
+        lane_keys: ``(L,) int64`` sorted canonical country-pair keys
+            (:meth:`ObservationTable.pack_pairs` over ``e1_cc``/``e2_cc``).
+        indptr: ``(L+1,) int64`` CSR pointer into the ranked arrays.
+        relays: ``(E,) int32`` relay registry indices, ranked per lane.
+        counts: ``(E,) int32`` improvement count behind each ranked entry.
+    """
+
+    __slots__ = ("lane_keys", "indptr", "relays", "counts", "_pools")
+
+    def __init__(
+        self,
+        lane_keys: np.ndarray,
+        indptr: np.ndarray,
+        relays: np.ndarray,
+        counts: np.ndarray,
+        pools=None,
+    ) -> None:
+        self.lane_keys = lane_keys
+        self.indptr = indptr
+        self.relays = relays
+        self.counts = counts
+        self._pools = pools
+
+    @classmethod
+    def from_table(
+        cls,
+        table: ObservationTable,
+        relay_type: RelayType = RelayType.COR,
+        case_mask: np.ndarray | None = None,
+    ) -> LaneHistory:
+        """Accumulate history from a table's improving entries.
+
+        ``case_mask`` restricts which cases feed the history (the training
+        rounds of an evaluation, or one round of an incremental ingest).
+        """
+        code = RELAY_TYPE_ORDER.index(relay_type)
+        cases, relays, _ = table.type_entries(code)
+        if case_mask is not None and cases.size:
+            keep = case_mask[cases]
+            cases, relays = cases[keep], relays[keep]
+        if cases.size == 0:
+            return cls(
+                np.zeros(0, np.int64),
+                np.zeros(1, np.int64),
+                np.zeros(0, np.int32),
+                np.zeros(0, np.int32),
+                table.pools,
+            )
+        lanes = table.cc_pair_keys()[cases]
+        lane_keys, indptr, ranked_relays, ranked_counts = rank_lane_entries(
+            lanes, relays
+        )
+        return cls(lane_keys, indptr, ranked_relays, ranked_counts, table.pools)
+
+    @property
+    def num_lanes(self) -> int:
+        """Number of country pairs with any history."""
+        return self.lane_keys.shape[0]
+
+    def lane_index(self, keys: np.ndarray) -> np.ndarray:
+        """Per query key: the lane's row, or -1 when the lane is unknown."""
+        pos = np.searchsorted(self.lane_keys, keys)
+        pos_c = np.minimum(pos, max(self.lane_keys.size - 1, 0))
+        found = (
+            (pos < self.lane_keys.size) & (self.lane_keys[pos_c] == keys)
+            if self.lane_keys.size
+            else np.zeros(len(keys), bool)
+        )
+        return np.where(found, pos_c, -1)
+
+    def top_k(self, lane_idx: np.ndarray, k: int) -> np.ndarray:
+        """``(m, k) int32`` top-k ranked relays per lane row, -1 padded.
+
+        Rows with ``lane_idx == -1`` (no history) are all -1.
+        """
+        return csr_top_k(self.indptr, lane_idx, k, (self.relays,), (-1,))[0]
+
+    def predict_ccs(self, cc1: str, cc2: str, k: int = 3) -> list[int]:
+        """Top-k relays for a country pair given as strings.
+
+        The scalar convenience mirroring :meth:`RelayPredictor.predict`;
+        unknown countries (or lanes with no history) predict empty.
+        """
+        if self._pools is None:
+            raise AnalysisError("history was built without pools")
+        a = self._pools.countries.lookup(cc1)
+        b = self._pools.countries.lookup(cc2)
+        if a < 0 or b < 0:
+            if k < 1:
+                raise AnalysisError(f"k must be >= 1, got {k}")
+            return []
+        key = np.asarray([(min(a, b) << 32) | max(a, b)], np.int64)
+        row = self.top_k(self.lane_index(key), k)[0]
+        return [int(r) for r in row if r >= 0]
+
+
+def rank_lane_entries(
+    lanes: np.ndarray,
+    relays: np.ndarray,
+    counts: np.ndarray | None = None,
+    gains: np.ndarray | None = None,
+) -> tuple[np.ndarray, ...]:
+    """Group ``(lane, relay)`` rows and rank relays per lane.
+
+    Returns ``(lane_keys, indptr, ranked_relays, ranked_counts[,
+    ranked_gain_sums])`` — lanes sorted ascending, relays within a lane
+    ordered by ``(-count, relay)``, the same total order
+    :meth:`RelayPredictor.predict` sorts by.  ``counts`` defaults to one
+    per row (occurrence counting); when ``gains`` is given, per-group gain
+    sums are reduced alongside, in the rows' stable order (what makes the
+    service's incremental recompiles bit-identical to full ones).  The
+    shared kernel of every columnar history consumer: evaluation here,
+    lane-block compilation in :mod:`repro.service.directory`.
+    """
+    order = np.lexsort((relays, lanes))  # stable: preserves row order
+    lane_s, relay_s = lanes[order], relays[order]
+    boundary = np.flatnonzero((np.diff(lane_s) != 0) | (np.diff(relay_s) != 0))
+    starts = np.concatenate(([0], boundary + 1))
+    uniq_lane = lane_s[starts]
+    uniq_relay = relay_s[starts]
+    if counts is None:
+        total_count = np.diff(np.append(starts, lane_s.size)).astype(np.int64)
+    else:
+        total_count = np.add.reduceat(counts[order], starts)
+    rank = np.lexsort((uniq_relay, -total_count, uniq_lane))
+    ranked_lane = uniq_lane[rank]
+    lane_starts = np.flatnonzero(np.diff(ranked_lane, prepend=-1))
+    lane_keys = ranked_lane[lane_starts]
+    indptr = np.append(lane_starts, ranked_lane.size).astype(np.int64)
+    out = (
+        lane_keys,
+        indptr,
+        uniq_relay[rank].astype(np.int32),
+        total_count[rank].astype(np.int32),
+    )
+    if gains is None:
+        return out
+    return out + (np.add.reduceat(gains[order], starts)[rank],)
+
+
+def csr_top_k(
+    indptr: np.ndarray,
+    lane_rows: np.ndarray,
+    k: int,
+    columns: tuple[np.ndarray, ...],
+    fills: tuple,
+) -> tuple[np.ndarray, ...]:
+    """First ``k`` entries of each lane row from parallel CSR columns.
+
+    Returns one ``(m, k)`` array per entry column, padded with the
+    corresponding fill value past a lane's entry count; rows with
+    ``lane_rows == -1`` are entirely padding.  Shared by
+    :meth:`LaneHistory.top_k` and the service's ``LaneBlock.top_k``.
+
+    Raises:
+        AnalysisError: if ``k`` is not positive.
+    """
+    if k < 1:
+        raise AnalysisError(f"k must be >= 1, got {k}")
+    m = lane_rows.shape[0]
+    out = tuple(
+        np.full((m, k), fill, col.dtype) for col, fill in zip(columns, fills)
+    )
+    if m == 0 or int(indptr[-1]) == 0:
+        return out
+    safe = np.maximum(lane_rows, 0)
+    starts = indptr[safe]
+    lengths = np.where(lane_rows >= 0, indptr[safe + 1] - starts, 0)
+    offsets = np.arange(k)[np.newaxis, :]
+    take = offsets < lengths[:, np.newaxis]
+    idx = starts[:, np.newaxis] + np.where(take, offsets, 0)
+    for col, dst in zip(columns, out):
+        dst[take] = col[idx][take]
+    return out
+
+
+def _first_max_per_segment(
+    starts: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per CSR segment: (position of the first maximal value, the max).
+
+    Mirrors ``max(d, key=d.get)`` over an insertion-ordered dict: ties keep
+    the earliest entry.
+    """
+    seg_max = np.maximum.reduceat(values, starts)
+    seg_len = np.diff(np.append(starts, values.size))
+    pos = np.arange(values.size) - np.repeat(starts, seg_len)
+    cand = np.where(values == np.repeat(seg_max, seg_len), pos, values.size)
+    first = np.minimum.reduceat(cand, starts)
+    return starts + first, seg_max
+
+
 def evaluate_prediction(
     result: CampaignResult,
     relay_type: RelayType = RelayType.COR,
     k: int = 3,
 ) -> PredictionScore:
     """Train on all rounds but the last; evaluate on the last round.
+
+    The columnar implementation: history via :class:`LaneHistory`, the
+    evaluation round reduced segment-wise (oracle = first max-gain entry
+    per case, predicted gain via one packed ``(case, relay)`` searchsorted)
+    — bit-equal to :func:`evaluate_prediction_loop`, including the
+    sequential float accumulation of ``captured_gain_frac``.
+
+    Raises:
+        AnalysisError: with fewer than 2 rounds, or non-positive ``k`` when
+            any pair is evaluated (matching the loop's lazy validation).
+    """
+    if len(result.rounds) < 2:
+        raise AnalysisError("prediction evaluation needs >= 2 rounds")
+    table = result.table
+    code = RELAY_TYPE_ORDER.index(relay_type)
+    last_round = result.rounds[-1].round_index
+    train_rounds = np.asarray(
+        sorted({r.round_index for r in result.rounds[:-1]}), np.int64
+    )
+    train_mask = np.isin(table.round_idx, train_rounds)
+    history = LaneHistory.from_table(table, relay_type, case_mask=train_mask)
+
+    eval_mask = table.round_mask(last_round)
+    cases, relays, gains = table.type_entries(code)
+    if cases.size:
+        keep = eval_mask[cases]
+        cases, relays, gains = cases[keep], relays[keep], gains[keep]
+    if cases.size == 0:
+        return PredictionScore(evaluated=0, hit_at_k=0, captured_gain_frac=0.0)
+
+    starts = np.flatnonzero(np.diff(cases, prepend=-1))
+    ecases = cases[starts]
+    lane_idx = history.lane_index(table.cc_pair_keys()[ecases])
+    has_hist = lane_idx >= 0
+    evaluated = int(np.count_nonzero(has_hist))
+    if evaluated == 0:
+        return PredictionScore(evaluated=0, hit_at_k=0, captured_gain_frac=0.0)
+    if k < 1:
+        raise AnalysisError(f"k must be >= 1, got {k}")
+
+    oracle_at, oracle_gain = _first_max_per_segment(starts, gains)
+    oracle_relay = relays[oracle_at]
+    predicted = history.top_k(lane_idx, k)
+    hits = np.any(predicted == oracle_relay[:, np.newaxis], axis=1) & has_hist
+
+    # gains.get(relay, 0.0) for every (evaluated case, predicted relay):
+    # one searchsorted over the packed (case << 32 | relay) entry keys
+    pkey = (cases.astype(np.int64) << 32) | relays.astype(np.int64)
+    order = np.argsort(pkey, kind="stable")
+    pkey_s, gain_s = pkey[order], gains[order]
+    flat_pred = predicted.reshape(-1)
+    query = (
+        np.repeat(ecases.astype(np.int64), k) << 32
+    ) | np.maximum(flat_pred, 0).astype(np.int64)
+    pos = np.minimum(np.searchsorted(pkey_s, query), pkey_s.size - 1)
+    found = (pkey_s[pos] == query) & (flat_pred >= 0)
+    pred_gain = np.where(found, gain_s[pos], 0.0).reshape(-1, k).max(axis=1)
+
+    ratios = (pred_gain / oracle_gain)[has_hist]
+    captured = float(sum(ratios.tolist()))  # sequential, like the loop's +=
+    return PredictionScore(
+        evaluated=evaluated,
+        hit_at_k=int(np.count_nonzero(hits)),
+        captured_gain_frac=captured / evaluated,
+    )
+
+
+def evaluate_prediction_loop(
+    result: CampaignResult,
+    relay_type: RelayType = RelayType.COR,
+    k: int = 3,
+) -> PredictionScore:
+    """The original per-observation evaluation (reference implementation).
 
     Raises:
         AnalysisError: with fewer than 2 rounds.

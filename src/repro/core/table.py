@@ -274,6 +274,43 @@ class ObservationTable:
         starts = np.flatnonzero(np.diff(cases, prepend=-1))
         return cases[starts], np.maximum.reduceat(gains, starts)
 
+    # ------------------------------------------------------- lane accessors
+    #
+    # The serving layer (:mod:`repro.service`) and the columnar history
+    # predictor group cases into *lanes*: an unordered endpoint or country
+    # pair packed into one int64 key.  Packing is (min << 32) | max over the
+    # two codes, so a lane key is a pure function of the unordered pair and
+    # two cases land in the same lane iff they connect the same pair —
+    # regardless of which side the table stored as e1/e2.
+
+    @staticmethod
+    def pack_pairs(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Canonical int64 lane keys for two parallel code columns."""
+        lo = np.minimum(a, b).astype(np.int64)
+        hi = np.maximum(a, b).astype(np.int64)
+        return (lo << 32) | hi
+
+    @staticmethod
+    def unpack_pair(key: int) -> tuple[int, int]:
+        """The (low, high) codes a :meth:`pack_pairs` key was built from."""
+        return int(key) >> 32, int(key) & 0xFFFFFFFF
+
+    def cc_pair_keys(self) -> np.ndarray:
+        """``(n,) int64`` canonical country-pair lane key per case."""
+        return self.pack_pairs(self.e1_cc, self.e2_cc)
+
+    def endpoint_pair_keys(self) -> np.ndarray:
+        """``(n,) int64`` canonical endpoint-pair lane key per case."""
+        return self.pack_pairs(self.e1_id, self.e2_id)
+
+    def round_values(self) -> np.ndarray:
+        """Sorted unique round indices present in the table."""
+        return np.unique(self.round_idx)
+
+    def round_mask(self, round_index: int) -> np.ndarray:
+        """``(n,) bool`` mask selecting one round's cases."""
+        return self.round_idx == round_index
+
     def country_codes_for(self, ccs: Iterable[str]) -> np.ndarray:
         """Codes (in this table's country pool) for a cc sequence.
 

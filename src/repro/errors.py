@@ -40,3 +40,7 @@ class DatasetError(ReproError):
 
 class AnalysisError(ReproError):
     """An analysis was asked to operate on unsuitable result data."""
+
+
+class ServiceError(ReproError):
+    """The serving layer received an invalid query, ingest or snapshot."""

@@ -458,6 +458,18 @@ class LatencyModel:
             e if e is not None else cache[k] for k, e in zip(keys, entries)
         ]
 
+    def warm_pairs(self, pairs: Sequence[tuple[Endpoint, Endpoint]]) -> None:
+        """Resolve a leg list's deterministic (base, loss) entries in bulk.
+
+        Purely a cache warmer: subsequent scalar calls
+        (:meth:`sample_rtt_ms`, :meth:`base_rtt_ms`) for the same pairs hit
+        the pair cache and return bit-identical values while consuming the
+        RNG exactly as before.  The colo pipeline's geolocation filter uses
+        this to batch its one-time verification without perturbing the
+        verified pool (see :class:`~repro.core.colo.ColoRelayPipeline`).
+        """
+        self._pair_entries(pairs)
+
     # ----------------------------------------------------------- pair grid
 
     def _one_way_grid(

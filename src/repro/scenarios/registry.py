@@ -49,6 +49,13 @@ class Scenario:
             :func:`repro.analysis.scenarios.paper_shapes` to the boolean
             the regime should exhibit.  Keys absent from the mapping are
             not asserted for the scenario.
+        service_expect: Serving-layer expectations checked by
+            ``repro serve-bench --scenario`` against the traffic-replay
+            stats (:func:`repro.service.loadgen.replay`).  Like
+            ``expect``, keys absent from the mapping are not asserted.
+            Keys: ``min_relay_answer_frac`` — minimum fraction of
+            replayed queries that must resolve to a relay (above the
+            direct tier).
     """
 
     name: str
@@ -56,12 +63,16 @@ class Scenario:
     world: WorldConfig = field(default_factory=WorldConfig)
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
     expect: Mapping[str, bool] = field(default_factory=dict)
+    service_expect: Mapping[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.name or self.name != self.name.strip().lower():
             raise ConfigError(f"scenario name must be lowercase, got {self.name!r}")
-        # freeze the expectation mapping so presets are safely shareable
+        # freeze the expectation mappings so presets are safely shareable
         object.__setattr__(self, "expect", MappingProxyType(dict(self.expect)))
+        object.__setattr__(
+            self, "service_expect", MappingProxyType(dict(self.service_expect))
+        )
 
 
 _REGISTRY: dict[str, Scenario] = {}
@@ -123,6 +134,9 @@ register(
         name="baseline",
         description="The paper's defaults: full world, calibrated latency model.",
         expect=_HEADLINE,
+        # a few rounds of baseline history should answer most replayed
+        # traffic with a relay; sparse/degraded regimes opt out entirely
+        service_expect={"min_relay_answer_frac": 0.5},
     )
 )
 
@@ -206,6 +220,7 @@ register(
             infrastructure=InfrastructureConfig(probes_per_eyeball_lambda=2.6),
         ),
         expect=_HEADLINE,
+        service_expect={"min_relay_answer_frac": 0.5},
     )
 )
 
@@ -215,6 +230,23 @@ register(
         description="No probe-hosted relays: COR and PLR only (dedicated infrastructure).",
         campaign=CampaignConfig(relay_mix=("COR", "PLR")),
         expect={**_HEADLINE, "rar_relays_observed": False},
+    )
+)
+
+register(
+    Scenario(
+        name="paper-scale",
+        description="The paper's full horizon: 45 rounds at 12-hour spacing "
+                    "(stability/temporal analyses, service ingestion).",
+        # the regime *is* the round count: one month of measurements, the
+        # long-horizon input the stability analyses and the serving layer's
+        # staleness window need.  Sweeps/CI override rounds downward via
+        # scenario_with; `repro serve-bench --scenario paper-scale` runs it
+        # as configured.
+        campaign=CampaignConfig(num_rounds=45),
+        expect=_HEADLINE,
+        # a month of history should answer nearly all replayed traffic
+        service_expect={"min_relay_answer_frac": 0.6},
     )
 )
 

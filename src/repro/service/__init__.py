@@ -1,0 +1,37 @@
+"""The serving layer: online relay selection over campaign history.
+
+The offline side of the system (``repro.core``) measures; this package
+*serves*: :class:`RelayDirectory` compiles observation tables into dense
+ranked lookup lanes, :class:`ShortcutService` answers batched relay
+queries with pair → country → direct fallback and ingests new rounds
+incrementally, and :mod:`repro.service.loadgen` replays Zipf-shaped
+synthetic user traffic against it to measure sustained queries/sec
+(``repro serve-bench``).
+"""
+
+from repro.service.directory import (
+    TIER_COUNTRY,
+    TIER_DIRECT,
+    TIER_NAMES,
+    TIER_PAIR,
+    LaneBlock,
+    RelayDirectory,
+)
+from repro.service.loadgen import BLOCK_SIZE, LoadgenConfig, QueryStream, replay
+from repro.service.service import RouteBatch, RouteDecision, ShortcutService
+
+__all__ = [
+    "BLOCK_SIZE",
+    "LaneBlock",
+    "LoadgenConfig",
+    "QueryStream",
+    "RelayDirectory",
+    "RouteBatch",
+    "RouteDecision",
+    "ShortcutService",
+    "TIER_COUNTRY",
+    "TIER_DIRECT",
+    "TIER_NAMES",
+    "TIER_PAIR",
+    "replay",
+]

@@ -1,0 +1,618 @@
+"""The relay directory: campaign observations compiled for online lookup.
+
+The offline campaign answers "which relays improved which pairs"; a
+serving layer needs the transpose — "given a pair, which relay should
+carry the next call" — answered in microseconds, refreshed as new rounds
+arrive, and restartable from a snapshot.  :class:`RelayDirectory` is that
+structure: every retained measurement round is reduced to per-*lane*
+relay statistics (a lane is a canonical unordered endpoint or country
+pair, packed into one int64 key), and the retained rounds are merged into
+dense ranked lookup blocks:
+
+* **pair tier** — lanes keyed by endpoint pair: the exact-history answer;
+* **country tier** — lanes keyed by country pair: the VIA-style fallback
+  (the same ``(-count, relay)`` ranking
+  :class:`~repro.core.oracle.LaneHistory` computes, plus the mean observed
+  RTT reduction per relay as the expected gain);
+* **direct tier** — no history at all: the caller keeps the direct path.
+
+Incremental ingestion (:meth:`ingest_round`) recompiles only *touched*
+lanes — lanes the new round observed plus lanes that lost a round to the
+retention window (``max_rounds``, the staleness TTL) — and splices them
+into the compiled blocks; the result is byte-identical to recompiling the
+whole directory from the retained rounds, because every lane's statistics
+are reduced from the same per-round rows in the same ascending-round
+order either way (asserted in ``tests/test_service.py``).
+
+Snapshots (:meth:`save` / :meth:`load`) are a single ``.npz`` of flat
+arrays: the string pools, the per-round lane rows and the retention
+configuration.  Loading replays a full recompile, so a restored directory
+is bit-identical to the one that saved it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Any
+
+import numpy as np
+
+from repro.core.oracle import csr_top_k, rank_lane_entries
+from repro.core.results import RoundResult
+from repro.core.table import NUM_RELAY_TYPES, Interner, ObservationTable
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import ServiceError
+
+#: Fallback tiers a query resolves through, in preference order.
+TIER_PAIR = 0
+TIER_COUNTRY = 1
+TIER_DIRECT = 2
+TIER_NAMES = ("pair", "country", "direct")
+
+#: Snapshot format version (bumped on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+_TIERS = (TIER_PAIR, TIER_COUNTRY)
+
+#: Canonical unordered-pair key packing — the table's, so directory lane
+#: keys and table lane keys can never drift apart.
+_pack = ObservationTable.pack_pairs
+
+
+@dataclass(frozen=True, slots=True)
+class LaneBlock:
+    """One tier's compiled lanes: a CSR of ranked relay candidates.
+
+    Attributes:
+        keys: ``(L,) int64`` sorted canonical lane keys.
+        indptr: ``(L+1,) int64`` CSR pointer into the entry arrays.
+        relays: ``(E,) int32`` relay registry indices, ranked
+            ``(-count, relay)`` within each lane.
+        counts: ``(E,) int32`` improvement count behind each entry.
+        reduction_ms: ``(E,) float64`` mean observed RTT reduction of the
+            relay on the lane (the "expected gain" a query returns).
+    """
+
+    keys: np.ndarray
+    indptr: np.ndarray
+    relays: np.ndarray
+    counts: np.ndarray
+    reduction_ms: np.ndarray
+
+    @classmethod
+    def empty(cls) -> LaneBlock:
+        return cls(
+            keys=np.zeros(0, np.int64),
+            indptr=np.zeros(1, np.int64),
+            relays=np.zeros(0, np.int32),
+            counts=np.zeros(0, np.int32),
+            reduction_ms=np.zeros(0, float),
+        )
+
+    @classmethod
+    def from_rows(
+        cls,
+        lanes: np.ndarray,
+        relays: np.ndarray,
+        counts: np.ndarray,
+        gains: np.ndarray,
+    ) -> LaneBlock:
+        """Compile occurrence rows into ranked lanes.
+
+        Rows may repeat a ``(lane, relay)`` across rounds; callers must
+        order them round-ascending so the float gain sums accumulate in a
+        fixed order (what makes incremental recompiles bit-identical to
+        full ones).  Reduction and ranking run through the oracle's shared
+        :func:`~repro.core.oracle.rank_lane_entries` kernel, so the
+        service ranks exactly as the history predictor does.
+        """
+        if lanes.size == 0:
+            return cls.empty()
+        keys, indptr, ranked_relays, ranked_counts, gain_sums = rank_lane_entries(
+            lanes, relays, counts=counts, gains=gains
+        )
+        return cls(
+            keys=keys,
+            indptr=indptr,
+            relays=ranked_relays,
+            counts=ranked_counts,
+            reduction_ms=gain_sums / ranked_counts,
+        )
+
+    @property
+    def num_lanes(self) -> int:
+        return self.keys.shape[0]
+
+    def lane_index(self, keys: np.ndarray) -> np.ndarray:
+        """Per query key: the lane's row, or -1 when unknown."""
+        if self.keys.size == 0:
+            return np.full(keys.shape, -1, np.intp)
+        pos = np.searchsorted(self.keys, keys)
+        pos_c = np.minimum(pos, self.keys.size - 1)
+        return np.where(self.keys[pos_c] == keys, pos_c, -1)
+
+    def top_k(self, lane_rows: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(m, k)`` ranked relays and expected reductions per lane row.
+
+        Relays pad with -1 and reductions with NaN past a lane's candidate
+        count; rows with ``lane_rows == -1`` are entirely padding.
+        """
+        return csr_top_k(
+            self.indptr, lane_rows, k,
+            (self.relays, self.reduction_ms), (-1, np.nan),
+        )
+
+    def equal(self, other: LaneBlock) -> bool:
+        """Exact array equality (used by the incremental-vs-full tests)."""
+        return (
+            np.array_equal(self.keys, other.keys)
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.relays, other.relays)
+            and np.array_equal(self.counts, other.counts)
+            and np.array_equal(self.reduction_ms, other.reduction_ms, equal_nan=True)
+        )
+
+
+def _merge_blocks(
+    old: LaneBlock, fresh: LaneBlock, touched: np.ndarray
+) -> LaneBlock:
+    """Splice recompiled ``touched`` lanes into an existing block.
+
+    ``fresh`` holds the recomputed versions of every touched lane that
+    still has entries (a touched lane whose rounds were all evicted simply
+    disappears).  Untouched lanes keep their exact arrays.
+    """
+    keep = ~np.isin(old.keys, touched)
+    src_keys = np.concatenate([old.keys[keep], fresh.keys])
+    order = np.argsort(src_keys, kind="stable")
+    old_lengths = np.diff(old.indptr)
+    src_lengths = np.concatenate([old_lengths[keep], np.diff(fresh.indptr)])[order]
+    src_starts = np.concatenate(
+        [old.indptr[:-1][keep], fresh.indptr[:-1] + old.relays.size]
+    )[order]
+    indptr = np.concatenate(([0], np.cumsum(src_lengths))).astype(np.int64)
+    total = int(indptr[-1])
+    gather = (
+        np.repeat(src_starts, src_lengths)
+        + np.arange(total)
+        - np.repeat(indptr[:-1], src_lengths)
+    )
+    relays = np.concatenate([old.relays, fresh.relays])[gather]
+    counts = np.concatenate([old.counts, fresh.counts])[gather]
+    reduction = np.concatenate([old.reduction_ms, fresh.reduction_ms])[gather]
+    return LaneBlock(
+        keys=src_keys[order],
+        indptr=indptr,
+        relays=relays.astype(np.int32),
+        counts=counts.astype(np.int32),
+        reduction_ms=reduction,
+    )
+
+
+class RelayDirectory:
+    """Compiled relay-lookup lanes over a window of measurement rounds.
+
+    One directory serves one campaign's relay registry: relay ids in the
+    compiled lanes are that campaign's registry indices.  Rounds must be
+    ingested in ascending round order (the staleness window evicts from
+    the front).
+    """
+
+    def __init__(self, max_rounds: int | None = None) -> None:
+        if max_rounds is not None and max_rounds < 1:
+            raise ServiceError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.max_rounds = max_rounds
+        self._endpoints = Interner()
+        self._countries = Interner()
+        self._endpoint_cc = np.zeros(0, np.int32)
+        # round id -> {(tier, type_code): (lane, relay, count, gain)} rows,
+        # insertion order == ascending round id (enforced by ingest_round)
+        self._rounds: dict[int, dict[tuple[int, int], tuple[np.ndarray, ...]]] = {}
+        self._blocks: dict[tuple[int, int], LaneBlock] = {}
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_result(
+        cls, result, max_rounds: int | None = None, rounds=None
+    ) -> RelayDirectory:
+        """Compile a directory from a campaign result's rounds.
+
+        ``rounds`` restricts ingestion to a subset (e.g. all but the
+        evaluation round); default is every round of the result.
+        """
+        directory = cls(max_rounds=max_rounds)
+        for rnd in result.rounds if rounds is None else rounds:
+            directory.ingest_round(rnd)
+        return directory
+
+    @classmethod
+    def from_table(
+        cls, table: ObservationTable, max_rounds: int | None = None
+    ) -> RelayDirectory:
+        """Compile a directory from one concatenated campaign table.
+
+        The sweep-artifact direction: the table's ``round_idx`` column
+        splits it back into rounds, ingested in ascending round order.
+        """
+        directory = cls(max_rounds=max_rounds)
+        for round_id in table.round_values().tolist():
+            directory.ingest_round(table, round_id=round_id)
+        return directory
+
+    # -------------------------------------------------------------- ingestion
+
+    def ingest_round(
+        self,
+        source: RoundResult | ObservationTable,
+        round_id: int | None = None,
+    ) -> dict[str, int]:
+        """Fold one measurement round into the directory.
+
+        ``source`` is a campaign :class:`~repro.core.results.RoundResult`
+        (round id implied) or an :class:`ObservationTable`; for a
+        multi-round table, ``round_id`` selects the round to ingest.
+        Recompiles only lanes the round touched (plus lanes evicted by the
+        ``max_rounds`` window) and returns ingest statistics.
+
+        Staleness: measurement-derived lanes decay with the window —
+        evicting a round removes its contribution exactly — but *identity*
+        metadata (endpoint ids and their countries) persists, like a
+        user-directory cache would; an endpoint last measured in an
+        evicted round still resolves through the country tier.
+
+        Raises:
+            ServiceError: on out-of-order or duplicate round ids.
+        """
+        if isinstance(source, RoundResult):
+            table = source.table
+            rid = source.round_index if round_id is None else round_id
+            mask = None
+        else:
+            table = source
+            if round_id is None:
+                present = table.round_values()
+                if present.size != 1:
+                    raise ServiceError(
+                        f"table holds rounds {present.tolist()}; pass round_id"
+                    )
+                rid = int(present[0])
+            else:
+                rid = int(round_id)
+            mask = table.round_mask(rid)
+        if self._rounds and rid <= next(reversed(self._rounds)):
+            raise ServiceError(
+                f"round {rid} not after retained rounds {list(self._rounds)}"
+            )
+
+        ep_map, cc_map = self._register_pools(table)
+        aggregate: dict[tuple[int, int], tuple[np.ndarray, ...]] = {}
+        for type_code in range(NUM_RELAY_TYPES):
+            cases, relays, gains = table.type_entries(type_code)
+            if mask is not None and cases.size:
+                keep = mask[cases]
+                cases, relays, gains = cases[keep], relays[keep], gains[keep]
+            if cases.size == 0:
+                continue
+            for tier in _TIERS:
+                if tier == TIER_PAIR:
+                    a = ep_map[table.e1_id[cases]]
+                    b = ep_map[table.e2_id[cases]]
+                else:
+                    a = cc_map[table.e1_cc[cases]]
+                    b = cc_map[table.e2_cc[cases]]
+                aggregate[(tier, type_code)] = self._reduce_round_rows(
+                    _pack(a, b), relays, gains
+                )
+        self._rounds[rid] = aggregate
+
+        evicted: list[dict[tuple[int, int], tuple[np.ndarray, ...]]] = []
+        if self.max_rounds is not None:
+            while len(self._rounds) > self.max_rounds:
+                oldest = next(iter(self._rounds))
+                evicted.append(self._rounds.pop(oldest))
+
+        touched_keys = set(aggregate)
+        for old in evicted:
+            touched_keys |= set(old)
+        entries = 0
+        for tier, type_code in sorted(touched_keys):
+            lanes = [
+                agg[(tier, type_code)][0]
+                for agg in [aggregate, *evicted]
+                if (tier, type_code) in agg
+            ]
+            touched = np.unique(np.concatenate(lanes))
+            entries += int(touched.size)
+            self._recompute(tier, type_code, touched)
+        return {
+            "round_id": rid,
+            "retained_rounds": len(self._rounds),
+            "evicted_rounds": len(evicted),
+            "touched_lanes": entries,
+        }
+
+    def _register_pools(
+        self, table: ObservationTable
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Map a table's codes into directory codes; learn endpoint countries."""
+        ep_map = self._endpoints.codes(table.pools.endpoint_ids.values)
+        cc_map = self._countries.codes(table.pools.countries.values)
+        if len(self._endpoints) > self._endpoint_cc.size:
+            grown = np.full(len(self._endpoints), -1, np.int32)
+            grown[: self._endpoint_cc.size] = self._endpoint_cc
+            self._endpoint_cc = grown
+        if table.num_cases:
+            self._endpoint_cc[ep_map[table.e1_id]] = cc_map[table.e1_cc]
+            self._endpoint_cc[ep_map[table.e2_id]] = cc_map[table.e2_cc]
+        if ep_map.size == 0:
+            ep_map = np.zeros(0, np.int32)
+        if cc_map.size == 0:
+            cc_map = np.zeros(0, np.int32)
+        return ep_map, cc_map
+
+    @staticmethod
+    def _reduce_round_rows(
+        lanes: np.ndarray, relays: np.ndarray, gains: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One round's ``(lane, relay)`` rows: occurrence counts + gain sums.
+
+        The shared ranking kernel does the group-reduce; the CSR comes
+        back flattened because round aggregates are stored (and
+        snapshotted) as flat row lists.
+        """
+        keys, indptr, ranked_relays, ranked_counts, gain_sums = rank_lane_entries(
+            lanes, relays, gains=gains
+        )
+        return (
+            np.repeat(keys, np.diff(indptr)),
+            ranked_relays,
+            ranked_counts,
+            gain_sums,
+        )
+
+    def _round_rows_for(
+        self, tier: int, type_code: int, touched: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Retained rounds' rows for a block, round-ascending, optionally
+        restricted to a touched-lane subset."""
+        lanes, relays, counts, gains = [], [], [], []
+        for rid in self._rounds:
+            agg = self._rounds[rid].get((tier, type_code))
+            if agg is None:
+                continue
+            lane, relay, count, gain = agg
+            if touched is not None:
+                keep = np.isin(lane, touched)
+                if not keep.any():
+                    continue
+                lane, relay, count, gain = (
+                    lane[keep], relay[keep], count[keep], gain[keep]
+                )
+            lanes.append(lane)
+            relays.append(relay)
+            counts.append(count)
+            gains.append(gain)
+        if not lanes:
+            empty64 = np.zeros(0, np.int64)
+            empty32 = np.zeros(0, np.int32)
+            return empty64, empty32, empty32, np.zeros(0, float)
+        return (
+            np.concatenate(lanes),
+            np.concatenate(relays),
+            np.concatenate(counts),
+            np.concatenate(gains),
+        )
+
+    def _recompute(
+        self, tier: int, type_code: int, touched: np.ndarray | None = None
+    ) -> None:
+        fresh = LaneBlock.from_rows(*self._round_rows_for(tier, type_code, touched))
+        if touched is None:
+            self._blocks[(tier, type_code)] = fresh
+            return
+        old = self._blocks.get((tier, type_code))
+        if old is None or old.num_lanes == 0:
+            self._blocks[(tier, type_code)] = fresh
+            return
+        self._blocks[(tier, type_code)] = _merge_blocks(old, fresh, touched)
+
+    def recompile(self) -> None:
+        """Rebuild every compiled block from the retained rounds."""
+        keys = sorted({key for agg in self._rounds.values() for key in agg})
+        self._blocks = {}
+        for tier, type_code in keys:
+            self._recompute(tier, type_code)
+
+    # ---------------------------------------------------------------- queries
+
+    def block(self, tier: int, relay_type: RelayType) -> LaneBlock:
+        """A tier's compiled lanes for a relay type (empty when unbuilt)."""
+        code = RELAY_TYPE_ORDER.index(relay_type)
+        return self._blocks.get((tier, code), LaneBlock.empty())
+
+    def lookup_many(
+        self,
+        src_codes: np.ndarray,
+        dst_codes: np.ndarray,
+        relay_type: RelayType,
+        k: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Resolve queries through the fallback tiers, fully batched.
+
+        ``src_codes`` / ``dst_codes`` are directory endpoint codes (-1 =
+        unknown).  Returns ``(relays (n, k) int32, reductions (n, k)
+        float64, tier (n,) int8)`` — -1/NaN padded, with
+        :data:`TIER_DIRECT` rows entirely padding (keep the direct path).
+        """
+        if k < 1:
+            raise ServiceError(f"k must be >= 1, got {k}")
+        src = np.asarray(src_codes, np.int64)
+        dst = np.asarray(dst_codes, np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ServiceError(
+                f"query shapes differ: {src.shape} vs {dst.shape}"
+            )
+        n = src.shape[0]
+        relays = np.full((n, k), -1, np.int32)
+        reductions = np.full((n, k), np.nan)
+        tier = np.full(n, TIER_DIRECT, np.int8)
+        known = len(self._endpoint_cc)
+        unresolved = (
+            (src >= 0) & (dst >= 0) & (src < known) & (dst < known) & (src != dst)
+        )
+        code = RELAY_TYPE_ORDER.index(relay_type)
+
+        pair_block = self._blocks.get((TIER_PAIR, code))
+        if pair_block is not None and pair_block.num_lanes and unresolved.any():
+            rows = pair_block.lane_index(_pack(src, dst))
+            hit = unresolved & (rows >= 0)
+            if hit.any():
+                r, g = pair_block.top_k(rows[hit], k)
+                relays[hit], reductions[hit] = r, g
+                tier[hit] = TIER_PAIR
+                unresolved &= ~hit
+
+        cc_block = self._blocks.get((TIER_COUNTRY, code))
+        if cc_block is not None and cc_block.num_lanes and unresolved.any():
+            scc = self._endpoint_cc[np.maximum(np.minimum(src, known - 1), 0)]
+            dcc = self._endpoint_cc[np.maximum(np.minimum(dst, known - 1), 0)]
+            rows = cc_block.lane_index(_pack(scc, dcc))
+            hit = unresolved & (rows >= 0) & (scc >= 0) & (dcc >= 0)
+            if hit.any():
+                r, g = cc_block.top_k(rows[hit], k)
+                relays[hit], reductions[hit] = r, g
+                tier[hit] = TIER_COUNTRY
+        return relays, reductions, tier
+
+    # ------------------------------------------------------------- identities
+
+    def endpoint_code(self, endpoint_id: str) -> int:
+        """The directory code of an endpoint id (-1 when never observed)."""
+        return self._endpoints.lookup(endpoint_id)
+
+    def encode_endpoints(self, endpoint_ids) -> np.ndarray:
+        """Directory codes for an endpoint-id sequence (-1 = unknown)."""
+        lookup = self._endpoints.lookup
+        return np.fromiter((lookup(e) for e in endpoint_ids), np.int64)
+
+    def endpoint_ids(self) -> list[str]:
+        """Every endpoint id the directory has observed, in code order."""
+        return list(self._endpoints.values)
+
+    def country_of_code(self, endpoint_code: int) -> str | None:
+        """Country string of an endpoint code (None when unknown)."""
+        cc = int(self._endpoint_cc[endpoint_code])
+        return None if cc < 0 else self._countries[cc]
+
+    def countries(self) -> list[str]:
+        """Every country the directory has observed, in code order."""
+        return list(self._countries.values)
+
+    def endpoint_country_codes(self) -> np.ndarray:
+        """``(num_endpoints,) int32`` country code per endpoint code."""
+        return self._endpoint_cc.copy()
+
+    def retained_rounds(self) -> list[int]:
+        """Round ids currently inside the staleness window, ascending."""
+        return list(self._rounds)
+
+    def stats(self) -> dict[str, Any]:
+        """Shape summary: pools, retained rounds, lanes per tier and type."""
+        lanes = {
+            f"lanes_{TIER_NAMES[tier]}_{relay_type.value}": self._blocks.get(
+                (tier, code), LaneBlock.empty()
+            ).num_lanes
+            for tier in _TIERS
+            for code, relay_type in enumerate(RELAY_TYPE_ORDER)
+        }
+        return {
+            "endpoints": len(self._endpoints),
+            "countries": len(self._countries),
+            "retained_rounds": self.retained_rounds(),
+            "max_rounds": self.max_rounds,
+            **lanes,
+        }
+
+    # -------------------------------------------------------------- snapshots
+
+    def save(self, file: str | IO[bytes]) -> None:
+        """Write the directory to a compact ``.npz`` snapshot.
+
+        Deterministic: the same directory state always produces the same
+        bytes (arrays are written in a fixed order and ``np.savez`` stamps
+        a constant timestamp), so snapshot equality is state equality.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "meta": np.asarray(
+                [
+                    SNAPSHOT_VERSION,
+                    -1 if self.max_rounds is None else self.max_rounds,
+                ],
+                np.int64,
+            ),
+            "endpoints": np.asarray(self._endpoints.values, dtype=np.str_),
+            "countries": np.asarray(self._countries.values, dtype=np.str_),
+            "endpoint_cc": self._endpoint_cc,
+            "round_ids": np.asarray(list(self._rounds), np.int64),
+        }
+        for rid in self._rounds:
+            for tier, type_code in sorted(self._rounds[rid]):
+                lane, relay, count, gain = self._rounds[rid][(tier, type_code)]
+                prefix = f"r{rid}_t{tier}_{type_code}"
+                arrays[f"{prefix}_lane"] = lane
+                arrays[f"{prefix}_relay"] = relay
+                arrays[f"{prefix}_count"] = count
+                arrays[f"{prefix}_gain"] = gain
+        np.savez(file, **arrays)
+
+    @classmethod
+    def load(cls, file: str | IO[bytes]) -> RelayDirectory:
+        """Rebuild a directory from a :meth:`save` snapshot.
+
+        Raises:
+            ServiceError: on unknown snapshot versions.
+        """
+        with np.load(file) as data:
+            meta = data["meta"]
+            if int(meta[0]) != SNAPSHOT_VERSION:
+                raise ServiceError(f"unknown snapshot version {int(meta[0])}")
+            max_rounds = int(meta[1])
+            directory = cls(max_rounds=None if max_rounds < 0 else max_rounds)
+            directory._endpoints = Interner(data["endpoints"].tolist())
+            directory._countries = Interner(data["countries"].tolist())
+            directory._endpoint_cc = data["endpoint_cc"].astype(np.int32)
+            for rid in data["round_ids"].tolist():
+                aggregate = {}
+                for tier in _TIERS:
+                    for type_code in range(NUM_RELAY_TYPES):
+                        prefix = f"r{rid}_t{tier}_{type_code}"
+                        if f"{prefix}_lane" not in data:
+                            continue
+                        aggregate[(tier, type_code)] = (
+                            data[f"{prefix}_lane"],
+                            data[f"{prefix}_relay"],
+                            data[f"{prefix}_count"],
+                            data[f"{prefix}_gain"],
+                        )
+                directory._rounds[rid] = aggregate
+        directory.recompile()
+        return directory
+
+    def block_signature(self) -> str:
+        """BLAKE2 digest over every compiled block's arrays.
+
+        Two directories with equal signatures answer every query
+        identically; the incremental-vs-full and snapshot tests compare
+        these (and the underlying arrays) directly.
+        """
+        import hashlib
+
+        digest = hashlib.blake2b(digest_size=16)
+        for key in sorted(self._blocks):
+            block = self._blocks[key]
+            digest.update(repr(key).encode())
+            for arr in (block.keys, block.indptr, block.relays, block.counts,
+                        block.reduction_ms):
+                digest.update(np.ascontiguousarray(arr).tobytes())
+        return digest.hexdigest()

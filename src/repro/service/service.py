@@ -1,0 +1,212 @@
+"""The shortcut service: batched online relay selection.
+
+:class:`ShortcutService` is the query front-end over a
+:class:`~repro.service.directory.RelayDirectory` — what a Skype/Hola-style
+overlay (the paper's motivating application) would run next to its call
+setup path.  The serving contract:
+
+* :meth:`route_many` answers a whole query batch (parallel src/dst
+  endpoint-code arrays) in a handful of NumPy passes;
+* :meth:`route` is the scalar convenience for one call setup, implemented
+  *on top of* the batched path so the two can never diverge (asserted in
+  the tests);
+* :meth:`ingest_round` folds a freshly measured round in incrementally;
+* :meth:`save` / :meth:`load` snapshot the service for operator restarts.
+
+Answers are deterministic: the same directory state returns the same
+relays for the same queries, batched or scalar, before or after a
+snapshot round-trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import IO, Any
+
+import numpy as np
+
+from repro.core.results import CampaignResult, RoundResult
+from repro.core.table import ObservationTable
+from repro.core.types import RelayType
+from repro.errors import ServiceError
+from repro.service.directory import TIER_NAMES, RelayDirectory
+
+
+@dataclass(frozen=True, slots=True)
+class RouteBatch:
+    """Answers for one :meth:`ShortcutService.route_many` call.
+
+    Attributes:
+        relay_ids: ``(n, k) int32`` ranked relay registry indices, -1
+            padded past a lane's candidate count.
+        reduction_ms: ``(n, k) float64`` expected RTT reduction per
+            candidate (mean observed improvement), NaN padded.
+        tier: ``(n,) int8`` tier each query resolved through (index into
+            :data:`~repro.service.directory.TIER_NAMES`).
+    """
+
+    relay_ids: np.ndarray
+    reduction_ms: np.ndarray
+    tier: np.ndarray
+
+    def __len__(self) -> int:
+        return self.tier.shape[0]
+
+    @property
+    def best_relay(self) -> np.ndarray:
+        """``(n,) int32`` top-ranked relay per query (-1 = direct path)."""
+        return self.relay_ids[:, 0]
+
+    def tier_counts(self) -> dict[str, int]:
+        """Queries answered per tier, keyed by tier name."""
+        return {
+            name: int(np.count_nonzero(self.tier == code))
+            for code, name in enumerate(TIER_NAMES)
+        }
+
+    def relay_answer_fraction(self) -> float:
+        """Fraction of queries that got a relay (resolved above direct)."""
+        if len(self) == 0:
+            return 0.0
+        return 1.0 - int(np.count_nonzero(self.relay_ids[:, 0] < 0)) / len(self)
+
+
+@dataclass(frozen=True, slots=True)
+class RouteDecision:
+    """One scalar routing decision (see :meth:`ShortcutService.route`).
+
+    Attributes:
+        src_id / dst_id: The queried endpoint ids.
+        relay_type: Relay lane the query ran against.
+        relay_ids: Ranked candidate relays (may be empty: keep direct).
+        reduction_ms: Expected RTT reduction per candidate, aligned with
+            ``relay_ids``.
+        tier: ``"pair"``, ``"country"`` or ``"direct"``.
+    """
+
+    src_id: str
+    dst_id: str
+    relay_type: RelayType
+    relay_ids: tuple[int, ...]
+    reduction_ms: tuple[float, ...]
+    tier: str
+
+    @property
+    def relay_id(self) -> int | None:
+        """The top-ranked relay, or None for the direct path."""
+        return self.relay_ids[0] if self.relay_ids else None
+
+    @property
+    def expected_reduction_ms(self) -> float | None:
+        """Expected gain of the top-ranked relay, or None for direct."""
+        return self.reduction_ms[0] if self.reduction_ms else None
+
+
+class ShortcutService:
+    """Online relay selection over a compiled :class:`RelayDirectory`."""
+
+    def __init__(self, directory: RelayDirectory | None = None,
+                 max_rounds: int | None = None) -> None:
+        if directory is not None and max_rounds is not None:
+            raise ServiceError("pass either a directory or max_rounds, not both")
+        self._directory = directory or RelayDirectory(max_rounds=max_rounds)
+
+    @property
+    def directory(self) -> RelayDirectory:
+        """The underlying compiled directory."""
+        return self._directory
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def from_result(
+        cls,
+        result: CampaignResult,
+        max_rounds: int | None = None,
+        rounds=None,
+    ) -> ShortcutService:
+        """Compile a service from a campaign result (optionally a subset of
+        its rounds, e.g. everything but the round being predicted)."""
+        return cls(RelayDirectory.from_result(result, max_rounds, rounds))
+
+    @classmethod
+    def from_table(
+        cls, table: ObservationTable, max_rounds: int | None = None
+    ) -> ShortcutService:
+        """Compile a service from a concatenated campaign/sweep table."""
+        return cls(RelayDirectory.from_table(table, max_rounds))
+
+    def ingest_round(
+        self,
+        source: RoundResult | ObservationTable,
+        round_id: int | None = None,
+    ) -> dict[str, int]:
+        """Fold one new measurement round in (see
+        :meth:`RelayDirectory.ingest_round`)."""
+        return self._directory.ingest_round(source, round_id)
+
+    # ---------------------------------------------------------------- queries
+
+    def encode_endpoints(self, endpoint_ids) -> np.ndarray:
+        """Directory codes for endpoint ids (-1 = never observed)."""
+        return self._directory.encode_endpoints(endpoint_ids)
+
+    def route_many(
+        self,
+        src_codes: np.ndarray,
+        dst_codes: np.ndarray,
+        relay_type: RelayType = RelayType.COR,
+        k: int = 3,
+    ) -> RouteBatch:
+        """Relay choices for a whole query batch.
+
+        ``src_codes`` / ``dst_codes`` are parallel directory endpoint-code
+        arrays (:meth:`encode_endpoints`).  Each query resolves through the
+        fallback tiers — exact endpoint-pair history, then country-pair
+        history, then the direct path.
+        """
+        relays, reductions, tier = self._directory.lookup_many(
+            src_codes, dst_codes, relay_type, k
+        )
+        return RouteBatch(relay_ids=relays, reduction_ms=reductions, tier=tier)
+
+    def route(
+        self,
+        src_id: str,
+        dst_id: str,
+        relay_type: RelayType = RelayType.COR,
+        k: int = 3,
+    ) -> RouteDecision:
+        """One call-setup decision, by endpoint id.
+
+        A thin shell over :meth:`route_many` (a one-query batch), so scalar
+        and batched answers are identical by construction.
+        """
+        codes = self.encode_endpoints((src_id, dst_id))
+        batch = self.route_many(codes[:1], codes[1:], relay_type, k)
+        valid = batch.relay_ids[0] >= 0
+        return RouteDecision(
+            src_id=src_id,
+            dst_id=dst_id,
+            relay_type=relay_type,
+            relay_ids=tuple(int(r) for r in batch.relay_ids[0][valid]),
+            reduction_ms=tuple(float(g) for g in batch.reduction_ms[0][valid]),
+            tier=TIER_NAMES[int(batch.tier[0])],
+        )
+
+    # -------------------------------------------------------------- snapshots
+
+    def save(self, file: str | IO[bytes]) -> None:
+        """Snapshot the service state to ``.npz`` (operator restarts)."""
+        self._directory.save(file)
+
+    @classmethod
+    def load(cls, file: str | IO[bytes]) -> ShortcutService:
+        """Restore a service from a :meth:`save` snapshot."""
+        return cls(RelayDirectory.load(file))
+
+    # ------------------------------------------------------------------ stats
+
+    def stats(self) -> dict[str, Any]:
+        """The directory's shape summary."""
+        return self._directory.stats()

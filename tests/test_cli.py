@@ -80,6 +80,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Facility" in out
 
+    def test_serve_bench(self, tmp_path, capsys):
+        report_file = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve-bench",
+                "--seed", "3",
+                "--countries", "6",
+                "--rounds", "2",
+                "--queries", "4000",
+                "--batch-size", "512",
+                "--min-qps", "1000",
+                "--json-out", str(report_file),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        import json
+
+        report = json.loads(report_file.read_text())
+        assert report["ok"] is True
+        assert report["snapshot_roundtrip_ok"] is True
+        assert report["replay"]["queries"] == 4000
+        assert sum(report["replay"]["tier_counts"].values()) == 4000
+        assert "queries/s" in captured.err
+
+    def test_serve_bench_from_stored_result(self, tmp_path, capsys):
+        out_file = tmp_path / "result.json"
+        main(["campaign", "--seed", "3", "--countries", "6", "--rounds", "2",
+              "--out", str(out_file)])
+        capsys.readouterr()
+        code = main(
+            ["serve-bench", "--result", str(out_file), "--queries", "2000"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "stored result" in captured.err
+
+    def test_serve_bench_result_conflicts_with_scenario(self, tmp_path, capsys):
+        code = main(
+            ["serve-bench", "--result", str(tmp_path / "r.json"),
+             "--scenario", "baseline"]
+        )
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
     def test_missing_result_file_is_clean_error(self, tmp_path, capsys):
         assert main(["analyze", str(tmp_path / "none.json")]) == 1
         err = capsys.readouterr().err

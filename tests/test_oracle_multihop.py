@@ -4,9 +4,14 @@ import numpy as np
 import pytest
 
 from repro.analysis.multihop import two_relay_study
-from repro.core.oracle import RelayPredictor, evaluate_prediction
+from repro.core.oracle import (
+    LaneHistory,
+    RelayPredictor,
+    evaluate_prediction,
+    evaluate_prediction_loop,
+)
 from repro.core.results import CampaignResult, PairObservation
-from repro.core.types import RelayType
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
 from repro.errors import AnalysisError
 
 
@@ -79,6 +84,60 @@ class TestEvaluatePrediction:
         score = evaluate_prediction(small_campaign_result, k=5)
         if score.evaluated >= 10:
             assert score.captured_gain_frac > 0.3
+
+
+class TestColumnarParity:
+    """The columnar predictor/evaluation must be bit-equal to the loops."""
+
+    def test_evaluate_prediction_bit_equal(self, small_campaign_result):
+        for relay_type in RELAY_TYPE_ORDER:
+            for k in (1, 3, 5):
+                columnar = evaluate_prediction(small_campaign_result, relay_type, k)
+                loop = evaluate_prediction_loop(small_campaign_result, relay_type, k)
+                assert columnar.evaluated == loop.evaluated
+                assert columnar.hit_at_k == loop.hit_at_k
+                # bit-equal, not approximately equal: the columnar path
+                # accumulates the captured-gain sum in the loop's order
+                assert columnar.captured_gain_frac == loop.captured_gain_frac
+
+    def test_lane_history_matches_loop_predictor(self, small_campaign_result):
+        table = small_campaign_result.table
+        for relay_type in (RelayType.COR, RelayType.RAR_OTHER):
+            history = LaneHistory.from_table(table, relay_type)
+            predictor = RelayPredictor(relay_type)
+            for obs in small_campaign_result.observations():
+                predictor.observe(obs)
+            seen = set()
+            for obs in small_campaign_result.observations():
+                key = tuple(sorted((obs.e1_cc, obs.e2_cc)))
+                if key in seen:
+                    continue
+                seen.add(key)
+                assert history.predict_ccs(obs.e1_cc, obs.e2_cc, 4) == (
+                    predictor.predict(obs, 4)
+                )
+            assert history.num_lanes <= len(seen)
+
+    def test_lane_history_unknown_country_empty(self, small_campaign_result):
+        history = LaneHistory.from_table(small_campaign_result.table)
+        assert history.predict_ccs("ZZ", "XX", 3) == []
+
+    def test_columnar_needs_two_rounds(self, small_campaign_result):
+        single = CampaignResult(
+            rounds=small_campaign_result.rounds[:1],
+            registry=small_campaign_result.registry,
+        )
+        with pytest.raises(AnalysisError):
+            evaluate_prediction(single)
+
+    def test_columnar_k_validation(self, small_campaign_result):
+        reference = evaluate_prediction(small_campaign_result, RelayType.COR, 1)
+        if reference.evaluated == 0:
+            pytest.skip("fixture evaluated nothing")
+        with pytest.raises(AnalysisError):
+            evaluate_prediction(small_campaign_result, RelayType.COR, 0)
+        with pytest.raises(AnalysisError):
+            evaluate_prediction_loop(small_campaign_result, RelayType.COR, 0)
 
 
 class TestTwoRelayStudy:

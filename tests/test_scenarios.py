@@ -31,6 +31,7 @@ EXPECTED_PRESETS = (
     "voip-heavy",
     "mega-world",
     "no-probes",
+    "paper-scale",
 )
 
 
@@ -70,6 +71,27 @@ class TestRegistry:
         assert get_scenario("regional-eu").world.topology.continent_scope == ("EU",)
         assert get_scenario("no-probes").campaign.relay_mix == ("COR", "PLR")
         assert get_scenario("voip-heavy").campaign.pings_per_pair == 12
+
+    def test_paper_scale_horizon(self):
+        scenario = get_scenario("paper-scale")
+        assert scenario.campaign.num_rounds == 45
+        assert scenario.campaign.round_interval_hours == 12.0
+        # sweeps/CI shrink it without touching the preset
+        reduced = scenario_with(scenario, rounds=2)
+        assert reduced.campaign.num_rounds == 2
+        assert get_scenario("paper-scale").campaign.num_rounds == 45
+
+    def test_service_expectations_opt_in(self):
+        # like expect: absent keys are not asserted; set values are sane
+        for scenario in all_scenarios():
+            floor = scenario.service_expect.get("min_relay_answer_frac")
+            assert floor is None or 0.0 < floor <= 1.0, scenario.name
+        for name in ("baseline", "paper-scale"):
+            assert "min_relay_answer_frac" in get_scenario(name).service_expect
+        # degraded/sparse regimes carry no serving gate
+        assert not get_scenario("lossy").service_expect
+        with pytest.raises(TypeError):
+            get_scenario("baseline").service_expect["min_relay_answer_frac"] = 0.0
 
     def test_scenario_with_overrides(self):
         scenario = scenario_with(
