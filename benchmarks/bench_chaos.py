@@ -1,0 +1,202 @@
+"""CHAOS — serving quality while a fault timeline unfolds.
+
+Runs the ``relay-outage`` preset (40% of the colo+PlanetLab pools dark
+for rounds 2-3) on the tiny 8-country world and replays Zipf traffic
+against the churn-aware service between round ingests.  Three questions
+are recorded into ``BENCH_chaos.json`` at the repo root:
+
+* does the health filter hold the availability floor through the outage
+  (``liveness_rounds=1`` vs the filter-off baseline)?
+* how does the stale-answer rate grow with the retention window
+  (:func:`repro.analysis.chaos.degradation_curve` over ``max_rounds``)?
+* what sustained queries/sec does the faulted replay achieve?
+
+Run standalone with ``python benchmarks/bench_chaos.py`` or via pytest
+with the other benches.  ``--smoke --budget-factor F [--json-out PATH]``
+replays the faulted campaign once and exits non-zero if the availability
+floor breaks or the wall clock exceeds F times the recorded run — CI's
+chaos-smoke guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import sys
+import time
+
+if importlib.util.find_spec("repro") is None:  # bare checkout: src layout
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import MeasurementCampaign, build_world
+from repro.analysis.chaos import DEFAULT_WINDOWS, degradation_curve
+from repro.scenarios import get_scenario, scenario_with
+from repro.timeline import ChaosConfig, chaos_replay
+
+SEED = 11
+COUNTRIES = 8
+SCENARIO = "relay-outage"
+QUERIES_PER_ROUND = 20_000
+AVAILABILITY_FLOOR = 0.99
+
+_OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_chaos.json"
+
+
+def _build_faulted_history():
+    """Run the relay-outage preset campaign on the tiny world."""
+    scenario = scenario_with(get_scenario(SCENARIO), countries=COUNTRIES)
+    world = build_world(seed=SEED, config=scenario.world)
+    campaign = MeasurementCampaign(world, scenario.campaign)
+    return campaign.run(), campaign.timeline
+
+
+def _chaos_config(**overrides) -> ChaosConfig:
+    defaults = dict(queries_per_round=QUERIES_PER_ROUND, seed=SEED)
+    defaults.update(overrides)
+    return ChaosConfig(**defaults)
+
+
+def run_bench() -> dict:
+    """Replay the faulted campaign; record floors, curve and throughput."""
+    start = time.perf_counter()
+    result, timeline = _build_faulted_history()
+    history_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    guarded = chaos_replay(result, timeline, _chaos_config(liveness_rounds=1))
+    replay_s = time.perf_counter() - start
+    # the baseline that shows why the filter exists: same traffic, same
+    # retention window, relay-health tracking off
+    unguarded = chaos_replay(result, timeline, _chaos_config(liveness_rounds=None))
+    curve = degradation_curve(
+        result, timeline, config=_chaos_config(liveness_rounds=None)
+    )
+
+    qps = [r["queries_per_s"] for r in guarded["rounds"] if r["queries_per_s"]]
+    report = {
+        "workload": (
+            f"{SCENARIO} preset, {COUNTRIES}-country world, seed {SEED}; "
+            f"{QUERIES_PER_ROUND} queries replayed per ingested round"
+        ),
+        "history": {
+            "build_s": round(history_s, 3),
+            "rounds": len(result.rounds),
+            "total_cases": result.total_cases,
+            "relays_registered": len(result.registry),
+        },
+        "replay_wall_s": round(replay_s, 3),
+        "queries_per_s_min": min(qps) if qps else None,
+        "guarded": guarded["summary"],
+        "unguarded": unguarded["summary"],
+        "availability_by_round": {
+            "guarded": [r["availability"] for r in guarded["rounds"]],
+            "unguarded": [r["availability"] for r in unguarded["rounds"]],
+        },
+        "dead_relays_by_round": [r["dead_relays"] for r in guarded["rounds"]],
+        "degradation_curve": curve,
+    }
+    _OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def run_smoke(budget_factor: float, json_out: str | None = None) -> int:
+    """One guarded replay checked against the floor and recorded wall clock.
+
+    The budget is ``budget_factor x`` the recorded replay wall plus a 2 s
+    grace (the history build is excluded — the campaign engine has its own
+    drift guard).  Fails if the availability floor breaks, stale answers
+    leak past the health filter, or the replay is too slow.
+    """
+    recorded = json.loads(_OUT_PATH.read_text())
+    budget = budget_factor * recorded["replay_wall_s"] + 2.0
+
+    result, timeline = _build_faulted_history()
+    start = time.perf_counter()
+    report = chaos_replay(result, timeline, _chaos_config(liveness_rounds=1))
+    elapsed = time.perf_counter() - start
+    summary = report["summary"]
+    floor_ok = summary["min_availability"] >= AVAILABILITY_FLOOR
+    ok = floor_ok and elapsed <= budget
+    print(
+        f"chaos smoke: {summary['total_queries']} queries over "
+        f"{summary['replayed_rounds']} faulted rounds in {elapsed:.3f} s "
+        f"(budget {budget:.3f} s = {budget_factor}x recorded "
+        f"{recorded['replay_wall_s']} s + 2 s grace); min availability "
+        f"{summary['min_availability']} (floor {AVAILABILITY_FLOOR}), "
+        f"stale-answer rate {summary['overall_stale_answer_rate']} -> "
+        f"{'OK' if ok else 'FAIL'}"
+    )
+    if json_out is not None:
+        outcome = {
+            "scenario": SCENARIO,
+            "wall_clock_s": round(elapsed, 3),
+            "budget_s": round(budget, 3),
+            "budget_factor": budget_factor,
+            "availability_floor": AVAILABILITY_FLOOR,
+            "summary": summary,
+            "ok": ok,
+        }
+        pathlib.Path(json_out).write_text(json.dumps(outcome, indent=2) + "\n")
+    return 0 if ok else 1
+
+
+def test_chaos_bench(report_sink):
+    report = run_bench()
+    guarded = report["guarded"]
+    unguarded = report["unguarded"]
+    curve_lines = "\n".join(
+        f"  max_rounds={entry['max_rounds']}: availability "
+        f"{entry['min_availability']}, stale rate "
+        f"{entry['overall_stale_answer_rate']}"
+        for entry in report["degradation_curve"]
+    )
+    report_sink(
+        "chaos_bench",
+        f"workload: {report['workload']}\n"
+        f"history build: {report['history']['build_s']:.2f} s "
+        f"({report['history']['total_cases']} cases)\n"
+        f"guarded (liveness_rounds=1): min availability "
+        f"{guarded['min_availability']}, stale rate "
+        f"{guarded['overall_stale_answer_rate']}, "
+        f"{report['queries_per_s_min']:,} queries/s floor\n"
+        f"unguarded baseline: min availability "
+        f"{unguarded['min_availability']}, stale rate "
+        f"{unguarded['overall_stale_answer_rate']}\n"
+        f"stale-answer rate vs retention window (filter off):\n{curve_lines}\n"
+        f"(written to {_OUT_PATH.name})",
+    )
+    # the acceptance floors: the health filter must hold availability
+    # through the outage and beat the unguarded baseline
+    assert guarded["min_availability"] >= AVAILABILITY_FLOOR
+    assert guarded["overall_stale_answer_rate"] <= 0.01
+    assert unguarded["min_availability"] <= guarded["min_availability"]
+    # the curve must cover the standard windows and the unbounded window
+    # must be at least as stale as the shortest one (retention keeps the
+    # dead around)
+    assert len(report["degradation_curve"]) == len(DEFAULT_WINDOWS)
+    first, last = report["degradation_curve"][0], report["degradation_curve"][-1]
+    assert last["overall_stale_answer_rate"] >= first["overall_stale_answer_rate"]
+    # the faulted replay must still sustain batched throughput
+    assert report["queries_per_s_min"] >= 100_000
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one guarded replay checked against the recorded wall clock",
+    )
+    parser.add_argument(
+        "--budget-factor", type=float, default=3.0,
+        help="smoke budget as a multiple of the recorded replay wall",
+    )
+    parser.add_argument(
+        "--json-out", default=None,
+        help="write the smoke outcome as JSON (CI's chaos-smoke artifact)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.smoke:
+        sys.exit(run_smoke(cli_args.budget_factor, cli_args.json_out))
+    print(json.dumps(run_bench(), indent=2))

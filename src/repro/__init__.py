@@ -30,12 +30,20 @@ from repro.core.table import ObservationTable, TablePools
 from repro.routing.fabric import RoutingFabric
 from repro.scenarios import Scenario, all_scenarios, get_scenario, scenario_names
 from repro.service import RelayDirectory, ShortcutService
+from repro.timeline import (
+    LinkDegradation,
+    ProbeChurn,
+    RelayOutage,
+    TimelineConfig,
+    TrafficShift,
+    rolling_outages,
+)
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.analysis.ranking import TopRelayAnalysis
 from repro.analysis.facilities import FacilityTable
 from repro.analysis.stability import StabilityAnalysis
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "World",
@@ -57,6 +65,12 @@ __all__ = [
     "scenario_names",
     "RelayDirectory",
     "ShortcutService",
+    "TimelineConfig",
+    "RelayOutage",
+    "ProbeChurn",
+    "LinkDegradation",
+    "TrafficShift",
+    "rolling_outages",
     "ImprovementAnalysis",
     "TopRelayAnalysis",
     "FacilityTable",

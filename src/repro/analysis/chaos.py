@@ -1,0 +1,60 @@
+"""Degradation analysis: serving quality as a function of staleness.
+
+The serving layer's retention window (``max_rounds``) trades memory and
+freshness against answer coverage: a long window answers more queries
+(more lanes retained) but keeps pointing at relays that died rounds ago,
+a short window forgets the dead quickly but also forgets useful history.
+:func:`degradation_curve` makes that trade-off measurable — it replays
+the same faulted campaign through services with different retention
+windows and reports availability and stale-answer rate per setting, with
+and without the relay-health filter.  The chaos bench records the curve
+into ``BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Sequence
+
+from repro.core.results import CampaignResult
+from repro.timeline.chaos import ChaosConfig, chaos_replay
+from repro.timeline.schedule import CompiledTimeline
+
+#: The retention windows the standard curve sweeps (None = unbounded).
+DEFAULT_WINDOWS: tuple[int | None, ...] = (1, 2, 3, None)
+
+
+def degradation_curve(
+    result: CampaignResult,
+    timeline: CompiledTimeline | None,
+    windows: Sequence[int | None] = DEFAULT_WINDOWS,
+    config: ChaosConfig | None = None,
+) -> list[dict[str, Any]]:
+    """Chaos-replay the campaign once per retention-window setting.
+
+    Each entry reports the window, the summary floors (minimum
+    availability, maximum and overall stale-answer rate) and the full
+    per-round availability series, so staleness can be read directly as
+    a function of ``max_rounds``.  The replayed traffic is identical
+    across settings (same seeds), so the curve isolates the window.
+    """
+    base = config or ChaosConfig()
+    curve: list[dict[str, Any]] = []
+    for window in windows:
+        report = chaos_replay(result, timeline, replace(base, max_rounds=window))
+        summary = report["summary"]
+        curve.append(
+            {
+                "max_rounds": window,
+                "liveness_rounds": base.liveness_rounds,
+                "min_availability": summary["min_availability"],
+                "mean_availability": summary["mean_availability"],
+                "max_stale_answer_rate": summary["max_stale_answer_rate"],
+                "overall_stale_answer_rate": summary["overall_stale_answer_rate"],
+                "availability_by_round": [
+                    r["availability"] for r in report["rounds"]
+                ],
+                "degradation": summary["degradation"],
+            }
+        )
+    return curve

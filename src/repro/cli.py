@@ -161,6 +161,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import LoadgenConfig, ShortcutService, replay
 
     scenario = None
+    campaign = None
     if args.result is not None:
         if args.scenario is not None or args.rounds is not None or (
             args.countries is not None
@@ -182,7 +183,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             countries=args.countries,
         )
         world = build_world(seed=args.seed, config=scenario.world)
-        result = MeasurementCampaign(world, scenario.campaign).run()
+        campaign = MeasurementCampaign(world, scenario.campaign)
+        result = campaign.run()
         workload = (
             f"scenario {args.scenario}, seed {args.seed}, "
             f"{scenario.campaign.num_rounds} rounds"
@@ -226,6 +228,33 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     stats = replay(service, config)
 
+    # fault-timeline workloads additionally replay traffic round by round
+    # against a churn-aware service, scoring availability and staleness
+    # against the compiled timeline's ground truth
+    chaos = None
+    if (
+        campaign is not None
+        and campaign.timeline is not None
+        and campaign.timeline.has_events
+    ):
+        from repro.timeline.chaos import ChaosConfig, chaos_replay
+
+        chaos = chaos_replay(
+            result,
+            campaign.timeline,
+            ChaosConfig(
+                max_rounds=args.max_rounds if args.max_rounds is not None else 3,
+                liveness_rounds=(
+                    args.liveness_rounds if args.liveness_rounds is not None else 1
+                ),
+                spill=args.spill,
+                seed=args.loadgen_seed,
+                zipf_exponent=args.zipf,
+                k=args.k,
+                relay_type=RelayType[args.relay_type],
+            ),
+        )
+
     print(f"serve-bench: {workload}", file=sys.stderr)
     print(
         f"  compile: {compile_s:.3f} s over {result.total_cases} cases "
@@ -244,6 +273,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
 
+    if chaos is not None:
+        summary = chaos["summary"]
+        print(
+            f"  chaos: {summary['replayed_rounds']} faulted rounds, "
+            f"min availability {summary['min_availability']}, "
+            f"max stale-answer rate {summary['max_stale_answer_rate']}, "
+            f"degradation {summary['degradation']}",
+            file=sys.stderr,
+        )
+
     failures: list[str] = []
     if not snapshot_ok:
         failures.append("snapshot round-trip changed the compiled directory")
@@ -259,6 +298,23 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 f"relay answer fraction {stats['relay_answer_frac']} under "
                 f"the scenario's {floor} expectation"
             )
+    availability_floor = args.min_availability
+    if scenario is not None and availability_floor is None:
+        availability_floor = scenario.service_expect.get("min_availability")
+    if availability_floor is not None:
+        if chaos is None:
+            failures.append(
+                "an availability floor needs a fault-timeline workload "
+                "(scenario with timeline events)"
+            )
+        elif (
+            chaos["summary"]["min_availability"] is not None
+            and chaos["summary"]["min_availability"] < availability_floor
+        ):
+            failures.append(
+                f"availability {chaos['summary']['min_availability']} under "
+                f"the {availability_floor} floor"
+            )
     report = {
         "workload": workload,
         "compile_s": round(compile_s, 4),
@@ -267,6 +323,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "snapshot_roundtrip_ok": snapshot_ok,
         "directory": service.stats(),
         "replay": stats,
+        "chaos": chaos,
         "failures": failures,
         "ok": not failures,
     }
@@ -464,6 +521,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-rounds", type=int, default=None,
         help="staleness window: retain only the newest N rounds",
+    )
+    p_serve.add_argument(
+        "--liveness-rounds", type=int, default=None,
+        help="chaos replay: relays unseen in the newest N ingested rounds "
+             "are demoted as dead (default: 1 for faulted workloads)",
+    )
+    p_serve.add_argument(
+        "--spill", type=int, default=2,
+        help="chaos replay: extra candidates over-fetched per lane so dead "
+             "relays spill to the next-ranked live one",
+    )
+    p_serve.add_argument(
+        "--min-availability", type=float, default=None,
+        help="fail (exit 1) when chaos-replay availability drops under this "
+             "floor (scenarios may also set it via service_expect)",
     )
     p_serve.add_argument("--queries", type=int, default=100_000)
     p_serve.add_argument("--batch-size", type=int, default=1024)

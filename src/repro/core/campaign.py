@@ -52,9 +52,10 @@ from repro.core.results import (
 )
 from repro.core.table import ObservationTable, TablePools
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConfigError
 from repro.latency.model import Endpoint
 from repro.measurement.atlas import AtlasProbe
+from repro.timeline.schedule import compile_timeline
 from repro.world import World
 
 
@@ -102,6 +103,32 @@ class MeasurementCampaign:
         #: suite); the flag exists so the legacy path stays exercisable.
         self._use_pair_grid = use_pair_grid
         self._eyeballs = EyeballSelector(world, self._cfg)
+        #: The campaign's compiled fault timeline (None when the config
+        #: carries no schedule).  Compiled from dedicated ``timeline.*``
+        #: seed streams at construction, so cohort resolution never
+        #: perturbs the round streams — an event-free schedule leaves
+        #: every measurement byte identical to the static path.  Sampled
+        #: link pairs draw from the endpoint-covered countries so every
+        #: degradation window hits lanes the campaign measures.
+        self.timeline = (
+            compile_timeline(
+                world,
+                self._cfg.timeline,
+                self._cfg.num_rounds,
+                eyeball_countries=self._eyeballs.covered_countries(),
+            )
+            if self._cfg.timeline is not None
+            else None
+        )
+        if (
+            self.timeline is not None
+            and self.timeline.has_link_events
+            and not use_pair_grid
+        ):
+            raise ConfigError(
+                "link-degradation timeline events require the pair-grid "
+                "measurement path (use_pair_grid=True)"
+            )
         self._colo = ColoRelayPipeline(world, self._cfg)
         self._atlas_relays = AtlasRelaySelector(world, self._cfg)
         self._plr = PlanetLabRelaySelector(world, self._cfg)
@@ -163,9 +190,20 @@ class MeasurementCampaign:
         rng = world.seeds.rng(f"campaign.round.{round_index}")
         world.atlas.begin_round()
         pings_sent = 0
+        # the round's fault effects; every application below is guarded on
+        # the effect being non-empty, so an event-free timeline (or none)
+        # executes exactly the static code path on the same RNG sequence
+        effects = (
+            self.timeline.effects(round_index) if self.timeline is not None else None
+        )
+        absent = effects.absent_ids if effects is not None else frozenset()
 
         # step 1: endpoints (one probe-id lookup table for the whole round)
         endpoints = self._eyeballs.sample_endpoints(rng)
+        if absent:
+            # churn filters *after* sampling: selector RNG consumption is
+            # unchanged, only the dark probes drop out of the round
+            endpoints = [p for p in endpoints if p.probe_id not in absent]
         by_id = {p.probe_id: p for p in endpoints}
         endpoint_ids = set(by_id)
 
@@ -177,8 +215,17 @@ class MeasurementCampaign:
         # grid: both direct steps gather their legs' base/loss by index
         # instead of resolving each leg through the pair cache
         endpoint_eps = [p.node.endpoint for p in endpoints]
+        endpoint_ccs = (
+            np.array([p.cc for p in endpoints], dtype="U3")
+            if effects is not None and effects.links
+            else None
+        )
         if self._use_pair_grid:
             egrid = self._world.latency.pair_grid(endpoint_eps, endpoint_eps)
+            if endpoint_ccs is not None:
+                egrid = self.timeline.apply_link_overrides(
+                    egrid, endpoint_ccs, endpoint_ccs, round_index
+                )
             pair_idx = (
                 np.repeat(np.arange(n_ep), np.arange(n_ep - 1, -1, -1)),
                 np.concatenate(
@@ -194,7 +241,7 @@ class MeasurementCampaign:
         pings_sent += sent
 
         # step 3: relay sets + per-pair feasibility as one broadcast mask
-        relay_arrays = self._assemble_relays(round_index, rng, endpoint_ids)
+        relay_arrays = self._assemble_relays(round_index, rng, endpoint_ids, absent)
         feasibility = self._feasible_relays(endpoints, relay_arrays, step2_direct)
 
         # step 4: synced re-measurement + legs + stitching
@@ -223,6 +270,10 @@ class MeasurementCampaign:
             if self._use_pair_grid and relay_arrays.count
             else None
         )
+        if rgrid is not None and endpoint_ccs is not None:
+            rgrid = self.timeline.apply_link_overrides(
+                rgrid, endpoint_ccs, relay_arrays.ccs, round_index
+            )
         leg_matrix, leg_medians, sent = self._measure_legs(
             endpoints, needed, relay_arrays, rng, rgrid
         )
@@ -353,9 +404,19 @@ class MeasurementCampaign:
         return _RoundFeasibility(pair_keys, e1_rows, e2_rows, mask)
 
     def _assemble_relays(
-        self, round_index: int, rng: np.random.Generator, endpoint_ids: set[str]
+        self,
+        round_index: int,
+        rng: np.random.Generator,
+        endpoint_ids: set[str],
+        absent: frozenset[str] = frozenset(),
     ) -> _RelayArrays:
-        """The round's relay sample, registered in the campaign registry."""
+        """The round's relay sample, registered in the campaign registry.
+
+        ``absent`` is the timeline's dark-node set for the round: sampled
+        relays whose node id is in it drop out *after* selection (the
+        selectors' RNG consumption is unchanged) and are never pinged nor
+        registered this round.
+        """
         relays: list[tuple[int, Endpoint]] = []
         type_codes: list[int] = []
         ccs: list[str] = []
@@ -368,6 +429,8 @@ class MeasurementCampaign:
 
         for colo in self._colo.sample_relays(rng) if RelayType.COR in mix else ():
             node = colo.node
+            if node.node_id in absent:
+                continue
             idx = self._registry.register(
                 node.node_id,
                 RelayType.COR,
@@ -382,6 +445,8 @@ class MeasurementCampaign:
             self._plr.sample(round_index, rng) if RelayType.PLR in mix else ()
         ):
             node = pl_node.node
+            if node.node_id in absent:
+                continue
             idx = self._registry.register(
                 node.node_id,
                 RelayType.PLR,
@@ -398,6 +463,8 @@ class MeasurementCampaign:
             else ()
         ):
             node = probe.node
+            if node.node_id in absent:
+                continue
             idx = self._registry.register(
                 node.node_id, RelayType.RAR_OTHER, node.asn, node.cc, node.city_key
             )
@@ -409,6 +476,8 @@ class MeasurementCampaign:
             else ()
         ):
             node = probe.node
+            if node.node_id in absent:
+                continue
             idx = self._registry.register(
                 node.node_id, RelayType.RAR_EYE, node.asn, node.cc, node.city_key
             )

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.timeline.events import TimelineConfig
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,6 +62,13 @@ class CampaignConfig:
     """Keep per-round endpoint-relay medians (needed by the stability
     analysis; costs memory on long campaigns)."""
 
+    timeline: TimelineConfig | None = None
+    """Optional fault schedule (:mod:`repro.timeline`) the campaign
+    compiles against its world and applies between rounds: relay
+    outages, probe churn, link-degradation windows, traffic shifts.
+    None (and an event-free schedule) runs the static path byte for
+    byte."""
+
     def __post_init__(self) -> None:
         if self.num_rounds < 1:
             raise ConfigError("num_rounds must be >= 1")
@@ -93,3 +101,7 @@ class CampaignConfig:
             raise ConfigError(f"unknown relay types in relay_mix: {sorted(unknown)}")
         if len(set(self.relay_mix)) != len(self.relay_mix):
             raise ConfigError(f"duplicate relay types in relay_mix: {self.relay_mix}")
+        if self.timeline is not None and not isinstance(self.timeline, TimelineConfig):
+            raise ConfigError(
+                f"timeline must be a TimelineConfig, got {type(self.timeline).__name__}"
+            )

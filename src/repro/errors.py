@@ -44,3 +44,21 @@ class AnalysisError(ReproError):
 
 class ServiceError(ReproError):
     """The serving layer received an invalid query, ingest or snapshot."""
+
+
+class EmptyDirectoryError(ServiceError):
+    """A query or stream was requested from a directory with no history."""
+
+
+class UnknownEndpointError(ServiceError):
+    """An endpoint code is outside the directory's known range (a caller
+    bug, unlike code -1 which means "valid id, never observed" and falls
+    back to the direct tier)."""
+
+
+class UnknownCountryError(ServiceError):
+    """A country name or code does not exist in the directory's pools."""
+
+
+class TimelineError(ReproError):
+    """A fault-timeline event or schedule is invalid."""

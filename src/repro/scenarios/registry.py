@@ -29,6 +29,12 @@ from repro.core.config import CampaignConfig
 from repro.errors import ConfigError
 from repro.latency.model import LatencyConfig
 from repro.measurement.config import InfrastructureConfig
+from repro.timeline.events import (
+    RelayOutage,
+    TimelineConfig,
+    TrafficShift,
+    rolling_outages,
+)
 from repro.topology.config import TopologyConfig
 from repro.world import WorldConfig
 
@@ -247,6 +253,76 @@ register(
         expect=_HEADLINE,
         # a month of history should answer nearly all replayed traffic
         service_expect={"min_relay_answer_frac": 0.6},
+    )
+)
+
+# Fault-injected regimes: the campaign runs through a timeline
+# (:mod:`repro.timeline`) and ``repro serve-bench --scenario`` replays
+# traffic against the churn-aware service while the faults unfold.
+# Measurement-shape expectations stay conservative for the outage
+# presets — sparse rounds bend the win-rate shapes — but serving
+# availability must hold: dead relays demote into fallback tiers.
+
+register(
+    Scenario(
+        name="relay-outage",
+        description="Chaos: 40% of colo+PlanetLab relays dark for rounds 2-3, "
+                    "then recovered.",
+        campaign=CampaignConfig(
+            num_rounds=6,
+            timeline=TimelineConfig(
+                name="relay-outage",
+                events=(
+                    RelayOutage(start_round=2, end_round=4, fraction=0.4),
+                ),
+            ),
+        ),
+        # probe-hosted relays are untouched; observation volume survives
+        expect={"cases_observed": True, "rar_relays_observed": True},
+        service_expect={"min_availability": 0.99},
+    )
+)
+
+register(
+    Scenario(
+        name="rolling-failure",
+        description="Chaos: three consecutive waves, each failing a fresh 25% "
+                    "of the relay pools.",
+        campaign=CampaignConfig(
+            num_rounds=6,
+            timeline=TimelineConfig(
+                name="rolling-failure",
+                events=rolling_outages(start_round=1, num_waves=3, fraction=0.25),
+            ),
+        ),
+        expect={"cases_observed": True, "rar_relays_observed": True},
+        service_expect={"min_availability": 0.99},
+    )
+)
+
+register(
+    Scenario(
+        name="flash-crowd",
+        description="Chaos: traffic to the most popular eyeball country "
+                    "surges 8x for rounds 2-4.",
+        campaign=CampaignConfig(
+            num_rounds=6,
+            timeline=TimelineConfig(
+                name="flash-crowd",
+                events=(
+                    TrafficShift(
+                        start_round=2, end_round=5, weight_mult=8.0, rank=0
+                    ),
+                ),
+            ),
+        ),
+        # traffic shifts only touch the replayed load, never the
+        # measurements: every headline shape must survive unchanged
+        expect=_HEADLINE,
+        service_expect={
+            "min_relay_answer_frac": 0.5,
+            "min_availability": 0.99,
+        },
     )
 )
 

@@ -17,11 +17,23 @@ from repro.service.directory import (
     LaneBlock,
     RelayDirectory,
 )
-from repro.service.loadgen import BLOCK_SIZE, LoadgenConfig, QueryStream, replay
-from repro.service.service import RouteBatch, RouteDecision, ShortcutService
+from repro.service.loadgen import (
+    BLOCK_SIZE,
+    LoadgenConfig,
+    QueryStream,
+    country_rank_order,
+    replay,
+)
+from repro.service.service import (
+    DegradationCounters,
+    RouteBatch,
+    RouteDecision,
+    ShortcutService,
+)
 
 __all__ = [
     "BLOCK_SIZE",
+    "DegradationCounters",
     "LaneBlock",
     "LoadgenConfig",
     "QueryStream",
@@ -33,5 +45,6 @@ __all__ = [
     "TIER_DIRECT",
     "TIER_NAMES",
     "TIER_PAIR",
+    "country_rank_order",
     "replay",
 ]

@@ -41,7 +41,12 @@ from repro.core.oracle import csr_top_k, rank_lane_entries
 from repro.core.results import RoundResult
 from repro.core.table import NUM_RELAY_TYPES, Interner, ObservationTable
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
-from repro.errors import ServiceError
+from repro.errors import (
+    EmptyDirectoryError,
+    ServiceError,
+    UnknownCountryError,
+    UnknownEndpointError,
+)
 
 #: Fallback tiers a query resolves through, in preference order.
 TIER_PAIR = 0
@@ -50,7 +55,8 @@ TIER_DIRECT = 2
 TIER_NAMES = ("pair", "country", "direct")
 
 #: Snapshot format version (bumped on incompatible layout changes).
-SNAPSHOT_VERSION = 1
+#: v2 added the relay last-seen arrays that back churn-aware health.
+SNAPSHOT_VERSION = 2
 
 _TIERS = (TIER_PAIR, TIER_COUNTRY)
 
@@ -209,6 +215,11 @@ class RelayDirectory:
         # insertion order == ascending round id (enforced by ingest_round)
         self._rounds: dict[int, dict[tuple[int, int], tuple[np.ndarray, ...]]] = {}
         self._blocks: dict[tuple[int, int], LaneBlock] = {}
+        # relay registry idx -> newest round id whose improving entries
+        # contained it: the liveness signal behind stale_relay_mask.  Kept
+        # across eviction (like endpoint identities) so health questions
+        # about long-dark relays stay answerable.
+        self._relay_last_seen: dict[int, int] = {}
 
     # ------------------------------------------------------------ constructors
 
@@ -305,6 +316,12 @@ class RelayDirectory:
                     _pack(a, b), relays, gains
                 )
         self._rounds[rid] = aggregate
+        if aggregate:
+            seen = np.unique(
+                np.concatenate([rows[1] for rows in aggregate.values()])
+            )
+            for relay in seen.tolist():
+                self._relay_last_seen[int(relay)] = rid
 
         evicted: list[dict[tuple[int, int], tuple[np.ndarray, ...]]] = []
         if self.max_rounds is not None:
@@ -441,9 +458,16 @@ class RelayDirectory:
         """Resolve queries through the fallback tiers, fully batched.
 
         ``src_codes`` / ``dst_codes`` are directory endpoint codes (-1 =
-        unknown).  Returns ``(relays (n, k) int32, reductions (n, k)
-        float64, tier (n,) int8)`` — -1/NaN padded, with
-        :data:`TIER_DIRECT` rows entirely padding (keep the direct path).
+        unknown, resolved structurally to the direct tier).  Returns
+        ``(relays (n, k) int32, reductions (n, k) float64, tier (n,)
+        int8)`` — -1/NaN padded, with :data:`TIER_DIRECT` rows entirely
+        padding (keep the direct path).
+
+        Raises:
+            EmptyDirectoryError: when no round was ever ingested — there
+                is no history to resolve against, distinct from a miss.
+            UnknownEndpointError: for codes outside ``[-1, endpoints)``;
+                those are caller bugs, not unobserved endpoints.
         """
         if k < 1:
             raise ServiceError(f"k must be >= 1, got {k}")
@@ -453,14 +477,25 @@ class RelayDirectory:
             raise ServiceError(
                 f"query shapes differ: {src.shape} vs {dst.shape}"
             )
+        known = len(self._endpoint_cc)
+        if known == 0:
+            raise EmptyDirectoryError(
+                "directory has no ingested history to resolve queries against"
+            )
+        out_of_range = (src < -1) | (src >= known) | (dst < -1) | (dst >= known)
+        if out_of_range.any():
+            bad = np.unique(
+                np.concatenate([src[out_of_range], dst[out_of_range]])
+            )
+            raise UnknownEndpointError(
+                f"endpoint codes {bad.tolist()[:8]} outside the directory's "
+                f"known range [-1, {known})"
+            )
         n = src.shape[0]
         relays = np.full((n, k), -1, np.int32)
         reductions = np.full((n, k), np.nan)
         tier = np.full(n, TIER_DIRECT, np.int8)
-        known = len(self._endpoint_cc)
-        unresolved = (
-            (src >= 0) & (dst >= 0) & (src < known) & (dst < known) & (src != dst)
-        )
+        unresolved = (src >= 0) & (dst >= 0) & (src != dst)
         code = RELAY_TYPE_ORDER.index(relay_type)
 
         pair_block = self._blocks.get((TIER_PAIR, code))
@@ -475,8 +510,8 @@ class RelayDirectory:
 
         cc_block = self._blocks.get((TIER_COUNTRY, code))
         if cc_block is not None and cc_block.num_lanes and unresolved.any():
-            scc = self._endpoint_cc[np.maximum(np.minimum(src, known - 1), 0)]
-            dcc = self._endpoint_cc[np.maximum(np.minimum(dst, known - 1), 0)]
+            scc = self._endpoint_cc[np.maximum(src, 0)]
+            dcc = self._endpoint_cc[np.maximum(dst, 0)]
             rows = cc_block.lane_index(_pack(scc, dcc))
             hit = unresolved & (rows >= 0) & (scc >= 0) & (dcc >= 0)
             if hit.any():
@@ -484,6 +519,40 @@ class RelayDirectory:
                 relays[hit], reductions[hit] = r, g
                 tier[hit] = TIER_COUNTRY
         return relays, reductions, tier
+
+    # ----------------------------------------------------------------- health
+
+    def relay_last_seen(self) -> dict[int, int]:
+        """Relay registry idx -> newest round id it improved any lane in."""
+        return dict(self._relay_last_seen)
+
+    def stale_relay_mask(self, liveness_rounds: int) -> np.ndarray:
+        """Boolean mask over relay ids: True = presumed dead.
+
+        A relay is *stale* when it appeared in no improving entry of the
+        newest ``liveness_rounds`` retained rounds — under churn that is
+        the serving layer's only liveness signal (lanes only ever contain
+        improving relays, so "not seen lately" means "not sampled or not
+        improving lately").  The mask is indexed by relay registry id and
+        sized to cover every relay the directory ever saw; compiled-lane
+        relay ids always fall inside it.
+        """
+        if liveness_rounds < 1:
+            raise ServiceError(
+                f"liveness_rounds must be >= 1, got {liveness_rounds}"
+            )
+        if not self._relay_last_seen:
+            return np.zeros(0, bool)
+        rounds = list(self._rounds)
+        ids = np.fromiter(self._relay_last_seen, np.int64)
+        mask = np.zeros(int(ids.max()) + 1, bool)
+        if not rounds:
+            mask[ids] = True  # everything it knew was evicted
+            return mask
+        cutoff = rounds[max(len(rounds) - liveness_rounds, 0)]
+        seen = np.fromiter(self._relay_last_seen.values(), np.int64)
+        mask[ids[seen < cutoff]] = True
+        return mask
 
     # ------------------------------------------------------------- identities
 
@@ -501,9 +570,31 @@ class RelayDirectory:
         return list(self._endpoints.values)
 
     def country_of_code(self, endpoint_code: int) -> str | None:
-        """Country string of an endpoint code (None when unknown)."""
+        """Country string of an endpoint code (None when never learned).
+
+        Raises:
+            UnknownEndpointError: for codes outside the known range.
+        """
+        if not 0 <= endpoint_code < self._endpoint_cc.size:
+            raise UnknownEndpointError(
+                f"endpoint code {endpoint_code} outside the directory's "
+                f"known range [0, {self._endpoint_cc.size})"
+            )
         cc = int(self._endpoint_cc[endpoint_code])
         return None if cc < 0 else self._countries[cc]
+
+    def country_code(self, country: str) -> int:
+        """The directory code of a country string.
+
+        Raises:
+            UnknownCountryError: for countries never observed.
+        """
+        code = self._countries.lookup(country)
+        if code < 0:
+            raise UnknownCountryError(
+                f"country {country!r} not observed by the directory"
+            )
+        return code
 
     def countries(self) -> list[str]:
         """Every country the directory has observed, in code order."""
@@ -531,6 +622,7 @@ class RelayDirectory:
             "countries": len(self._countries),
             "retained_rounds": self.retained_rounds(),
             "max_rounds": self.max_rounds,
+            "relays_seen": len(self._relay_last_seen),
             **lanes,
         }
 
@@ -555,6 +647,13 @@ class RelayDirectory:
             "countries": np.asarray(self._countries.values, dtype=np.str_),
             "endpoint_cc": self._endpoint_cc,
             "round_ids": np.asarray(list(self._rounds), np.int64),
+            "relay_seen_ids": np.asarray(
+                sorted(self._relay_last_seen), np.int64
+            ),
+            "relay_seen_rounds": np.asarray(
+                [self._relay_last_seen[r] for r in sorted(self._relay_last_seen)],
+                np.int64,
+            ),
         }
         for rid in self._rounds:
             for tier, type_code in sorted(self._rounds[rid]):
@@ -582,6 +681,12 @@ class RelayDirectory:
             directory._endpoints = Interner(data["endpoints"].tolist())
             directory._countries = Interner(data["countries"].tolist())
             directory._endpoint_cc = data["endpoint_cc"].astype(np.int32)
+            directory._relay_last_seen = dict(
+                zip(
+                    data["relay_seen_ids"].tolist(),
+                    data["relay_seen_rounds"].tolist(),
+                )
+            )
             for rid in data["round_ids"].tolist():
                 aggregate = {}
                 for tier in _TIERS:

@@ -25,11 +25,12 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from repro.core.types import RelayType
-from repro.errors import ServiceError
+from repro.errors import EmptyDirectoryError, ServiceError, UnknownCountryError
 from repro.service.directory import RelayDirectory, TIER_NAMES
 from repro.service.service import ShortcutService
 
@@ -64,9 +65,25 @@ class LoadgenConfig:
     """Parallel synthesis shards.  Purely a partitioning knob: the stream
     is identical for every worker count."""
 
+    country_weights: Mapping[str, float] | None = None
+    """Optional per-country multipliers on the Zipf weights (the fault
+    timeline's traffic-shift hook): a country's weight is scaled before
+    pair probabilities normalise, 0 silences it entirely.  Countries not
+    named keep multiplier 1.  Naming a country the directory never
+    observed raises :class:`~repro.errors.UnknownCountryError`; weights
+    that silence every pair produce a deterministic *empty* stream, not
+    an error."""
+
     def __post_init__(self) -> None:
         if self.num_queries < 1:
             raise ServiceError("num_queries must be >= 1")
+        if self.country_weights is not None:
+            for country, weight in self.country_weights.items():
+                if not weight >= 0.0:
+                    raise ServiceError(
+                        f"country weight for {country!r} must be >= 0, "
+                        f"got {weight}"
+                    )
         if self.batch_size < 1:
             raise ServiceError("batch_size must be >= 1")
         if self.zipf_exponent <= 0:
@@ -77,6 +94,31 @@ class LoadgenConfig:
             raise ServiceError("workers must be >= 1")
 
 
+def country_rank_order(directory: RelayDirectory) -> list[str]:
+    """The directory's countries ranked by eyeball popularity.
+
+    Rank 0 is the country with the most distinct observed endpoints, ties
+    broken stably by country string — the order the Zipf head follows and
+    the one rank-targeted traffic shifts resolve against.
+
+    Raises:
+        EmptyDirectoryError: when the directory knows no endpoints.
+    """
+    ep_cc = directory.endpoint_country_codes()
+    ccs = ep_cc[ep_cc >= 0]
+    if ccs.size == 0:
+        raise EmptyDirectoryError("directory has no endpoints to rank")
+    population = np.bincount(ccs)
+    names = directory.countries()
+    active = np.flatnonzero(population > 0)
+    return [
+        names[c]
+        for c in sorted(
+            active.tolist(), key=lambda c: (-int(population[c]), names[c])
+        )
+    ]
+
+
 class QueryStream:
     """Deterministic endpoint-pair query synthesis over a directory."""
 
@@ -85,7 +127,9 @@ class QueryStream:
         ep_cc = directory.endpoint_country_codes()
         known = np.flatnonzero(ep_cc >= 0)
         if known.size == 0:
-            raise ServiceError("directory has no endpoints to synthesise from")
+            raise EmptyDirectoryError(
+                "directory has no endpoints to synthesise from"
+            )
         ccs = ep_cc[known]
         # eyeball population per country = distinct endpoints observed there
         num_cc = int(ccs.max()) + 1
@@ -102,6 +146,16 @@ class QueryStream:
         weights = 1.0 / np.power(
             np.arange(1, len(rank_order) + 1, dtype=float), config.zipf_exponent
         )
+        if config.country_weights:
+            multipliers = dict(config.country_weights)
+            by_name = {names[c]: pos for pos, c in enumerate(rank_order)}
+            for country, mult in multipliers.items():
+                if country not in by_name:
+                    raise UnknownCountryError(
+                        f"country {country!r} has no observed endpoints to "
+                        "re-weight"
+                    )
+                weights[by_name[country]] *= mult
         # country pairs (i != j) with product-of-Zipf weights
         c = len(rank_order)
         src_idx, dst_idx = np.meshgrid(np.arange(c), np.arange(c), indexing="ij")
@@ -109,7 +163,11 @@ class QueryStream:
         self._pair_src = np.asarray(rank_order, np.int32)[src_idx[off_diag]]
         self._pair_dst = np.asarray(rank_order, np.int32)[dst_idx[off_diag]]
         pair_w = (weights[:, np.newaxis] * weights[np.newaxis, :])[off_diag]
-        self._pair_p = pair_w / pair_w.sum()
+        total = pair_w.sum()
+        # weights can silence every pair (e.g. one country left with any
+        # traffic): the stream is then deterministically empty — never a
+        # division by zero in the normalisation
+        self._pair_p = pair_w / total if total > 0 else None
         # country -> endpoint codes, CSR over sorted (cc, endpoint) pairs
         order = np.lexsort((known, ccs))
         self._ep_codes = known[order].astype(np.int64)
@@ -118,12 +176,19 @@ class QueryStream:
         )
 
     @property
+    def is_empty(self) -> bool:
+        """True when re-weighting silenced every country pair."""
+        return self._pair_p is None
+
+    @property
     def num_blocks(self) -> int:
-        return -(-self._config.num_queries // BLOCK_SIZE)
+        return 0 if self.is_empty else -(-self._config.num_queries // BLOCK_SIZE)
 
     def block(self, index: int) -> tuple[np.ndarray, np.ndarray]:
         """Synthesise block ``index``: parallel (src, dst) endpoint codes."""
         cfg = self._config
+        if self._pair_p is None:
+            return np.zeros(0, np.int64), np.zeros(0, np.int64)
         size = min(BLOCK_SIZE, cfg.num_queries - index * BLOCK_SIZE)
         rng = np.random.default_rng(np.random.SeedSequence([cfg.seed, index]))
         pair = rng.choice(self._pair_p.size, size=size, p=self._pair_p)
@@ -147,6 +212,8 @@ class QueryStream:
         ...``; reassembly orders blocks by index, so the result is
         invariant in the worker count.
         """
+        if self.num_blocks == 0:
+            return np.zeros(0, np.int64), np.zeros(0, np.int64)
         blocks: list[tuple[np.ndarray, np.ndarray] | None] = [None] * self.num_blocks
         for worker in range(self._config.workers):
             for index in range(worker, self.num_blocks, self._config.workers):
@@ -196,10 +263,10 @@ def replay(
         "seed": config.seed,
         "workers": config.workers,
         "wall_clock_s": round(wall, 4),
-        "queries_per_s": int(n / wall) if wall > 0 else None,
+        "queries_per_s": int(n / wall) if n and wall > 0 else None,
         "tier_counts": {
             name: int(tier_counts[code]) for code, name in enumerate(TIER_NAMES)
         },
-        "relay_answer_frac": round(1.0 - no_relay / n, 4),
+        "relay_answer_frac": round(1.0 - no_relay / n, 4) if n else None,
         "answers_digest": digest.hexdigest(),
     }

@@ -16,6 +16,17 @@ setup path.  The serving contract:
 Answers are deterministic: the same directory state returns the same
 relays for the same queries, batched or scalar, before or after a
 snapshot round-trip.
+
+Churn awareness is opt-in via ``liveness_rounds``: the service then
+treats relays unseen in the newest ``liveness_rounds`` ingested rounds as
+dead, over-fetches each lane by ``spill`` candidates, demotes dead
+candidates to the end of the answer (bounded retry: the next-ranked live
+relay takes their place) and falls back to the direct tier when a lane
+has no live candidate left.  Degradation is observable through
+:class:`DegradationCounters` (stale top answers, candidates evicted,
+fallback-tier hits, unanswerable queries).  With ``liveness_rounds=None``
+(the default) the health path is never entered and answers are
+byte-identical to a health-unaware service.
 """
 
 from __future__ import annotations
@@ -29,7 +40,12 @@ from repro.core.results import CampaignResult, RoundResult
 from repro.core.table import ObservationTable
 from repro.core.types import RelayType
 from repro.errors import ServiceError
-from repro.service.directory import TIER_NAMES, RelayDirectory
+from repro.service.directory import (
+    TIER_COUNTRY,
+    TIER_DIRECT,
+    TIER_NAMES,
+    RelayDirectory,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,14 +118,75 @@ class RouteDecision:
         return self.reduction_ms[0] if self.reduction_ms else None
 
 
-class ShortcutService:
-    """Online relay selection over a compiled :class:`RelayDirectory`."""
+@dataclass(slots=True)
+class DegradationCounters:
+    """Cumulative graceful-degradation telemetry of one service.
 
-    def __init__(self, directory: RelayDirectory | None = None,
-                 max_rounds: int | None = None) -> None:
+    Attributes:
+        queries: Queries routed since construction (health path only).
+        stale_top_answers: Queries whose top-ranked candidate was dead
+            and was replaced by the next-ranked live relay (the spill).
+        candidates_evicted: Dead candidate entries demoted out of
+            answers, summed over all ranks.
+        unanswerable: Queries whose lane had history but no live
+            candidate left — structurally downgraded to the direct tier.
+        fallback_country: Queries answered from the country tier.
+        direct: Queries that left with the direct verdict (no history,
+            same endpoint, or unanswerable after health filtering).
+    """
+
+    queries: int = 0
+    stale_top_answers: int = 0
+    candidates_evicted: int = 0
+    unanswerable: int = 0
+    fallback_country: int = 0
+    direct: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "queries": self.queries,
+            "stale_top_answers": self.stale_top_answers,
+            "candidates_evicted": self.candidates_evicted,
+            "unanswerable": self.unanswerable,
+            "fallback_country": self.fallback_country,
+            "direct": self.direct,
+        }
+
+
+class ShortcutService:
+    """Online relay selection over a compiled :class:`RelayDirectory`.
+
+    ``liveness_rounds`` enables churn awareness (see the module
+    docstring); ``spill`` bounds how many extra candidates each lookup
+    over-fetches so dead relays can be replaced without a second pass.
+    """
+
+    def __init__(
+        self,
+        directory: RelayDirectory | None = None,
+        max_rounds: int | None = None,
+        *,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
+    ) -> None:
         if directory is not None and max_rounds is not None:
             raise ServiceError("pass either a directory or max_rounds, not both")
+        if liveness_rounds is not None and liveness_rounds < 1:
+            raise ServiceError(
+                f"liveness_rounds must be >= 1, got {liveness_rounds}"
+            )
+        if spill < 0:
+            raise ServiceError(f"spill must be >= 0, got {spill}")
         self._directory = directory or RelayDirectory(max_rounds=max_rounds)
+        self._liveness_rounds = liveness_rounds
+        self._spill = spill
+        self.counters = DegradationCounters()
+        self._dead: np.ndarray | None = None
+        self._refresh_health()
+
+    def _refresh_health(self) -> None:
+        if self._liveness_rounds is not None:
+            self._dead = self._directory.stale_relay_mask(self._liveness_rounds)
 
     @property
     def directory(self) -> RelayDirectory:
@@ -124,17 +201,33 @@ class ShortcutService:
         result: CampaignResult,
         max_rounds: int | None = None,
         rounds=None,
+        *,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
     ) -> ShortcutService:
         """Compile a service from a campaign result (optionally a subset of
         its rounds, e.g. everything but the round being predicted)."""
-        return cls(RelayDirectory.from_result(result, max_rounds, rounds))
+        return cls(
+            RelayDirectory.from_result(result, max_rounds, rounds),
+            liveness_rounds=liveness_rounds,
+            spill=spill,
+        )
 
     @classmethod
     def from_table(
-        cls, table: ObservationTable, max_rounds: int | None = None
+        cls,
+        table: ObservationTable,
+        max_rounds: int | None = None,
+        *,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
     ) -> ShortcutService:
         """Compile a service from a concatenated campaign/sweep table."""
-        return cls(RelayDirectory.from_table(table, max_rounds))
+        return cls(
+            RelayDirectory.from_table(table, max_rounds),
+            liveness_rounds=liveness_rounds,
+            spill=spill,
+        )
 
     def ingest_round(
         self,
@@ -142,8 +235,10 @@ class ShortcutService:
         round_id: int | None = None,
     ) -> dict[str, int]:
         """Fold one new measurement round in (see
-        :meth:`RelayDirectory.ingest_round`)."""
-        return self._directory.ingest_round(source, round_id)
+        :meth:`RelayDirectory.ingest_round`); refreshes relay health."""
+        stats = self._directory.ingest_round(source, round_id)
+        self._refresh_health()
+        return stats
 
     # ---------------------------------------------------------------- queries
 
@@ -163,11 +258,51 @@ class ShortcutService:
         ``src_codes`` / ``dst_codes`` are parallel directory endpoint-code
         arrays (:meth:`encode_endpoints`).  Each query resolves through the
         fallback tiers — exact endpoint-pair history, then country-pair
-        history, then the direct path.
+        history, then the direct path.  With ``liveness_rounds`` set, dead
+        relays are demoted out of the answers first (see the module
+        docstring); counters accumulate on :attr:`counters`.
         """
+        if self._liveness_rounds is None:
+            relays, reductions, tier = self._directory.lookup_many(
+                src_codes, dst_codes, relay_type, k
+            )
+            return RouteBatch(relay_ids=relays, reduction_ms=reductions, tier=tier)
+        if k < 1:
+            raise ServiceError(f"k must be >= 1, got {k}")
+        # over-fetch so dead candidates can spill to the next-ranked live
+        # relay without a second directory pass
         relays, reductions, tier = self._directory.lookup_many(
-            src_codes, dst_codes, relay_type, k
+            src_codes, dst_codes, relay_type, k + self._spill
         )
+        dead = self._dead
+        if dead is not None and dead.size:
+            is_dead = (relays >= 0) & dead[np.maximum(relays, 0)]
+            if is_dead.any():
+                # stable argsort floats live candidates (and their pads)
+                # left in rank order and pushes dead entries right
+                order = np.argsort(is_dead, axis=1, kind="stable")
+                relays = np.take_along_axis(relays, order, axis=1)
+                reductions = np.take_along_axis(reductions, order, axis=1)
+                dead_sorted = np.take_along_axis(is_dead, order, axis=1)
+                relays[dead_sorted] = -1
+                reductions[dead_sorted] = np.nan
+                counters = self.counters
+                counters.candidates_evicted += int(is_dead.sum())
+                counters.stale_top_answers += int(
+                    np.count_nonzero(is_dead[:, 0] & (tier != TIER_DIRECT))
+                )
+                # a lane whose every candidate died has no answer left:
+                # structurally fall back to the direct verdict
+                unanswerable = (tier != TIER_DIRECT) & (relays[:, 0] < 0)
+                counters.unanswerable += int(np.count_nonzero(unanswerable))
+                tier = np.where(unanswerable, TIER_DIRECT, tier).astype(np.int8)
+        relays = relays[:, :k]
+        reductions = reductions[:, :k]
+        self.counters.queries += int(tier.shape[0])
+        self.counters.fallback_country += int(
+            np.count_nonzero(tier == TIER_COUNTRY)
+        )
+        self.counters.direct += int(np.count_nonzero(tier == TIER_DIRECT))
         return RouteBatch(relay_ids=relays, reduction_ms=reductions, tier=tier)
 
     def route(
@@ -201,12 +336,42 @@ class ShortcutService:
         self._directory.save(file)
 
     @classmethod
-    def load(cls, file: str | IO[bytes]) -> ShortcutService:
-        """Restore a service from a :meth:`save` snapshot."""
-        return cls(RelayDirectory.load(file))
+    def load(
+        cls,
+        file: str | IO[bytes],
+        *,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
+    ) -> ShortcutService:
+        """Restore a service from a :meth:`save` snapshot.
+
+        Health telemetry (relay last-seen rounds) restores with the
+        snapshot; the counters are runtime state and start at zero.
+        """
+        return cls(
+            RelayDirectory.load(file),
+            liveness_rounds=liveness_rounds,
+            spill=spill,
+        )
 
     # ------------------------------------------------------------------ stats
 
+    @property
+    def liveness_rounds(self) -> int | None:
+        """The health window (None = churn awareness disabled)."""
+        return self._liveness_rounds
+
+    def dead_relay_count(self) -> int:
+        """Relays currently presumed dead (0 when health is disabled)."""
+        return 0 if self._dead is None else int(self._dead.sum())
+
     def stats(self) -> dict[str, Any]:
-        """The directory's shape summary."""
-        return self._directory.stats()
+        """The directory's shape summary, plus degradation telemetry when
+        churn awareness is enabled."""
+        stats = self._directory.stats()
+        if self._liveness_rounds is not None:
+            stats["liveness_rounds"] = self._liveness_rounds
+            stats["spill"] = self._spill
+            stats["dead_relays"] = self.dead_relay_count()
+            stats["degradation"] = self.counters.as_dict()
+        return stats

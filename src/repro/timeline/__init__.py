@@ -1,0 +1,61 @@
+"""Fault-injected dynamic worlds: the event timeline subsystem.
+
+A :class:`TimelineConfig` is a declarative, world-independent fault
+schedule — relay outages and recoveries, probe churn, link-degradation
+windows, traffic shifts.  :func:`compile_timeline` resolves it against a
+world into per-round effects the measurement campaign applies between
+rounds, and :mod:`repro.timeline.chaos` replays load against a serving
+layer while the faults unfold, measuring availability and stale-answer
+rates.
+
+The chaos harness is exported lazily (PEP 562): it imports the campaign
+and service layers, which themselves import :class:`TimelineConfig`
+through :class:`~repro.core.config.CampaignConfig` — an eager import
+here would cycle.
+"""
+
+from repro.timeline.events import (
+    OUTAGE_POOLS,
+    LinkDegradation,
+    ProbeChurn,
+    RelayOutage,
+    TimelineConfig,
+    TimelineEvent,
+    TrafficShift,
+    rolling_outages,
+)
+from repro.timeline.schedule import (
+    CompiledTimeline,
+    LinkWindow,
+    RoundEffects,
+    TrafficWindow,
+    compile_timeline,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "CompiledTimeline",
+    "LinkDegradation",
+    "LinkWindow",
+    "OUTAGE_POOLS",
+    "ProbeChurn",
+    "RelayOutage",
+    "RoundEffects",
+    "TimelineConfig",
+    "TimelineEvent",
+    "TrafficShift",
+    "TrafficWindow",
+    "chaos_replay",
+    "compile_timeline",
+    "rolling_outages",
+]
+
+_LAZY = {"ChaosConfig", "chaos_replay"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.timeline import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

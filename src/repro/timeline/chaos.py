@@ -1,0 +1,225 @@
+"""Chaos replay: traffic against a churn-aware service while faults unfold.
+
+The measurement campaign produces rounds *through* a fault timeline; this
+harness plays the serving side of that movie.  Rounds are ingested one by
+one into a :class:`~repro.service.service.ShortcutService` configured
+with a retention window and relay-health tracking, and after each ingest
+a round of Zipf-shaped traffic is replayed — re-weighted by the round's
+active traffic-shift windows — while two ground-truth questions are
+scored against the compiled timeline itself:
+
+* **availability** — the fraction of queries whose answer is
+  serviceable: a relay that is actually up this round, or a clean direct
+  verdict.  An answer pointing at a dark relay would fail at connect
+  time; those are the availability losses.
+* **stale-answer rate** — among queries answered with a relay, the
+  fraction pointing at a dark one.  This is the quantity the retention
+  window (``max_rounds``) and the health filter (``liveness_rounds``)
+  exist to suppress; :func:`repro.analysis.chaos.degradation_curve`
+  sweeps it against ``max_rounds``.
+
+Everything is deterministic: the same (result, timeline, config) triple
+produces the same per-round numbers, down to the answer digests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.results import CampaignResult
+from repro.core.types import RelayType
+from repro.errors import ServiceError
+from repro.service.directory import TIER_NAMES
+from repro.service.loadgen import LoadgenConfig, QueryStream, country_rank_order
+from repro.service.service import ShortcutService
+from repro.timeline.schedule import CompiledTimeline
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosConfig:
+    """Knobs of :func:`chaos_replay`."""
+
+    max_rounds: int | None = 3
+    """The service's retention window (None = keep every round)."""
+
+    liveness_rounds: int | None = 1
+    """The service's relay-health window (None = churn awareness off —
+    the baseline that shows why the filter exists)."""
+
+    spill: int = 2
+    """Bounded-retry over-fetch per lane (see :class:`ShortcutService`)."""
+
+    warmup_rounds: int = 1
+    """Rounds ingested before the first replay (a directory with no
+    history answers nothing useful)."""
+
+    queries_per_round: int = 4096
+    """Replayed queries per ingested round."""
+
+    batch_size: int = 1024
+    """Queries per ``route_many`` call."""
+
+    zipf_exponent: float = 1.1
+    """Traffic skew over country popularity ranks."""
+
+    seed: int = 0
+    """Root seed of the per-round query streams (round index is mixed
+    in, so each round replays distinct but reproducible traffic)."""
+
+    k: int = 3
+    """Relay candidates requested per query."""
+
+    relay_type: RelayType = RelayType.COR
+    """Relay lane the replay queries."""
+
+    def __post_init__(self) -> None:
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ServiceError("max_rounds must be >= 1")
+        if self.liveness_rounds is not None and self.liveness_rounds < 1:
+            raise ServiceError("liveness_rounds must be >= 1")
+        if self.spill < 0:
+            raise ServiceError("spill must be >= 0")
+        if self.warmup_rounds < 1:
+            raise ServiceError("warmup_rounds must be >= 1")
+        if self.queries_per_round < 1:
+            raise ServiceError("queries_per_round must be >= 1")
+        if self.batch_size < 1:
+            raise ServiceError("batch_size must be >= 1")
+
+
+def chaos_replay(
+    result: CampaignResult,
+    timeline: CompiledTimeline | None = None,
+    config: ChaosConfig | None = None,
+) -> dict[str, Any]:
+    """Ingest a campaign round by round, replaying faulted traffic between.
+
+    ``timeline`` is the campaign's compiled timeline
+    (``MeasurementCampaign.timeline``); None scores a fault-free run —
+    availability is then 1 by construction and the harness degenerates to
+    an incremental-ingestion load test.
+
+    Returns a JSON-ready report: one record per replayed round
+    (availability, stale-answer rate, tier mix, queries/sec, dead-relay
+    count) plus a summary with the floors the chaos bench and CI gate on.
+    """
+    config = config or ChaosConfig()
+    service = ShortcutService(
+        max_rounds=config.max_rounds,
+        liveness_rounds=config.liveness_rounds,
+        spill=config.spill,
+    )
+    node_ids = np.array(
+        [record.node_id for record in result.registry], dtype=np.str_
+    )
+    rounds_out: list[dict[str, Any]] = []
+    total_queries = total_dead = total_answered = 0
+    ingested = 0
+    for rnd in result.rounds:
+        service.ingest_round(rnd)
+        ingested += 1
+        if ingested < config.warmup_rounds:
+            continue
+        absent = (
+            timeline.absent_ids(rnd.round_index)
+            if timeline is not None
+            else frozenset()
+        )
+        weights = None
+        if timeline is not None:
+            multipliers = timeline.traffic_multipliers(
+                rnd.round_index, country_rank_order(service.directory)
+            )
+            if multipliers:
+                weights = multipliers
+        load = LoadgenConfig(
+            num_queries=config.queries_per_round,
+            batch_size=config.batch_size,
+            zipf_exponent=config.zipf_exponent,
+            seed=config.seed * 100_003 + rnd.round_index,
+            k=config.k,
+            relay_type=config.relay_type,
+            country_weights=weights,
+        )
+        stream = QueryStream(service.directory, load)
+        src, dst = stream.generate()
+        n = int(src.shape[0])
+        absent_arr = np.array(sorted(absent), dtype=np.str_)
+        tier_counts = np.zeros(len(TIER_NAMES), np.int64)
+        answered = dead_answers = 0
+        start = time.perf_counter()
+        for lo in range(0, n, config.batch_size):
+            hi = min(lo + config.batch_size, n)
+            batch = service.route_many(
+                src[lo:hi], dst[lo:hi], config.relay_type, config.k
+            )
+            tier_counts += np.bincount(batch.tier, minlength=len(TIER_NAMES))
+            top = batch.relay_ids[:, 0]
+            got_relay = top >= 0
+            answered += int(np.count_nonzero(got_relay))
+            if absent_arr.size and got_relay.any():
+                dead_answers += int(
+                    np.count_nonzero(
+                        np.isin(node_ids[top[got_relay]], absent_arr)
+                    )
+                )
+        wall = time.perf_counter() - start
+        total_queries += n
+        total_answered += answered
+        total_dead += dead_answers
+        rounds_out.append(
+            {
+                "round": rnd.round_index,
+                "queries": n,
+                "answered_frac": round(answered / n, 4) if n else None,
+                "availability": round(1.0 - dead_answers / n, 4) if n else None,
+                "stale_answer_rate": (
+                    round(dead_answers / answered, 4) if answered else 0.0
+                ),
+                "dark_nodes": len(absent),
+                "dead_relays": service.dead_relay_count(),
+                "tier_counts": {
+                    name: int(tier_counts[code])
+                    for code, name in enumerate(TIER_NAMES)
+                },
+                "queries_per_s": int(n / wall) if n and wall > 0 else None,
+                "traffic_weights": weights,
+            }
+        )
+    availabilities = [
+        r["availability"] for r in rounds_out if r["availability"] is not None
+    ]
+    stale_rates = [r["stale_answer_rate"] for r in rounds_out]
+    return {
+        "config": {
+            "max_rounds": config.max_rounds,
+            "liveness_rounds": config.liveness_rounds,
+            "spill": config.spill,
+            "warmup_rounds": config.warmup_rounds,
+            "queries_per_round": config.queries_per_round,
+            "zipf_exponent": config.zipf_exponent,
+            "seed": config.seed,
+            "k": config.k,
+            "relay_type": config.relay_type.value,
+        },
+        "rounds": rounds_out,
+        "summary": {
+            "replayed_rounds": len(rounds_out),
+            "total_queries": total_queries,
+            "min_availability": min(availabilities) if availabilities else None,
+            "mean_availability": (
+                round(sum(availabilities) / len(availabilities), 4)
+                if availabilities
+                else None
+            ),
+            "max_stale_answer_rate": max(stale_rates) if stale_rates else 0.0,
+            "overall_stale_answer_rate": (
+                round(total_dead / total_answered, 4) if total_answered else 0.0
+            ),
+            "degradation": service.counters.as_dict(),
+        },
+    }

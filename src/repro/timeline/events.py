@@ -1,0 +1,225 @@
+"""Fault-timeline event types.
+
+Each event is a frozen, declarative description of one disturbance the
+synthetic Internet suffers over a window of measurement rounds: relays
+going dark and recovering, probes leaving or arriving, country-pair
+links degrading, and user traffic shifting between countries.  Events
+carry *targets as distributions* (a fraction of a pool, a number of
+sampled pairs); the concrete cohort — which node ids, which country
+pairs — is resolved once per event at compile time by
+:func:`repro.timeline.schedule.compile_timeline`, from the world's own
+seed factory, so a timeline is fully deterministic per (world seed,
+schedule) and two compiles of the same schedule agree byte for byte.
+
+Windows are half-open round intervals ``[start_round, end_round)``.
+Rounds outside ``range(num_rounds)`` simply never fire, so one schedule
+can be reused across campaign lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TimelineError
+
+#: Node pools a :class:`RelayOutage` can draw victims from.
+OUTAGE_POOLS = ("colo", "planetlab", "probes")
+
+
+def _check_window(start_round: int, end_round: int) -> None:
+    if start_round < 0:
+        raise TimelineError(f"start_round must be >= 0, got {start_round}")
+    if end_round <= start_round:
+        raise TimelineError(
+            f"window [{start_round}, {end_round}) is empty or inverted"
+        )
+
+
+def _check_fraction(fraction: float) -> None:
+    if not 0.0 < fraction <= 1.0:
+        raise TimelineError(f"fraction must be in (0, 1], got {fraction}")
+
+
+@dataclass(frozen=True, slots=True)
+class RelayOutage:
+    """A cohort of relay nodes goes dark for a window, then recovers.
+
+    Attributes:
+        start_round / end_round: Half-open outage window ``[start, end)``.
+        fraction: Fraction of each targeted pool that fails (cohort
+            sampled without replacement at compile time).
+        pools: Which node pools fail — any of :data:`OUTAGE_POOLS`
+            (``"colo"`` = COR interfaces, ``"planetlab"`` = PLR nodes,
+            ``"probes"`` = Atlas probes, which also removes them as
+            endpoints and RAR relays).
+        countries: Optional country-code filter; only nodes in these
+            countries are candidates (None = everywhere).
+    """
+
+    start_round: int
+    end_round: int
+    fraction: float
+    pools: tuple[str, ...] = ("colo", "planetlab")
+    countries: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_round, self.end_round)
+        _check_fraction(self.fraction)
+        if not self.pools:
+            raise TimelineError("RelayOutage needs at least one pool")
+        unknown = set(self.pools) - set(OUTAGE_POOLS)
+        if unknown:
+            raise TimelineError(
+                f"unknown outage pools {sorted(unknown)}; valid: {OUTAGE_POOLS}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeChurn:
+    """Atlas probes leave (or have not yet arrived) around a window.
+
+    ``mode="departure"``: the cohort is absent during ``[start, end)``
+    and present otherwise — a transient platform outage.
+    ``mode="arrival"``: the cohort is absent *before* ``start_round``
+    and present from then on — probes joining the platform mid-campaign.
+    Absent probes disappear everywhere: as endpoints and as RAR relays.
+    """
+
+    start_round: int
+    end_round: int
+    fraction: float
+    mode: str = "departure"
+    countries: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_round, self.end_round)
+        _check_fraction(self.fraction)
+        if self.mode not in ("departure", "arrival"):
+            raise TimelineError(
+                f"mode must be 'departure' or 'arrival', got {self.mode!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDegradation:
+    """Selected country pairs lose packets and stretch during a window.
+
+    Either name the pair explicitly (``countries=("DE", "US")``) or let
+    the compiler sample ``num_pairs`` distinct pairs from the world's
+    eyeball countries.  While active, every latency-grid entry whose two
+    sides land on an affected pair (either direction) has its base RTT
+    multiplied by ``rtt_mult`` and its loss raised to
+    ``1 - (1 - loss) * (1 - loss_add)`` — the same composition rule the
+    latency model uses for independent loss stages.
+    """
+
+    start_round: int
+    end_round: int
+    loss_add: float = 0.05
+    rtt_mult: float = 1.25
+    countries: tuple[str, str] | None = None
+    num_pairs: int = 1
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_round, self.end_round)
+        if not 0.0 <= self.loss_add < 1.0:
+            raise TimelineError(f"loss_add must be in [0, 1), got {self.loss_add}")
+        if self.rtt_mult < 1.0:
+            raise TimelineError(f"rtt_mult must be >= 1, got {self.rtt_mult}")
+        if self.countries is not None:
+            if len(self.countries) != 2 or self.countries[0] == self.countries[1]:
+                raise TimelineError(
+                    f"countries must name two distinct codes, got {self.countries}"
+                )
+        elif self.num_pairs < 1:
+            raise TimelineError(f"num_pairs must be >= 1, got {self.num_pairs}")
+
+
+@dataclass(frozen=True, slots=True)
+class TrafficShift:
+    """User traffic to/from one country is re-weighted during a window.
+
+    Targets a country by name, or — when ``country`` is None — by
+    popularity ``rank`` in the serving directory's eyeball population
+    order (rank 0 = the most populous country; the diurnal/flash-crowd
+    idiom, resolved at replay time because popularity is a property of
+    the served history, not the world).  The multiplier scales the
+    country's Zipf weight in the load generator; 0 silences it.
+    """
+
+    start_round: int
+    end_round: int
+    weight_mult: float
+    country: str | None = None
+    rank: int = 0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start_round, self.end_round)
+        if self.weight_mult < 0.0:
+            raise TimelineError(
+                f"weight_mult must be >= 0, got {self.weight_mult}"
+            )
+        if self.country is None and self.rank < 0:
+            raise TimelineError(f"rank must be >= 0, got {self.rank}")
+
+
+#: Everything a schedule may contain.
+TimelineEvent = RelayOutage | ProbeChurn | LinkDegradation | TrafficShift
+
+
+def rolling_outages(
+    start_round: int,
+    num_waves: int,
+    fraction: float,
+    *,
+    wave_rounds: int = 1,
+    pools: tuple[str, ...] = ("colo", "planetlab"),
+) -> tuple[RelayOutage, ...]:
+    """A rolling-failure wave: consecutive outage windows, fresh cohorts.
+
+    Wave ``w`` fails an independently sampled ``fraction`` of the pools
+    during ``[start + w * wave_rounds, start + (w + 1) * wave_rounds)``
+    — each wave draws its own cohort (distinct compile streams), so the
+    failing set *shifts* across the campaign instead of repeating.
+    """
+    if num_waves < 1:
+        raise TimelineError(f"num_waves must be >= 1, got {num_waves}")
+    if wave_rounds < 1:
+        raise TimelineError(f"wave_rounds must be >= 1, got {wave_rounds}")
+    return tuple(
+        RelayOutage(
+            start_round=start_round + w * wave_rounds,
+            end_round=start_round + (w + 1) * wave_rounds,
+            fraction=fraction,
+            pools=pools,
+        )
+        for w in range(num_waves)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TimelineConfig:
+    """A complete fault schedule: an ordered tuple of events.
+
+    Frozen and world-independent — the same schedule can be compiled
+    against any world (cohorts resolve from that world's seed).  An
+    empty schedule is valid and compiles to a timeline with no effects;
+    the campaign's output under it is byte-identical to running with no
+    timeline at all (asserted in ``tests/test_timeline.py``).
+    """
+
+    events: tuple[TimelineEvent, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        valid = (RelayOutage, ProbeChurn, LinkDegradation, TrafficShift)
+        for event in self.events:
+            if not isinstance(event, valid):
+                raise TimelineError(
+                    f"not a timeline event: {type(event).__name__}"
+                )
+
+    @property
+    def has_events(self) -> bool:
+        return bool(self.events)
