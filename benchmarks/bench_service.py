@@ -3,10 +3,13 @@
 Times the online side of the system on the tiny serving workload (the
 same 8-country, 3-round history ``repro serve-bench`` defaults to):
 directory compilation from the campaign result, one incremental round
-ingest, the ``.npz`` snapshot round-trip, and a Zipf-shaped traffic
-replay measuring sustained batched queries/sec.  Writes
-``BENCH_service.json`` at the repo root so future PRs have a serving-side
-perf trajectory next to the engine's ``BENCH_campaign.json``.
+ingest, the ``.npz`` snapshot round-trip, a Zipf-shaped traffic replay
+measuring sustained batched queries/sec, and the sharded multi-process
+cluster (1 vs 2 workers, scored on CPU-clock critical paths — see
+``benchmarks/README.md`` for why wall clocks cannot measure scale-out on
+shared-core CI hosts).  Writes ``BENCH_service.json`` at the repo root so
+future PRs have a serving-side perf trajectory next to the engine's
+``BENCH_campaign.json``.
 
 Run standalone with ``python benchmarks/bench_service.py`` or via pytest
 with the other benches.  ``--smoke --queries N --budget-factor F
@@ -29,7 +32,13 @@ if importlib.util.find_spec("repro") is None:  # bare checkout: src layout
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro import CampaignConfig, MeasurementCampaign, build_world
-from repro.service import LoadgenConfig, ShortcutService, replay
+from repro.service import (
+    NUM_SHARDS,
+    ClusterService,
+    LoadgenConfig,
+    ShortcutService,
+    replay,
+)
 from repro.topology.config import TopologyConfig
 from repro.world import WorldConfig
 
@@ -39,6 +48,8 @@ ROUNDS = 3
 QUERIES = 200_000
 BATCH_SIZE = 1024
 REPEATS = 3  #: best-of-N for the timed sections (history built once)
+CLUSTER_REPEATS = 5  #: interleaved 1-/2-worker replays for the scale-out ratio
+CLUSTER_BATCH_SIZE = 8192  #: bigger batches amortize the front's serial CPU
 
 _OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_service.json"
 
@@ -94,6 +105,58 @@ def run_bench() -> dict:
         if best is None or stats["wall_clock_s"] < best["wall_clock_s"]:
             best = stats
 
+    # sharded multi-process cluster: the same stream against 1 worker and
+    # 2 workers, scored on CPU-clock critical paths (front CPU + slowest
+    # worker's busy clock), so the scale-out is measurable on a single
+    # shared core.  The legs' repeats are interleaved and scored on the
+    # summed paths — CPU-frequency drift between sequential legs would
+    # otherwise swamp the ratio.  Answers must be byte-identical to the
+    # in-process service's at the same batch size (the replay digest
+    # hashes per-batch, so the baseline must share the cluster's batch).
+    cluster_config = LoadgenConfig(
+        num_queries=QUERIES, batch_size=CLUSTER_BATCH_SIZE
+    )
+    digests = {replay(service, cluster_config).answers_digest}
+    paths: dict[int, list[dict]] = {1: [], 2: []}
+    with ClusterService.from_service(service, workers=1) as c1, \
+            ClusterService.from_service(service, workers=2) as c2:
+        for _ in range(CLUSTER_REPEATS):
+            for workers, cluster in ((1, c1), (2, c2)):
+                stats = replay(cluster, cluster_config)
+                digests.add(stats.answers_digest)
+                paths[workers].append(stats.scale_out)
+    cluster_legs: dict[int, dict] = {}
+    for workers, runs in paths.items():
+        total_path = sum(r["critical_path_s"] for r in runs)
+        cluster_legs[workers] = {
+            "aggregate_queries_per_s": int(QUERIES * len(runs) / total_path),
+            "critical_path_s": round(total_path, 6),
+            "critical_path_min_s": round(
+                min(r["critical_path_s"] for r in runs), 6
+            ),
+            "front_cpu_s": round(sum(r["front_cpu_s"] for r in runs), 6),
+            "max_worker_busy_s": round(
+                sum(r["max_worker_busy_s"] for r in runs), 6
+            ),
+        }
+    agg_1 = cluster_legs[1]["aggregate_queries_per_s"]
+    agg_2 = cluster_legs[2]["aggregate_queries_per_s"]
+    speedup = round(agg_2 / agg_1, 3)
+    cluster_report = {
+        "num_shards": NUM_SHARDS,
+        "batch_size": CLUSTER_BATCH_SIZE,
+        "protocol": (
+            f"{CLUSTER_REPEATS} interleaved replays per worker count, "
+            "scored on summed CPU-clock critical paths "
+            "(front CPU + slowest worker busy CPU)"
+        ),
+        "single_worker": cluster_legs[1],
+        "two_workers": cluster_legs[2],
+        "speedup": speedup,
+        "efficiency": round(speedup / 2, 3),
+        "digest_match": len(digests) == 1,
+    }
+
     report = {
         "workload": (
             f"{COUNTRIES}-country world, seed {SEED}, {ROUNDS}-round history; "
@@ -116,7 +179,8 @@ def run_bench() -> dict:
             "roundtrip_ok": snapshot_ok,
         },
         "directory": service.stats(),
-        "replay": best,
+        "replay": best.as_dict(),
+        "cluster": cluster_report,
     }
     _OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
@@ -170,6 +234,7 @@ def run_smoke(
 def test_service_bench(report_sink):
     report = run_bench()
     best = report["replay"]
+    cluster = report["cluster"]
     report_sink(
         "perf_service",
         f"workload: {report['workload']}\n"
@@ -182,7 +247,12 @@ def test_service_bench(report_sink):
         f"{report['snapshot']['save_s'] * 1000:.1f} ms, restore "
         f"{report['snapshot']['restore_s'] * 1000:.1f} ms\n"
         f"replay: {best['queries']} queries -> {best['queries_per_s']:,} "
-        f"queries/s ({100 * best['relay_answer_frac']:.1f}% relay answers) "
+        f"queries/s ({100 * best['relay_answer_frac']:.1f}% relay answers)\n"
+        f"cluster: 1 worker "
+        f"{cluster['single_worker']['aggregate_queries_per_s']:,.0f} q/s, "
+        f"2 workers "
+        f"{cluster['two_workers']['aggregate_queries_per_s']:,.0f} q/s "
+        f"(speedup {cluster['speedup']}x, efficiency {cluster['efficiency']}) "
         f"(written to {_OUT_PATH.name})",
     )
     # the acceptance floor: the tiny world must sustain >= 100k batched
@@ -192,6 +262,10 @@ def test_service_bench(report_sink):
     assert report["snapshot"]["roundtrip_ok"]
     # incremental ingest must be cheaper than a full compile
     assert report["ingest_round_s"] <= report["compile_s"]
+    # the cluster must answer byte-identically and scale: the recorded
+    # target is >= 1.6x at 2 workers, asserted here with flake headroom
+    assert cluster["digest_match"]
+    assert cluster["speedup"] >= 1.3
 
 
 if __name__ == "__main__":

@@ -10,7 +10,10 @@ using the online serving layer (:mod:`repro.service`):
 3. answer live routing queries through the pair -> country -> direct
    fallback tiers, then ingest the new round incrementally;
 4. snapshot the service to ``.npz`` and restore it (operator restart);
-5. replay Zipf-shaped synthetic traffic to measure serving throughput.
+5. replay Zipf-shaped synthetic traffic to measure serving throughput;
+6. shard the directory and serve it from worker processes
+   (:class:`~repro.service.ClusterService`), checking the cluster answers
+   byte-identically to the in-process service.
 
 Run:  python examples/overlay_service.py
 """
@@ -22,7 +25,7 @@ import io
 from _shared import example_campaign_result, example_countries, example_rounds
 from repro.core.oracle import evaluate_prediction
 from repro.core.types import RelayType
-from repro.service import LoadgenConfig, ShortcutService, replay
+from repro.service import ClusterService, LoadgenConfig, ShortcutService, replay
 
 
 def main() -> None:
@@ -35,7 +38,7 @@ def main() -> None:
 
     # compile the serving directory from every round except the one we
     # pretend is "next round's traffic"
-    service = ShortcutService.from_result(result, rounds=result.rounds[:-1])
+    service = ShortcutService.from_campaign(result, rounds=result.rounds[:-1])
     stats = service.stats()
     print(f"compiled directory: {stats['endpoints']} endpoints, "
           f"{stats['countries']} countries, "
@@ -73,18 +76,29 @@ def main() -> None:
     snapshot = io.BytesIO()
     service.save(snapshot)
     snapshot.seek(0)
-    restored = ShortcutService.load(snapshot)
+    restored = ShortcutService.from_snapshot(snapshot)
     same = restored.directory.block_signature() == service.directory.block_signature()
     print(f"snapshot round-trip: {len(snapshot.getvalue())} bytes, "
           f"restored {'identical' if same else 'MISMATCH'}")
 
     # replay synthetic user traffic (Zipf-weighted country pairs)
-    load = replay(restored, LoadgenConfig(num_queries=20_000, batch_size=1024))
-    tiers = load["tier_counts"]
-    print(f"\ntraffic replay: {load['queries']} queries -> "
-          f"{load['queries_per_s']:,} queries/s "
+    config = LoadgenConfig(num_queries=20_000, batch_size=1024)
+    load = replay(restored, config)
+    tiers = load.tier_counts
+    print(f"\ntraffic replay: {load.queries} queries -> "
+          f"{load.queries_per_s:,} queries/s "
           f"(pair {tiers['pair']}, country {tiers['country']}, "
           f"direct {tiers['direct']})")
+
+    # scale out: shard the snapshot and serve it from 2 worker processes
+    # over a shared read-only mmap; same stream, byte-identical answers
+    with ClusterService.from_service(restored, workers=2) as cluster:
+        scaled = replay(cluster, config)
+    scale = scaled.scale_out
+    same = scaled.answers_digest == load.answers_digest
+    print(f"2-worker cluster: {scale['aggregate_queries_per_s']:,.0f} queries/s "
+          f"aggregate (CPU-clock) over {scale['num_shards']} shards; "
+          f"answers {'identical' if same else 'MISMATCH'}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Guard the public service API surface (CI lint job).
+
+Three checks, each cheap and loud:
+
+1. The README's "Service API" bullet list (lines shaped ``- `Name` —
+   ...`` under that heading) must name exactly ``repro.service.__all__``
+   — the documented surface and the exported surface cannot drift apart.
+2. Every name in ``repro.service.__all__`` must actually resolve on the
+   package (no stale exports).
+3. ``examples/`` and ``tests/`` must not import ``_``-private names from
+   ``repro`` (``from repro.x import _y`` or ``from repro.x._y import``)
+   — everything they need is supposed to be on the public surface.
+   (Test modules for private helpers import the *module* and call
+   ``module._helper``; importing private names directly is the pattern
+   this rejects.)
+
+Exits non-zero with a per-failure report.  Run from the repo root:
+``python scripts/check_api_surface.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+#: ``- `Name` — description`` bullets inside the Service API section.
+_BULLET = re.compile(r"^- `([A-Za-z_][A-Za-z0-9_]*)` — ")
+
+#: ``from repro... import ...`` with any ``_``-private leaf in either the
+#: module path or the imported names (``as`` aliases notwithstanding).
+_PRIVATE_IMPORT = re.compile(
+    r"^\s*from\s+repro(?:\.\w+)*(?:\.(_\w+))?\s+import\s+(.+)$"
+)
+
+
+def documented_surface(readme: pathlib.Path) -> list[str]:
+    """The names the README's Service API section documents, in order."""
+    names: list[str] = []
+    in_section = False
+    for line in readme.read_text(encoding="utf-8").splitlines():
+        if line.startswith("### Service API"):
+            in_section = True
+            continue
+        if in_section and line.startswith("#"):
+            break
+        if in_section:
+            match = _BULLET.match(line)
+            if match:
+                names.append(match.group(1))
+    return names
+
+
+def private_imports(tree: pathlib.Path) -> list[str]:
+    """``file:line`` locations importing private repro names."""
+    hits: list[str] = []
+    for path in sorted(tree.rglob("*.py")):
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            match = _PRIVATE_IMPORT.match(line)
+            if match is None:
+                continue
+            private_module, imported = match.groups()
+            names = [
+                part.split(" as ")[0].strip(" ()")
+                for part in imported.split(",")
+            ]
+            if private_module or any(n.startswith("_") for n in names):
+                hits.append(f"{path.relative_to(ROOT)}:{lineno}: {line.strip()}")
+    return hits
+
+
+def main() -> int:
+    import repro.service
+
+    failures: list[str] = []
+    exported = list(repro.service.__all__)
+
+    documented = documented_surface(ROOT / "README.md")
+    if not documented:
+        failures.append("README.md has no '### Service API' bullet list")
+    missing = sorted(set(exported) - set(documented))
+    extra = sorted(set(documented) - set(exported))
+    if missing:
+        failures.append(f"exported but not documented in README.md: {missing}")
+    if extra:
+        failures.append(f"documented in README.md but not exported: {extra}")
+
+    if exported != sorted(exported):
+        failures.append("repro.service.__all__ is not sorted")
+    for name in exported:
+        if not hasattr(repro.service, name):
+            failures.append(f"repro.service.__all__ names missing symbol {name!r}")
+
+    for tree in (ROOT / "examples", ROOT / "tests"):
+        for hit in private_imports(tree):
+            failures.append(f"private import outside the package: {hit}")
+
+    if failures:
+        for failure in failures:
+            print(f"api-surface: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"api-surface: ok ({len(exported)} symbols documented, "
+        "no private imports in examples/ or tests/)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

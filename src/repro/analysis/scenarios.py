@@ -66,8 +66,10 @@ def relay_type_metrics(analysis: ImprovementAnalysis | None) -> dict:
 def scenario_report(table: ObservationTable) -> tuple[dict, dict[str, bool]]:
     """``(metrics, shapes)`` of one scenario's pooled table, in one pass.
 
-    Metrics are identity-free fractions/gains (meaningful on tables
-    pooled across seeds — relay registry indices are per-seed).  Shape
+    Metrics are identity-free fractions/gains, so they are meaningful on
+    cross-seed pooled tables whether or not relay identities were
+    unified first (the sweep unifies; see
+    :func:`repro.core.results.unify_relay_identities`).  Shape
     keys (each a plain boolean):
 
     * ``cases_observed`` — the campaign produced observations at all;

@@ -6,17 +6,26 @@ stored data.
 
 Usage (also via ``python -m repro``)::
 
-    repro summary   --seed 11 [--countries 24]
-    repro funnel    --seed 11
-    repro campaign  --seed 11 --rounds 4 --out result.json
-    repro sweep     --num-seeds 4 --base-seed 11 --rounds 4 --out sweep.json
-    repro sweep     --scenario lossy spike-storm --seeds 11 12 --out sweep.json
+    repro summary     --seed 11 [--countries 24]
+    repro funnel      --seed 11
+    repro campaign    --seed 11 --rounds 4 --out result.json
+    repro campaign    --scenario lossy --out result.json
+    repro sweep       --num-seeds 4 --seed 11 --rounds 4 --out sweep.json
+    repro sweep       --scenario lossy spike-storm --seeds 11 12 --out sweep.json
     repro scenarios
-    repro scenarios --verify sweep.json
-    repro analyze   result.json --report fig2
-    repro analyze   result.json --report table1 --seed 11
+    repro scenarios   --verify sweep.json
+    repro analyze     result.json --report fig2
+    repro analyze     result.json --report table1 --seed 11
     repro serve-bench
     repro serve-bench --scenario paper-scale --rounds 12 --queries 200000
+    repro serve-bench --workers 2 --min-scaleout-efficiency 0.55
+    repro serve-bench --seeds 11 12 13
+
+The world/history knobs are shared parent parsers, so ``--seed``,
+``--countries``, ``--rounds``, ``--max-countries`` and ``--scenario``
+spell and behave identically on ``campaign``, ``sweep`` and
+``serve-bench`` (deprecated spellings — ``--base-seed``, ``--zipf`` —
+keep working with a warning).
 """
 
 from __future__ import annotations
@@ -36,6 +45,32 @@ from repro.topology.config import TopologyConfig
 from repro.world import WorldConfig, build_world
 
 _REPORTS = ("fig2", "fig3", "fig4", "table1", "countries", "voip", "stability", "summary", "full")
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A renamed flag's old spelling: warn, then store into the new dest."""
+
+    def __init__(self, option_strings, dest, replacement, **kwargs):
+        self._replacement = replacement
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        print(
+            f"warning: {option_string} is deprecated; use {self._replacement}",
+            file=sys.stderr,
+        )
+        setattr(namespace, self.dest, values)
+
+
+def _single_scenario(args: argparse.Namespace) -> str | None:
+    """The one scenario a non-sweep command accepts (None when unset)."""
+    if args.scenario is None:
+        return None
+    if len(args.scenario) != 1:
+        raise ReproError(
+            f"this command takes exactly one --scenario, got {args.scenario}"
+        )
+    return args.scenario[0]
 
 
 def _build_world_from_args(args: argparse.Namespace):
@@ -65,9 +100,62 @@ def _cmd_funnel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_workload_campaign(args: argparse.Namespace, seed: int, default_rounds: int):
+    """One campaign under the shared world/history/scenario flags.
+
+    Returns ``(result, campaign, scenario, workload)`` — the scenario and
+    the campaign object are None/campaign-less only in spirit: scenario is
+    None without ``--scenario``, and ``campaign`` always carries the
+    timeline for chaos-aware callers.
+    """
+    scenario_name = _single_scenario(args)
+    if scenario_name is not None:
+        from repro.scenarios import get_scenario, scenario_with
+
+        scenario = scenario_with(
+            get_scenario(scenario_name),
+            rounds=args.rounds,
+            countries=args.countries,
+            max_countries=args.max_countries,
+        )
+        world = build_world(seed=seed, config=scenario.world)
+        campaign = MeasurementCampaign(world, scenario.campaign)
+        workload = (
+            f"scenario {scenario_name}, seed {seed}, "
+            f"{scenario.campaign.num_rounds} rounds"
+        )
+    else:
+        scenario = None
+        countries = args.countries
+        rounds = args.rounds if args.rounds is not None else default_rounds
+        topology = TopologyConfig(country_limit=countries)
+        world = build_world(seed=seed, config=WorldConfig(topology=topology))
+        campaign = MeasurementCampaign(
+            world,
+            CampaignConfig(num_rounds=rounds, max_countries=args.max_countries),
+        )
+        scope = f"{countries}-country world" if countries else "full world"
+        workload = f"{scope}, seed {seed}, {rounds} rounds"
+    return campaign.run(), campaign, scenario, workload
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    world = _build_world_from_args(args)
-    config = CampaignConfig(num_rounds=args.rounds, max_countries=args.max_countries)
+    scenario_name = _single_scenario(args)
+    if scenario_name is not None:
+        from repro.scenarios import get_scenario, scenario_with
+
+        scenario = scenario_with(
+            get_scenario(scenario_name),
+            rounds=args.rounds,
+            countries=args.countries,
+            max_countries=args.max_countries,
+        )
+        world = build_world(seed=args.seed, config=scenario.world)
+        config = scenario.campaign
+    else:
+        world = _build_world_from_args(args)
+        rounds = args.rounds if args.rounds is not None else 4
+        config = CampaignConfig(num_rounds=rounds, max_countries=args.max_countries)
     campaign = MeasurementCampaign(world, config)
     result = campaign.run(
         progress=lambda i, rnd: print(
@@ -86,14 +174,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.seeds is not None:
         seeds = tuple(args.seeds)
     else:
-        seeds = tuple(range(args.base_seed, args.base_seed + args.num_seeds))
+        seeds = tuple(range(args.seed, args.seed + args.num_seeds))
     config = SweepConfig(
         seeds=seeds,
-        rounds=args.rounds,
+        rounds=args.rounds if args.rounds is not None else 4,
         countries=args.countries,
         max_countries=args.max_countries,
         workers=args.workers,
-        scenarios=tuple(args.scenario),
+        scenarios=tuple(args.scenario) if args.scenario else ("baseline",),
     )
     artifact = run_sweep(config)
     timing = artifact["timing"]
@@ -159,51 +247,60 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     from repro.core.types import RelayType
     from repro.service import LoadgenConfig, ShortcutService, replay
+    from repro.service.cluster import ClusterService, cross_world_service
 
     scenario = None
     campaign = None
+    cross_world = None
+    if args.result is None and args.scenario is None and args.countries is None:
+        # the default "tiny world" serving workload: small, fast, enough
+        # history for every fallback tier to fire
+        args.countries = 8
     if args.result is not None:
         if args.scenario is not None or args.rounds is not None or (
             args.countries is not None
-        ):
+        ) or args.seeds is not None:
             print(
                 "error: --result replays stored measurements; it cannot be "
-                "combined with --scenario/--rounds/--countries",
+                "combined with --scenario/--rounds/--countries/--seeds",
                 file=sys.stderr,
             )
             return 2
         result = load_result(args.result)
         workload = f"stored result {args.result}"
-    elif args.scenario is not None:
-        from repro.scenarios import get_scenario, scenario_with
-
-        scenario = scenario_with(
-            get_scenario(args.scenario),
-            rounds=args.rounds,
-            countries=args.countries,
+        start = time.perf_counter()
+        service = ShortcutService.from_campaign(result, max_rounds=args.max_rounds)
+        compile_s = time.perf_counter() - start
+        total_cases, num_rounds = result.total_cases, len(result.rounds)
+    elif args.seeds is not None:
+        # cross-world serving: one campaign per seed, relay identities
+        # unified, one pooled directory behind the service
+        results = []
+        for seed in args.seeds:
+            result, _, scenario, seed_workload = _run_workload_campaign(
+                args, seed, default_rounds=3
+            )
+            results.append(result)
+        start = time.perf_counter()
+        service, _, cross_world = cross_world_service(
+            results, max_rounds=args.max_rounds
         )
-        world = build_world(seed=args.seed, config=scenario.world)
-        campaign = MeasurementCampaign(world, scenario.campaign)
-        result = campaign.run()
+        compile_s = time.perf_counter() - start
         workload = (
-            f"scenario {args.scenario}, seed {args.seed}, "
-            f"{scenario.campaign.num_rounds} rounds"
+            f"cross-world x{len(results)} (seeds {', '.join(map(str, args.seeds))}): "
+            + seed_workload
         )
+        result = results[-1]
+        total_cases = sum(r.total_cases for r in results)
+        num_rounds = len(results[0].rounds)
     else:
-        # the default "tiny world" serving workload: small, fast, enough
-        # history for every fallback tier to fire
-        countries = args.countries if args.countries is not None else 8
-        rounds = args.rounds if args.rounds is not None else 3
-        topology = TopologyConfig(country_limit=countries)
-        world = build_world(seed=args.seed, config=WorldConfig(topology=topology))
-        result = MeasurementCampaign(
-            world, CampaignConfig(num_rounds=rounds)
-        ).run()
-        workload = f"{countries}-country world, seed {args.seed}, {rounds} rounds"
-
-    start = time.perf_counter()
-    service = ShortcutService.from_result(result, max_rounds=args.max_rounds)
-    compile_s = time.perf_counter() - start
+        result, campaign, scenario, workload = _run_workload_campaign(
+            args, args.seed, default_rounds=3
+        )
+        start = time.perf_counter()
+        service = ShortcutService.from_campaign(result, max_rounds=args.max_rounds)
+        compile_s = time.perf_counter() - start
+        total_cases, num_rounds = result.total_cases, len(result.rounds)
 
     # snapshot round-trip: restart cost, and a live determinism check
     buffer = io.BytesIO()
@@ -220,13 +317,46 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     config = LoadgenConfig(
         num_queries=args.queries,
         batch_size=args.batch_size,
-        zipf_exponent=args.zipf,
+        zipf_exponent=args.zipf_exponent,
         seed=args.loadgen_seed,
         k=args.k,
         relay_type=RelayType[args.relay_type],
-        workers=args.workers,
+        workers=args.loadgen_workers,
     )
     stats = replay(service, config)
+
+    # sharded multi-process serving: replay the same stream against a
+    # 1-worker cluster and an N-worker cluster and score the scale-out
+    # on CPU-clock critical paths (see benchmarks/README.md — wall-clock
+    # parallelism is not measurable on shared-core CI hosts)
+    cluster_report = None
+    if args.workers:
+        with ClusterService.from_service(
+            service, workers=1, num_shards=args.num_shards
+        ) as cluster:
+            single = replay(cluster, config)
+        cluster_report = {
+            "num_shards": args.num_shards,
+            "workers": args.workers,
+            "single": single.as_dict(),
+            "digest_match": single.answers_digest == stats.answers_digest,
+        }
+        if args.workers > 1:
+            with ClusterService.from_service(
+                service, workers=args.workers, num_shards=args.num_shards
+            ) as cluster:
+                scaled = replay(cluster, config)
+            agg_1 = single.scale_out["aggregate_queries_per_s"]
+            agg_n = scaled.scale_out["aggregate_queries_per_s"]
+            speedup = round(agg_n / agg_1, 3) if agg_1 and agg_n else None
+            cluster_report["scaled"] = scaled.as_dict()
+            cluster_report["speedup"] = speedup
+            cluster_report["efficiency"] = (
+                round(speedup / args.workers, 3) if speedup is not None else None
+            )
+            cluster_report["digest_match"] = cluster_report["digest_match"] and (
+                scaled.answers_digest == stats.answers_digest
+            )
 
     # fault-timeline workloads additionally replay traffic round by round
     # against a churn-aware service, scoring availability and staleness
@@ -249,7 +379,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 ),
                 spill=args.spill,
                 seed=args.loadgen_seed,
-                zipf_exponent=args.zipf,
+                zipf_exponent=args.zipf_exponent,
                 k=args.k,
                 relay_type=RelayType[args.relay_type],
             ),
@@ -257,21 +387,38 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     print(f"serve-bench: {workload}", file=sys.stderr)
     print(
-        f"  compile: {compile_s:.3f} s over {result.total_cases} cases "
-        f"({len(result.rounds)} rounds); snapshot {snapshot_bytes} bytes, "
+        f"  compile: {compile_s:.3f} s over {total_cases} cases "
+        f"({num_rounds} rounds); snapshot {snapshot_bytes} bytes, "
         f"restore {restore_s:.3f} s, round-trip "
         f"{'ok' if snapshot_ok else 'MISMATCH'}",
         file=sys.stderr,
     )
-    tiers = stats["tier_counts"]
+    tiers = stats.tier_counts
     print(
-        f"  replay: {stats['queries']} queries x k={config.k} in "
-        f"{stats['wall_clock_s']} s -> {stats['queries_per_s']:,} queries/s "
+        f"  replay: {stats.queries} queries x k={config.k} in "
+        f"{stats.wall_clock_s} s -> {stats.queries_per_s:,} queries/s "
         f"(tiers: pair {tiers['pair']}, country {tiers['country']}, "
         f"direct {tiers['direct']}; relay answers "
-        f"{100 * stats['relay_answer_frac']:.1f}%)",
+        f"{100 * stats.relay_answer_frac:.1f}%)",
         file=sys.stderr,
     )
+    if cluster_report is not None:
+        agg = cluster_report["single"]["scale_out"]["aggregate_queries_per_s"]
+        line = (
+            f"  cluster: {cluster_report['num_shards']} shards, "
+            f"1 worker {agg:,} queries/s"
+        )
+        if "scaled" in cluster_report:
+            agg_n = cluster_report["scaled"]["scale_out"]["aggregate_queries_per_s"]
+            line += (
+                f"; {cluster_report['workers']} workers {agg_n:,} queries/s "
+                f"(speedup {cluster_report['speedup']}x, efficiency "
+                f"{cluster_report['efficiency']})"
+            )
+        line += (
+            f"; answers {'match' if cluster_report['digest_match'] else 'DIFFER'}"
+        )
+        print(line, file=sys.stderr)
 
     if chaos is not None:
         summary = chaos["summary"]
@@ -286,16 +433,33 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     failures: list[str] = []
     if not snapshot_ok:
         failures.append("snapshot round-trip changed the compiled directory")
-    if args.min_qps is not None and stats["queries_per_s"] < args.min_qps:
+    if args.min_qps is not None and stats.queries_per_s < args.min_qps:
         failures.append(
-            f"{stats['queries_per_s']} queries/s under the "
+            f"{stats.queries_per_s} queries/s under the "
             f"--min-qps {args.min_qps} floor"
         )
+    if cluster_report is not None and not cluster_report["digest_match"]:
+        failures.append(
+            "cluster answers differ from the in-process service's"
+        )
+    if args.min_scaleout_efficiency is not None:
+        if cluster_report is None or "scaled" not in cluster_report:
+            failures.append(
+                "--min-scaleout-efficiency needs --workers >= 2"
+            )
+        elif (
+            cluster_report["efficiency"] is None
+            or cluster_report["efficiency"] < args.min_scaleout_efficiency
+        ):
+            failures.append(
+                f"scale-out efficiency {cluster_report['efficiency']} under "
+                f"the {args.min_scaleout_efficiency} floor"
+            )
     if scenario is not None:
         floor = scenario.service_expect.get("min_relay_answer_frac")
-        if floor is not None and stats["relay_answer_frac"] < floor:
+        if floor is not None and stats.relay_answer_frac < floor:
             failures.append(
-                f"relay answer fraction {stats['relay_answer_frac']} under "
+                f"relay answer fraction {stats.relay_answer_frac} under "
                 f"the scenario's {floor} expectation"
             )
     availability_floor = args.min_availability
@@ -322,7 +486,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "restore_s": round(restore_s, 4),
         "snapshot_roundtrip_ok": snapshot_ok,
         "directory": service.stats(),
-        "replay": stats,
+        "replay": stats.as_dict(),
+        "cluster": cluster_report,
+        "cross_world": cross_world,
         "chaos": chaos,
         "failures": failures,
         "ok": not failures,
@@ -425,60 +591,79 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the CLI argument parser (exposed for tests)."""
+    """Construct the CLI argument parser (exposed for tests).
+
+    ``campaign``, ``sweep`` and ``serve-bench`` share the world/history
+    flags through common parent parsers, so ``--seed``, ``--countries``,
+    ``--rounds``, ``--max-countries`` and ``--scenario`` are spelled and
+    defaulted identically everywhere they appear.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Shortcuts through Colocation Facilities' (IMC 2017)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_world_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--seed", type=int, default=11, help="world seed")
-        p.add_argument(
-            "--countries", type=int, default=None,
-            help="limit the world to N countries (default: all)",
-        )
+    world_parent = argparse.ArgumentParser(add_help=False)
+    world_parent.add_argument(
+        "--seed", type=int, default=11,
+        help="world seed (sweep: first of the --num-seeds consecutive seeds)",
+    )
+    world_parent.add_argument(
+        "--countries", type=int, default=None,
+        help="limit each world to N countries (default: command-specific)",
+    )
 
-    p_summary = sub.add_parser("summary", help="print world entity counts")
-    add_world_args(p_summary)
+    history_parent = argparse.ArgumentParser(add_help=False)
+    history_parent.add_argument(
+        "--rounds", type=int, default=None,
+        help="measurement rounds (default: command-specific)",
+    )
+    history_parent.add_argument(
+        "--max-countries", type=int, default=None,
+        help="endpoint countries per round",
+    )
+
+    scenario_parent = argparse.ArgumentParser(add_help=False)
+    scenario_parent.add_argument(
+        "--scenario", nargs="+", default=None, metavar="NAME",
+        help="scenario preset(s) — see 'repro scenarios'; campaign and "
+             "serve-bench take exactly one, sweep fans out over all",
+    )
+
+    p_summary = sub.add_parser(
+        "summary", parents=[world_parent], help="print world entity counts"
+    )
     p_summary.set_defaults(func=_cmd_summary)
 
-    p_funnel = sub.add_parser("funnel", help="run the Sec 2.2 relay filter pipeline")
-    add_world_args(p_funnel)
+    p_funnel = sub.add_parser(
+        "funnel", parents=[world_parent],
+        help="run the Sec 2.2 relay filter pipeline",
+    )
     p_funnel.set_defaults(func=_cmd_funnel)
 
-    p_campaign = sub.add_parser("campaign", help="run a measurement campaign")
-    add_world_args(p_campaign)
-    p_campaign.add_argument("--rounds", type=int, default=4)
-    p_campaign.add_argument(
-        "--max-countries", type=int, default=None, help="endpoint countries per round"
+    p_campaign = sub.add_parser(
+        "campaign", parents=[world_parent, history_parent, scenario_parent],
+        help="run a measurement campaign",
     )
     p_campaign.add_argument("--out", required=True, help="output JSON path")
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_sweep = sub.add_parser(
-        "sweep", help="run the campaign for several seeds and aggregate metrics"
+        "sweep", parents=[world_parent, history_parent, scenario_parent],
+        help="run the campaign for several seeds and aggregate metrics",
     )
     p_sweep.add_argument(
         "--seeds", type=int, nargs="+", default=None,
-        help="explicit seed list (overrides --num-seeds/--base-seed)",
+        help="explicit seed list (overrides --num-seeds/--seed)",
     )
     p_sweep.add_argument("--num-seeds", type=int, default=4)
-    p_sweep.add_argument("--base-seed", type=int, default=11)
-    p_sweep.add_argument("--rounds", type=int, default=4)
     p_sweep.add_argument(
-        "--countries", type=int, default=None,
-        help="limit each world to N countries (default: all)",
-    )
-    p_sweep.add_argument(
-        "--max-countries", type=int, default=None, help="endpoint countries per round"
+        "--base-seed", type=int, dest="seed", action=_DeprecatedAlias,
+        replacement="--seed", default=argparse.SUPPRESS, help=argparse.SUPPRESS,
     )
     p_sweep.add_argument(
         "--workers", type=int, default=1, help="process-pool size (1 = inline)"
-    )
-    p_sweep.add_argument(
-        "--scenario", nargs="+", default=["baseline"], metavar="NAME",
-        help="scenario preset(s) to fan out over (see 'repro scenarios')",
     )
     p_sweep.add_argument(
         "--out", default=None,
@@ -497,22 +682,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_scenarios.set_defaults(func=_cmd_scenarios)
 
     p_serve = sub.add_parser(
-        "serve-bench",
+        "serve-bench", parents=[world_parent, history_parent, scenario_parent],
         help="compile the serving layer and replay synthetic traffic against it",
     )
-    p_serve.add_argument("--seed", type=int, default=11, help="world seed")
     p_serve.add_argument(
-        "--countries", type=int, default=None,
-        help="world country limit (default: 8 for the tiny serving workload)",
-    )
-    p_serve.add_argument(
-        "--rounds", type=int, default=None,
-        help="campaign rounds to ingest (default: 3; scenarios keep their own)",
-    )
-    p_serve.add_argument(
-        "--scenario", default=None, metavar="NAME",
-        help="build the history under a scenario preset and check its "
-             "service expectations",
+        "--seeds", type=int, nargs="+", default=None,
+        help="cross-world serving: one campaign per seed, relay identities "
+             "unified into one pooled directory",
     )
     p_serve.add_argument(
         "--result", default=None, metavar="FILE",
@@ -545,18 +721,38 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[t.value for t in RELAY_TYPE_ORDER],
     )
     p_serve.add_argument(
-        "--zipf", type=float, default=1.1, help="country-popularity Zipf exponent"
+        "--zipf-exponent", type=float, default=1.1,
+        help="country-popularity Zipf exponent",
+    )
+    p_serve.add_argument(
+        "--zipf", type=float, dest="zipf_exponent", action=_DeprecatedAlias,
+        replacement="--zipf-exponent", default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
     )
     p_serve.add_argument(
         "--loadgen-seed", type=int, default=0, help="query-stream seed"
     )
     p_serve.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=int, default=0,
+        help="serving worker processes (0 = in-process service only; N >= 1 "
+             "additionally replays against an N-worker sharded cluster)",
+    )
+    p_serve.add_argument(
+        "--num-shards", type=int, default=16,
+        help="segment count of the cluster snapshot",
+    )
+    p_serve.add_argument(
+        "--loadgen-workers", type=int, default=1,
         help="query-synthesis shards (stream is identical for any count)",
     )
     p_serve.add_argument(
         "--min-qps", type=int, default=None,
-        help="fail (exit 1) under this sustained queries/s floor",
+        help="fail (exit 1) under this sustained in-process queries/s floor",
+    )
+    p_serve.add_argument(
+        "--min-scaleout-efficiency", type=float, default=None,
+        help="fail (exit 1) when the N-worker cluster's CPU-clock speedup "
+             "over 1 worker is under N * this floor (needs --workers >= 2)",
     )
     p_serve.add_argument(
         "--json-out", default=None,

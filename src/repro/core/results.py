@@ -109,11 +109,138 @@ class RelayRegistry:
         """All relays of a type, in registration order."""
         return [r for r in self._records if r.relay_type is relay_type]
 
+    def absorb(self, other: RelayRegistry) -> "np.ndarray":
+        """Merge every record of ``other``; return the index mapping.
+
+        The cross-world unification primitive: relay *identity* is
+        ``(node_id, relay_type)``.  Node ids are stable across world
+        seeds (like a real Atlas probe id), but independently generated
+        worlds may cast the same node in different roles — e.g. an
+        eyeball relay in one world, a generic remote relay in another —
+        so the role is part of the cross-world identity (lanes are
+        per-type anyway, so distinct roles never alias in a directory).
+        Within one campaign :meth:`register` still enforces a single
+        role per node.  Returns an ``int32`` array mapping ``other``'s
+        registry indices to this registry's; first-seen attributes win
+        for an already-known identity.
+        """
+        import numpy as np
+
+        by_identity = {
+            (record.node_id, record.relay_type): record.index
+            for record in self._records
+        }
+        mapping = np.empty(len(other._records), np.int32)
+        for record in other._records:
+            identity = (record.node_id, record.relay_type)
+            index = by_identity.get(identity)
+            if index is None:
+                index = len(self._records)
+                self._records.append(
+                    RelayRecord(
+                        index=index,
+                        node_id=record.node_id,
+                        relay_type=record.relay_type,
+                        asn=record.asn,
+                        cc=record.cc,
+                        city_key=record.city_key,
+                        facility_id=record.facility_id,
+                        site_id=record.site_id,
+                    )
+                )
+                by_identity[identity] = index
+                self._by_node_id.setdefault(record.node_id, index)
+            mapping[record.index] = index
+        return mapping
+
+    def to_payload(self) -> dict[str, list]:
+        """Flat identity columns for cheap IPC transport (sweep workers)."""
+        return {
+            "node_ids": [r.node_id for r in self._records],
+            "relay_types": [r.relay_type.value for r in self._records],
+            "asns": [r.asn for r in self._records],
+            "ccs": [r.cc for r in self._records],
+            "city_keys": [r.city_key for r in self._records],
+            "facility_ids": [
+                -1 if r.facility_id is None else r.facility_id for r in self._records
+            ],
+            "site_ids": ["" if r.site_id is None else r.site_id for r in self._records],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, list]) -> RelayRegistry:
+        """Rebuild a registry from :meth:`to_payload` output."""
+        registry = cls()
+        for node_id, type_value, asn, cc, city_key, facility_id, site_id in zip(
+            payload["node_ids"],
+            payload["relay_types"],
+            payload["asns"],
+            payload["ccs"],
+            payload["city_keys"],
+            payload["facility_ids"],
+            payload["site_ids"],
+        ):
+            registry.register(
+                node_id,
+                RelayType(type_value),
+                asn,
+                cc,
+                city_key,
+                facility_id=None if facility_id < 0 else facility_id,
+                site_id=site_id or None,
+            )
+        return registry
+
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[RelayRecord]:
         return iter(self._records)
+
+
+def unify_relay_identities(
+    tables: list[ObservationTable],
+    registries: list[RelayRegistry],
+) -> tuple[list[ObservationTable], RelayRegistry, dict[str, int]]:
+    """Re-key per-world tables onto one unified relay registry.
+
+    Each world (seed) registers relays independently, so registry index
+    ``7`` means a different relay in every world and a naive cross-world
+    table concat silently aliases them.  ``(node_id, relay_type)`` is the
+    stable identity (the same synthetic Internet node reappears across
+    seeds; its role is part of the identity since worlds may cast it
+    differently), so the unification absorbs every registry into one —
+    first world first — and remaps each table's ``imp_relay`` /
+    ``best_relay`` columns through the absorb mapping.
+
+    Returns the remapped tables (pools untouched — concat re-codes
+    those), the unified registry, and an info dict: ``worlds``,
+    ``relays`` (unified count), ``relays_before`` (summed per-world
+    counts) and ``attribute_conflicts`` (identities whose non-identity
+    attributes drifted between worlds; first-seen attributes win).
+    """
+    if len(tables) != len(registries):
+        raise AnalysisError(
+            f"{len(tables)} tables but {len(registries)} registries"
+        )
+    unified = RelayRegistry()
+    conflicts = 0
+    remapped: list[ObservationTable] = []
+    for table, registry in zip(tables, registries):
+        mapping = unified.absorb(registry)
+        for record in registry:
+            merged = unified.get(int(mapping[record.index]))
+            if (merged.asn, merged.cc, merged.city_key) != (
+                record.asn, record.cc, record.city_key
+            ):
+                conflicts += 1
+        remapped.append(table.remap_relays(mapping))
+    return remapped, unified, {
+        "worlds": len(tables),
+        "relays": len(unified),
+        "relays_before": sum(len(r) for r in registries),
+        "attribute_conflicts": conflicts,
+    }
 
 
 @dataclass(frozen=True, slots=True)

@@ -12,9 +12,12 @@ artifact.
 
 Transport is columnar: each worker returns its campaign's
 :class:`~repro.core.table.ObservationTable` as a compact payload (a dozen
-flat NumPy buffers plus string pools) rather than pickling one Python
-object per case.  The parent computes every metric from the received
-columns and pools each scenario's seeds into one cross-world table, which
+flat NumPy buffers plus string pools) and its relay registry as flat
+identity columns, rather than pickling one Python object per case.  The
+parent computes every metric from the received columns and pools each
+scenario's seeds into one cross-world table — relay identities unified
+by ``(node_id, relay_type)`` first, so the pooled table is servable
+directly (see :mod:`repro.service.cluster`) — which
 also feeds the scenario's paper-shape verdict
 (:func:`repro.analysis.scenarios.paper_shapes` against the preset's
 expectations) and the cross-scenario ``comparison`` section.
@@ -39,6 +42,7 @@ from repro.analysis.scenarios import (
     scenario_report,
 )
 from repro.core.campaign import MeasurementCampaign
+from repro.core.results import RelayRegistry, unify_relay_identities
 from repro.core.table import ObservationTable
 from repro.errors import ConfigError
 from repro.scenarios import get_scenario, scenario_with
@@ -115,6 +119,7 @@ def _run_seed_columns(
         "scenario": scenario_name,
         "seed": seed,
         "columns": result.table.to_payload(),
+        "registry": result.registry.to_payload(),
         "total_pings": result.total_pings,
         "relays_registered": len(result.registry),
         "wall_clock_s": round(wall_clock_s, 3),
@@ -205,8 +210,15 @@ def run_sweep(config: SweepConfig) -> dict:
 
     A separate ``timing`` section carries wall clocks and worker count.
 
-    ``pooled`` metrics are identity-free (fractions and gains): relay
-    registry indices are per-seed and are not unified by the pooling.
+    Pooling unifies relay identities first (see
+    :func:`repro.core.results.unify_relay_identities`): every seed's
+    registry indices remap onto one cross-world registry keyed by
+    ``(node_id, relay_type)`` before the tables concat, so the pooled
+    table is directly servable (``repro.service.cluster``) — a naive
+    concat would alias unrelated relays that happen to share an index.
+    The ``pooled`` *metrics* are identity-free (fractions and gains) and
+    are unchanged by the remap; each scenario section reports the
+    unification census under ``cross_world``.
     """
     jobs = [
         (scenario, seed, config.rounds, config.countries, config.max_countries)
@@ -222,6 +234,7 @@ def run_sweep(config: SweepConfig) -> dict:
     wall_clock_s = time.perf_counter() - start
 
     tables = [ObservationTable.from_payload(o["columns"]) for o in outcomes]
+    registries = [RelayRegistry.from_payload(o["registry"]) for o in outcomes]
     per_seed = [
         _metrics_from_columns(outcome, table)
         for outcome, table in zip(outcomes, tables)
@@ -232,7 +245,10 @@ def run_sweep(config: SweepConfig) -> dict:
         scenario = get_scenario(name)
         lo = pos * len(config.seeds)
         hi = lo + len(config.seeds)
-        pooled_table = ObservationTable.concat(tables[lo:hi])
+        unified_tables, _, cross_world = unify_relay_identities(
+            tables[lo:hi], registries[lo:hi]
+        )
+        pooled_table = ObservationTable.concat(unified_tables)
         pooled_metrics, shapes = scenario_report(pooled_table)
         scenario_sections[name] = {
             "description": scenario.description,
@@ -240,6 +256,7 @@ def run_sweep(config: SweepConfig) -> dict:
             "shapes": shapes,
             "expectations": check_expectations(shapes, scenario.expect),
             "aggregate": _aggregate(per_seed[lo:hi]),
+            "cross_world": cross_world,
         }
 
     artifact = {

@@ -513,6 +513,25 @@ class ObservationTable:
         columns["imp_indptr"] = np.concatenate(parts)
         return cls(pools, **columns)
 
+    def remap_relays(self, mapping: np.ndarray) -> ObservationTable:
+        """A copy with every relay registry index sent through ``mapping``.
+
+        ``mapping`` maps this table's registry indices to another
+        registry's (see :meth:`repro.core.results.RelayRegistry.absorb`);
+        ``-1`` sentinels in ``best_relay`` are preserved.  String pools
+        are shared with the original, so concatenating remapped tables
+        from different seeds still goes through the union-pool path.
+        """
+        columns = {name: getattr(self, name) for name in self._ARRAY_FIELDS}
+        if self.imp_relay.size:
+            columns["imp_relay"] = mapping[self.imp_relay].astype(np.int32)
+        best = self.best_relay.copy()
+        known = best >= 0
+        if known.any():
+            best[known] = mapping[best[known]]
+        columns["best_relay"] = best
+        return type(self)(self.pools, **columns)
+
     # ------------------------------------------------------------- transport
 
     def to_payload(self) -> dict[str, Any]:

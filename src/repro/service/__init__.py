@@ -7,9 +7,32 @@ queries with pair → country → direct fallback and ingests new rounds
 incrementally, and :mod:`repro.service.loadgen` replays Zipf-shaped
 synthetic user traffic against it to measure sustained queries/sec
 (``repro serve-bench``).
+
+Scale-out lives in :mod:`repro.service.cluster`: compiled lanes shard by
+country-pair hash into snapshot segments, :class:`ClusterService` serves
+them from N worker processes over one shared memory-mapped snapshot
+(answers byte-identical to the in-process service for any worker count),
+and :func:`cross_world_service` pools several world seeds' campaigns
+behind one directory via node-identity unification.
+
+Construct services with the keyword-only classmethods —
+:meth:`ShortcutService.from_campaign` / ``from_table`` /
+``from_snapshot`` / ``empty`` — and consume the typed results
+(:class:`RouteAnswer`, :class:`RouteBatch`, :class:`ServiceStats`).
+The bare ``ShortcutService(...)`` constructor is a deprecated shim.
 """
 
+from repro.service.cluster import (
+    CLUSTER_SNAPSHOT_VERSION,
+    NUM_SHARDS,
+    ClusterService,
+    cross_world_service,
+    load_cluster_snapshot,
+    migrate_snapshot,
+    save_cluster_snapshot,
+)
 from repro.service.directory import (
+    SNAPSHOT_VERSION,
     TIER_COUNTRY,
     TIER_DIRECT,
     TIER_NAMES,
@@ -24,27 +47,39 @@ from repro.service.loadgen import (
     country_rank_order,
     replay,
 )
-from repro.service.service import (
+from repro.service.results import (
     DegradationCounters,
+    RouteAnswer,
     RouteBatch,
     RouteDecision,
-    ShortcutService,
+    ServiceStats,
 )
+from repro.service.service import ShortcutService
 
 __all__ = [
     "BLOCK_SIZE",
+    "CLUSTER_SNAPSHOT_VERSION",
+    "ClusterService",
     "DegradationCounters",
     "LaneBlock",
     "LoadgenConfig",
+    "NUM_SHARDS",
     "QueryStream",
     "RelayDirectory",
+    "RouteAnswer",
     "RouteBatch",
     "RouteDecision",
+    "SNAPSHOT_VERSION",
+    "ServiceStats",
     "ShortcutService",
     "TIER_COUNTRY",
     "TIER_DIRECT",
     "TIER_NAMES",
     "TIER_PAIR",
     "country_rank_order",
+    "cross_world_service",
+    "load_cluster_snapshot",
+    "migrate_snapshot",
     "replay",
+    "save_cluster_snapshot",
 ]

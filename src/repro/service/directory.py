@@ -159,6 +159,44 @@ class LaneBlock:
         )
 
 
+def validate_query_codes(
+    src_codes: np.ndarray, dst_codes: np.ndarray, known: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Check a query batch against a directory's known endpoint range.
+
+    Shared by :meth:`RelayDirectory.lookup_many` and the cluster front
+    (which validates *before* dispatching to shard workers), so both
+    paths reject malformed batches with identical errors.  Returns the
+    queries as parallel ``int64`` arrays.
+
+    Raises:
+        ServiceError: on mismatched / non-1D query shapes.
+        EmptyDirectoryError: when ``known`` is 0 — no ingested history.
+        UnknownEndpointError: for codes outside ``[-1, known)``; those
+            are caller bugs, not unobserved endpoints.
+    """
+    src = np.asarray(src_codes, np.int64)
+    dst = np.asarray(dst_codes, np.int64)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ServiceError(
+            f"query shapes differ: {src.shape} vs {dst.shape}"
+        )
+    if known == 0:
+        raise EmptyDirectoryError(
+            "directory has no ingested history to resolve queries against"
+        )
+    out_of_range = (src < -1) | (src >= known) | (dst < -1) | (dst >= known)
+    if out_of_range.any():
+        bad = np.unique(
+            np.concatenate([src[out_of_range], dst[out_of_range]])
+        )
+        raise UnknownEndpointError(
+            f"endpoint codes {bad.tolist()[:8]} outside the directory's "
+            f"known range [-1, {known})"
+        )
+    return src, dst
+
+
 def _merge_blocks(
     old: LaneBlock, fresh: LaneBlock, touched: np.ndarray
 ) -> LaneBlock:
@@ -471,26 +509,9 @@ class RelayDirectory:
         """
         if k < 1:
             raise ServiceError(f"k must be >= 1, got {k}")
-        src = np.asarray(src_codes, np.int64)
-        dst = np.asarray(dst_codes, np.int64)
-        if src.shape != dst.shape or src.ndim != 1:
-            raise ServiceError(
-                f"query shapes differ: {src.shape} vs {dst.shape}"
-            )
-        known = len(self._endpoint_cc)
-        if known == 0:
-            raise EmptyDirectoryError(
-                "directory has no ingested history to resolve queries against"
-            )
-        out_of_range = (src < -1) | (src >= known) | (dst < -1) | (dst >= known)
-        if out_of_range.any():
-            bad = np.unique(
-                np.concatenate([src[out_of_range], dst[out_of_range]])
-            )
-            raise UnknownEndpointError(
-                f"endpoint codes {bad.tolist()[:8]} outside the directory's "
-                f"known range [-1, {known})"
-            )
+        src, dst = validate_query_codes(
+            src_codes, dst_codes, len(self._endpoint_cc)
+        )
         n = src.shape[0]
         relays = np.full((n, k), -1, np.int32)
         reductions = np.full((n, k), np.nan)
@@ -628,12 +649,12 @@ class RelayDirectory:
 
     # -------------------------------------------------------------- snapshots
 
-    def save(self, file: str | IO[bytes]) -> None:
-        """Write the directory to a compact ``.npz`` snapshot.
+    def snapshot_arrays(self) -> dict[str, np.ndarray]:
+        """The v2 snapshot as a flat name -> array dict, in write order.
 
-        Deterministic: the same directory state always produces the same
-        bytes (arrays are written in a fixed order and ``np.savez`` stamps
-        a constant timestamp), so snapshot equality is state equality.
+        The cluster's v3 format extends this dict with per-shard segment
+        arrays (see :mod:`repro.service.cluster`), so both formats agree
+        on the base layout by construction.
         """
         arrays: dict[str, np.ndarray] = {
             "meta": np.asarray(
@@ -663,46 +684,111 @@ class RelayDirectory:
                 arrays[f"{prefix}_relay"] = relay
                 arrays[f"{prefix}_count"] = count
                 arrays[f"{prefix}_gain"] = gain
-        np.savez(file, **arrays)
+        return arrays
+
+    def save(self, file: str | IO[bytes]) -> None:
+        """Write the directory to a compact ``.npz`` snapshot.
+
+        Deterministic: the same directory state always produces the same
+        bytes (arrays are written in a fixed order and ``np.savez`` stamps
+        a constant timestamp), so snapshot equality is state equality.
+        """
+        np.savez(file, **self.snapshot_arrays())
+
+    @classmethod
+    def _from_arrays(cls, data) -> RelayDirectory:
+        """Rebuild from a snapshot's base arrays (version already checked).
+
+        ``data`` is any name -> array mapping holding the v2 base layout;
+        extra names (the v3 segment arrays) are ignored, which is what
+        lets the cluster loader reuse this for migration.
+        """
+        meta = data["meta"]
+        max_rounds = int(meta[1])
+        directory = cls(max_rounds=None if max_rounds < 0 else max_rounds)
+        directory._endpoints = Interner(np.asarray(data["endpoints"]).tolist())
+        directory._countries = Interner(np.asarray(data["countries"]).tolist())
+        directory._endpoint_cc = np.asarray(data["endpoint_cc"]).astype(np.int32)
+        directory._relay_last_seen = dict(
+            zip(
+                np.asarray(data["relay_seen_ids"]).tolist(),
+                np.asarray(data["relay_seen_rounds"]).tolist(),
+            )
+        )
+        for rid in np.asarray(data["round_ids"]).tolist():
+            aggregate = {}
+            for tier in _TIERS:
+                for type_code in range(NUM_RELAY_TYPES):
+                    prefix = f"r{rid}_t{tier}_{type_code}"
+                    if f"{prefix}_lane" not in data:
+                        continue
+                    aggregate[(tier, type_code)] = (
+                        np.asarray(data[f"{prefix}_lane"]),
+                        np.asarray(data[f"{prefix}_relay"]),
+                        np.asarray(data[f"{prefix}_count"]),
+                        np.asarray(data[f"{prefix}_gain"]),
+                    )
+            directory._rounds[rid] = aggregate
+        directory.recompile()
+        return directory
 
     @classmethod
     def load(cls, file: str | IO[bytes]) -> RelayDirectory:
         """Rebuild a directory from a :meth:`save` snapshot.
 
         Raises:
-            ServiceError: on unknown snapshot versions.
+            ServiceError: on unknown snapshot versions, including the
+                cluster's sharded v3 format (load those through
+                :func:`repro.service.cluster.load_cluster_snapshot`).
         """
         with np.load(file) as data:
-            meta = data["meta"]
-            if int(meta[0]) != SNAPSHOT_VERSION:
-                raise ServiceError(f"unknown snapshot version {int(meta[0])}")
-            max_rounds = int(meta[1])
-            directory = cls(max_rounds=None if max_rounds < 0 else max_rounds)
-            directory._endpoints = Interner(data["endpoints"].tolist())
-            directory._countries = Interner(data["countries"].tolist())
-            directory._endpoint_cc = data["endpoint_cc"].astype(np.int32)
-            directory._relay_last_seen = dict(
-                zip(
-                    data["relay_seen_ids"].tolist(),
-                    data["relay_seen_rounds"].tolist(),
+            version = int(data["meta"][0])
+            if version == SNAPSHOT_VERSION + 1:
+                raise ServiceError(
+                    f"snapshot version {version} is a sharded cluster "
+                    "snapshot; load it with "
+                    "repro.service.cluster.load_cluster_snapshot / "
+                    "ClusterService.from_snapshot"
                 )
-            )
-            for rid in data["round_ids"].tolist():
-                aggregate = {}
-                for tier in _TIERS:
-                    for type_code in range(NUM_RELAY_TYPES):
-                        prefix = f"r{rid}_t{tier}_{type_code}"
-                        if f"{prefix}_lane" not in data:
-                            continue
-                        aggregate[(tier, type_code)] = (
-                            data[f"{prefix}_lane"],
-                            data[f"{prefix}_relay"],
-                            data[f"{prefix}_count"],
-                            data[f"{prefix}_gain"],
-                        )
-                directory._rounds[rid] = aggregate
-        directory.recompile()
-        return directory
+            if version != SNAPSHOT_VERSION:
+                raise ServiceError(f"unknown snapshot version {version}")
+            return cls._from_arrays(data)
+
+    @classmethod
+    def segment_view(
+        cls,
+        *,
+        blocks: dict[tuple[int, int], LaneBlock],
+        endpoint_cc: np.ndarray,
+        endpoints: list[str] | None = None,
+        countries: list[str] | None = None,
+        round_ids: list[int] | None = None,
+        relay_last_seen: dict[int, int] | None = None,
+        max_rounds: int | None = None,
+    ) -> RelayDirectory:
+        """A queryable directory over prebuilt lane blocks (one shard).
+
+        Shard workers serve these: the compiled ``blocks`` are a lane
+        subset of some full directory, the identity arrays are shared
+        with it, and lookups behave exactly as the full directory does
+        for queries whose lanes live in this shard.  Views carry no
+        per-round rows, so they cannot ingest — swaps replace the whole
+        view instead (the cluster's zero-downtime path).
+        """
+        view = cls(max_rounds=max_rounds)
+        view._blocks = dict(blocks)
+        view._endpoint_cc = np.asarray(endpoint_cc, np.int32)
+        if endpoints is not None:
+            view._endpoints = Interner(list(endpoints))
+        if countries is not None:
+            view._countries = Interner(list(countries))
+        if relay_last_seen is not None:
+            view._relay_last_seen = dict(relay_last_seen)
+        # placeholder per-round keys keep retained_rounds()/stale_relay_mask
+        # cutoffs correct without shipping the round rows to every worker
+        for rid in round_ids or []:
+            view._rounds[int(rid)] = {}
+        return view
 
     def block_signature(self) -> str:
         """BLAKE2 digest over every compiled block's arrays.

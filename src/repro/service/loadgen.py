@@ -32,6 +32,7 @@ import numpy as np
 from repro.core.types import RelayType
 from repro.errors import EmptyDirectoryError, ServiceError, UnknownCountryError
 from repro.service.directory import RelayDirectory, TIER_NAMES
+from repro.service.results import ServiceStats
 from repro.service.service import ShortcutService
 
 #: Queries per determinism block (the unit of parallel synthesis).
@@ -226,14 +227,22 @@ class QueryStream:
 def replay(
     service: ShortcutService,
     config: LoadgenConfig | None = None,
-) -> dict:
+) -> ServiceStats:
     """Synthesise a query stream and drive the service with it, batched.
 
     Synthesis is excluded from the timed section; the measured loop is
-    exactly ``route_many`` over consecutive batches.  Returns a JSON-ready
-    stats dict: sustained queries/sec, the tier mix, the fraction of
-    queries answered with a relay, and a BLAKE2 digest of every answer
-    (relay ids + tiers) for exact cross-run comparison.
+    exactly ``route_many`` over consecutive batches.  Returns a
+    :class:`~repro.service.results.ServiceStats`: sustained queries/sec,
+    the tier mix, the fraction of queries answered with a relay, and a
+    BLAKE2 digest of every answer (relay ids + tiers) for exact
+    cross-run comparison.  (``ServiceStats`` also supports the old
+    replay-dict ``stats["key"]`` access.)
+
+    Works on anything with the service query surface: an in-process
+    :class:`~repro.service.service.ShortcutService` or a
+    :class:`~repro.service.cluster.ClusterService` fleet — for the
+    latter the cluster's CPU-clock scale-out accounting is reset before
+    the timed loop and reported under :attr:`ServiceStats.scale_out`.
     """
     config = config or LoadgenConfig()
     stream = QueryStream(service.directory, config)
@@ -242,6 +251,9 @@ def replay(
     tier_counts = np.zeros(len(TIER_NAMES), np.int64)
     no_relay = 0
     digest = hashlib.blake2b(digest_size=16)
+    reset_clocks = getattr(service, "reset_clocks", None)
+    if reset_clocks is not None:
+        reset_clocks()
     start = time.perf_counter()
     for lo in range(0, n, config.batch_size):
         hi = min(lo + config.batch_size, n)
@@ -253,20 +265,24 @@ def replay(
         digest.update(batch.relay_ids.tobytes())
         digest.update(batch.tier.tobytes())
     wall = time.perf_counter() - start
-    return {
-        "queries": n,
-        "batch_size": config.batch_size,
-        "batches": -(-n // config.batch_size),
-        "k": config.k,
-        "relay_type": config.relay_type.value,
-        "zipf_exponent": config.zipf_exponent,
-        "seed": config.seed,
-        "workers": config.workers,
-        "wall_clock_s": round(wall, 4),
-        "queries_per_s": int(n / wall) if n and wall > 0 else None,
-        "tier_counts": {
+    degradation = getattr(service, "degradation_summary", lambda: None)()
+    scale_out = getattr(service, "scale_out_summary", lambda: None)()
+    return ServiceStats(
+        queries=n,
+        batch_size=config.batch_size,
+        batches=-(-n // config.batch_size),
+        k=config.k,
+        relay_type=config.relay_type.value,
+        zipf_exponent=config.zipf_exponent,
+        seed=config.seed,
+        loadgen_workers=config.workers,
+        wall_clock_s=round(wall, 4),
+        queries_per_s=int(n / wall) if n and wall > 0 else None,
+        tier_counts={
             name: int(tier_counts[code]) for code, name in enumerate(TIER_NAMES)
         },
-        "relay_answer_frac": round(1.0 - no_relay / n, 4) if n else None,
-        "answers_digest": digest.hexdigest(),
-    }
+        relay_answer_frac=round(1.0 - no_relay / n, 4) if n else None,
+        answers_digest=digest.hexdigest(),
+        degradation=degradation,
+        scale_out=scale_out,
+    )

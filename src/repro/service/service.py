@@ -11,7 +11,15 @@ setup path.  The serving contract:
   *on top of* the batched path so the two can never diverge (asserted in
   the tests);
 * :meth:`ingest_round` folds a freshly measured round in incrementally;
-* :meth:`save` / :meth:`load` snapshot the service for operator restarts.
+* :meth:`save` / :meth:`from_snapshot` snapshot the service for operator
+  restarts.
+
+Construction goes through the classmethods — :meth:`from_campaign`,
+:meth:`from_table`, :meth:`from_snapshot`, :meth:`from_directory`,
+:meth:`empty` — all sharing the same keyword-only tuning knobs
+(``k``, ``max_rounds``, ``liveness_rounds``, ``spill``).  Calling the
+class directly is a deprecated shim kept byte-identical to the old
+behavior (asserted in ``tests/test_service_api.py``).
 
 Answers are deterministic: the same directory state returns the same
 relays for the same queries, batched or scalar, before or after a
@@ -31,7 +39,7 @@ byte-identical to a health-unaware service.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import IO, Any
 
 import numpy as np
@@ -46,119 +54,35 @@ from repro.service.directory import (
     TIER_NAMES,
     RelayDirectory,
 )
+from repro.service.results import (
+    DegradationCounters,
+    RouteAnswer,
+    RouteBatch,
+    RouteDecision,
+)
 
-
-@dataclass(frozen=True, slots=True)
-class RouteBatch:
-    """Answers for one :meth:`ShortcutService.route_many` call.
-
-    Attributes:
-        relay_ids: ``(n, k) int32`` ranked relay registry indices, -1
-            padded past a lane's candidate count.
-        reduction_ms: ``(n, k) float64`` expected RTT reduction per
-            candidate (mean observed improvement), NaN padded.
-        tier: ``(n,) int8`` tier each query resolved through (index into
-            :data:`~repro.service.directory.TIER_NAMES`).
-    """
-
-    relay_ids: np.ndarray
-    reduction_ms: np.ndarray
-    tier: np.ndarray
-
-    def __len__(self) -> int:
-        return self.tier.shape[0]
-
-    @property
-    def best_relay(self) -> np.ndarray:
-        """``(n,) int32`` top-ranked relay per query (-1 = direct path)."""
-        return self.relay_ids[:, 0]
-
-    def tier_counts(self) -> dict[str, int]:
-        """Queries answered per tier, keyed by tier name."""
-        return {
-            name: int(np.count_nonzero(self.tier == code))
-            for code, name in enumerate(TIER_NAMES)
-        }
-
-    def relay_answer_fraction(self) -> float:
-        """Fraction of queries that got a relay (resolved above direct)."""
-        if len(self) == 0:
-            return 0.0
-        return 1.0 - int(np.count_nonzero(self.relay_ids[:, 0] < 0)) / len(self)
-
-
-@dataclass(frozen=True, slots=True)
-class RouteDecision:
-    """One scalar routing decision (see :meth:`ShortcutService.route`).
-
-    Attributes:
-        src_id / dst_id: The queried endpoint ids.
-        relay_type: Relay lane the query ran against.
-        relay_ids: Ranked candidate relays (may be empty: keep direct).
-        reduction_ms: Expected RTT reduction per candidate, aligned with
-            ``relay_ids``.
-        tier: ``"pair"``, ``"country"`` or ``"direct"``.
-    """
-
-    src_id: str
-    dst_id: str
-    relay_type: RelayType
-    relay_ids: tuple[int, ...]
-    reduction_ms: tuple[float, ...]
-    tier: str
-
-    @property
-    def relay_id(self) -> int | None:
-        """The top-ranked relay, or None for the direct path."""
-        return self.relay_ids[0] if self.relay_ids else None
-
-    @property
-    def expected_reduction_ms(self) -> float | None:
-        """Expected gain of the top-ranked relay, or None for direct."""
-        return self.reduction_ms[0] if self.reduction_ms else None
-
-
-@dataclass(slots=True)
-class DegradationCounters:
-    """Cumulative graceful-degradation telemetry of one service.
-
-    Attributes:
-        queries: Queries routed since construction (health path only).
-        stale_top_answers: Queries whose top-ranked candidate was dead
-            and was replaced by the next-ranked live relay (the spill).
-        candidates_evicted: Dead candidate entries demoted out of
-            answers, summed over all ranks.
-        unanswerable: Queries whose lane had history but no live
-            candidate left — structurally downgraded to the direct tier.
-        fallback_country: Queries answered from the country tier.
-        direct: Queries that left with the direct verdict (no history,
-            same endpoint, or unanswerable after health filtering).
-    """
-
-    queries: int = 0
-    stale_top_answers: int = 0
-    candidates_evicted: int = 0
-    unanswerable: int = 0
-    fallback_country: int = 0
-    direct: int = 0
-
-    def as_dict(self) -> dict[str, int]:
-        return {
-            "queries": self.queries,
-            "stale_top_answers": self.stale_top_answers,
-            "candidates_evicted": self.candidates_evicted,
-            "unanswerable": self.unanswerable,
-            "fallback_country": self.fallback_country,
-            "direct": self.direct,
-        }
+__all__ = [
+    "DegradationCounters",
+    "RouteAnswer",
+    "RouteBatch",
+    "RouteDecision",
+    "ShortcutService",
+]
 
 
 class ShortcutService:
     """Online relay selection over a compiled :class:`RelayDirectory`.
 
-    ``liveness_rounds`` enables churn awareness (see the module
-    docstring); ``spill`` bounds how many extra candidates each lookup
-    over-fetches so dead relays can be replaced without a second pass.
+    Built via the ``from_*`` classmethods; every constructor shares the
+    keyword-only tuning knobs:
+
+    * ``k`` — default relay candidates per query when ``route`` /
+      ``route_many`` are called without an explicit ``k``;
+    * ``max_rounds`` — the directory's retention window (staleness TTL);
+    * ``liveness_rounds`` — enables churn awareness (see the module
+      docstring);
+    * ``spill`` — how many extra candidates each lookup over-fetches so
+      dead relays can be replaced without a second pass.
     """
 
     def __init__(
@@ -169,15 +93,47 @@ class ShortcutService:
         liveness_rounds: int | None = None,
         spill: int = 2,
     ) -> None:
+        """Deprecated: use :meth:`from_directory` / :meth:`empty`.
+
+        Kept as a thin shim over the redesigned constructors; behavior is
+        byte-identical to the pre-redesign class (asserted in
+        ``tests/test_service_api.py``).
+        """
+        warnings.warn(
+            "calling ShortcutService(...) directly is deprecated; use "
+            "ShortcutService.from_campaign / from_table / from_snapshot / "
+            "from_directory / empty",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if directory is not None and max_rounds is not None:
             raise ServiceError("pass either a directory or max_rounds, not both")
+        self._init(
+            directory or RelayDirectory(max_rounds=max_rounds),
+            k=3,
+            liveness_rounds=liveness_rounds,
+            spill=spill,
+        )
+
+    def _init(
+        self,
+        directory: RelayDirectory,
+        *,
+        k: int,
+        liveness_rounds: int | None,
+        spill: int,
+    ) -> None:
+        """The real initializer every constructor funnels through."""
+        if k < 1:
+            raise ServiceError(f"k must be >= 1, got {k}")
         if liveness_rounds is not None and liveness_rounds < 1:
             raise ServiceError(
                 f"liveness_rounds must be >= 1, got {liveness_rounds}"
             )
         if spill < 0:
             raise ServiceError(f"spill must be >= 0, got {spill}")
-        self._directory = directory or RelayDirectory(max_rounds=max_rounds)
+        self._directory = directory
+        self._default_k = k
         self._liveness_rounds = liveness_rounds
         self._spill = spill
         self.counters = DegradationCounters()
@@ -196,19 +152,57 @@ class ShortcutService:
     # ------------------------------------------------------------ construction
 
     @classmethod
-    def from_result(
+    def from_directory(
         cls,
-        result: CampaignResult,
-        max_rounds: int | None = None,
-        rounds=None,
+        directory: RelayDirectory,
         *,
+        k: int = 3,
         liveness_rounds: int | None = None,
         spill: int = 2,
     ) -> ShortcutService:
-        """Compile a service from a campaign result (optionally a subset of
-        its rounds, e.g. everything but the round being predicted)."""
-        return cls(
+        """Wrap an already-compiled directory (the canonical constructor)."""
+        service = object.__new__(cls)
+        service._init(
+            directory, k=k, liveness_rounds=liveness_rounds, spill=spill
+        )
+        return service
+
+    @classmethod
+    def empty(
+        cls,
+        *,
+        max_rounds: int | None = None,
+        k: int = 3,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
+    ) -> ShortcutService:
+        """A service with no history yet; feed it via :meth:`ingest_round`."""
+        return cls.from_directory(
+            RelayDirectory(max_rounds=max_rounds),
+            k=k,
+            liveness_rounds=liveness_rounds,
+            spill=spill,
+        )
+
+    @classmethod
+    def from_campaign(
+        cls,
+        result: CampaignResult,
+        *,
+        rounds=None,
+        max_rounds: int | None = None,
+        k: int = 3,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
+    ) -> ShortcutService:
+        """Compile a service from a campaign result.
+
+        ``rounds`` restricts ingestion to a subset of the result's rounds
+        (e.g. everything but the round being predicted).
+        """
+        return cls.from_directory(
             RelayDirectory.from_result(result, max_rounds, rounds),
+            k=k,
             liveness_rounds=liveness_rounds,
             spill=spill,
         )
@@ -219,14 +213,69 @@ class ShortcutService:
         table: ObservationTable,
         max_rounds: int | None = None,
         *,
+        k: int = 3,
         liveness_rounds: int | None = None,
         spill: int = 2,
     ) -> ShortcutService:
         """Compile a service from a concatenated campaign/sweep table."""
-        return cls(
+        return cls.from_directory(
             RelayDirectory.from_table(table, max_rounds),
+            k=k,
             liveness_rounds=liveness_rounds,
             spill=spill,
+        )
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        file: str | IO[bytes],
+        *,
+        k: int = 3,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
+    ) -> ShortcutService:
+        """Restore a service from a :meth:`save` snapshot.
+
+        Health telemetry (relay last-seen rounds) restores with the
+        snapshot; the counters are runtime state and start at zero.
+        """
+        return cls.from_directory(
+            RelayDirectory.load(file),
+            k=k,
+            liveness_rounds=liveness_rounds,
+            spill=spill,
+        )
+
+    @classmethod
+    def from_result(
+        cls,
+        result: CampaignResult,
+        max_rounds: int | None = None,
+        rounds=None,
+        *,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
+    ) -> ShortcutService:
+        """Legacy spelling of :meth:`from_campaign` (positional knobs)."""
+        return cls.from_campaign(
+            result,
+            rounds=rounds,
+            max_rounds=max_rounds,
+            liveness_rounds=liveness_rounds,
+            spill=spill,
+        )
+
+    @classmethod
+    def load(
+        cls,
+        file: str | IO[bytes],
+        *,
+        liveness_rounds: int | None = None,
+        spill: int = 2,
+    ) -> ShortcutService:
+        """Legacy spelling of :meth:`from_snapshot`."""
+        return cls.from_snapshot(
+            file, liveness_rounds=liveness_rounds, spill=spill
         )
 
     def ingest_round(
@@ -251,17 +300,20 @@ class ShortcutService:
         src_codes: np.ndarray,
         dst_codes: np.ndarray,
         relay_type: RelayType = RelayType.COR,
-        k: int = 3,
+        k: int | None = None,
     ) -> RouteBatch:
         """Relay choices for a whole query batch.
 
         ``src_codes`` / ``dst_codes`` are parallel directory endpoint-code
         arrays (:meth:`encode_endpoints`).  Each query resolves through the
         fallback tiers — exact endpoint-pair history, then country-pair
-        history, then the direct path.  With ``liveness_rounds`` set, dead
-        relays are demoted out of the answers first (see the module
-        docstring); counters accumulate on :attr:`counters`.
+        history, then the direct path.  ``k`` defaults to the service's
+        construction-time knob.  With ``liveness_rounds`` set, dead relays
+        are demoted out of the answers first (see the module docstring);
+        counters accumulate on :attr:`counters`.
         """
+        if k is None:
+            k = self._default_k
         if self._liveness_rounds is None:
             relays, reductions, tier = self._directory.lookup_many(
                 src_codes, dst_codes, relay_type, k
@@ -310,8 +362,8 @@ class ShortcutService:
         src_id: str,
         dst_id: str,
         relay_type: RelayType = RelayType.COR,
-        k: int = 3,
-    ) -> RouteDecision:
+        k: int | None = None,
+    ) -> RouteAnswer:
         """One call-setup decision, by endpoint id.
 
         A thin shell over :meth:`route_many` (a one-query batch), so scalar
@@ -320,7 +372,7 @@ class ShortcutService:
         codes = self.encode_endpoints((src_id, dst_id))
         batch = self.route_many(codes[:1], codes[1:], relay_type, k)
         valid = batch.relay_ids[0] >= 0
-        return RouteDecision(
+        return RouteAnswer(
             src_id=src_id,
             dst_id=dst_id,
             relay_type=relay_type,
@@ -335,35 +387,32 @@ class ShortcutService:
         """Snapshot the service state to ``.npz`` (operator restarts)."""
         self._directory.save(file)
 
-    @classmethod
-    def load(
-        cls,
-        file: str | IO[bytes],
-        *,
-        liveness_rounds: int | None = None,
-        spill: int = 2,
-    ) -> ShortcutService:
-        """Restore a service from a :meth:`save` snapshot.
-
-        Health telemetry (relay last-seen rounds) restores with the
-        snapshot; the counters are runtime state and start at zero.
-        """
-        return cls(
-            RelayDirectory.load(file),
-            liveness_rounds=liveness_rounds,
-            spill=spill,
-        )
-
     # ------------------------------------------------------------------ stats
+
+    @property
+    def default_k(self) -> int:
+        """Relay candidates returned when a query names no explicit ``k``."""
+        return self._default_k
 
     @property
     def liveness_rounds(self) -> int | None:
         """The health window (None = churn awareness disabled)."""
         return self._liveness_rounds
 
+    @property
+    def spill(self) -> int:
+        """Extra candidates over-fetched per lookup for the health path."""
+        return self._spill
+
     def dead_relay_count(self) -> int:
         """Relays currently presumed dead (0 when health is disabled)."""
         return 0 if self._dead is None else int(self._dead.sum())
+
+    def degradation_summary(self) -> dict[str, int] | None:
+        """Counter snapshot when churn awareness is on (else None)."""
+        if self._liveness_rounds is None:
+            return None
+        return self.counters.as_dict()
 
     def stats(self) -> dict[str, Any]:
         """The directory's shape summary, plus degradation telemetry when

@@ -108,7 +108,7 @@ def chaos_replay(
     count) plus a summary with the floors the chaos bench and CI gate on.
     """
     config = config or ChaosConfig()
-    service = ShortcutService(
+    service = ShortcutService.empty(
         max_rounds=config.max_rounds,
         liveness_rounds=config.liveness_rounds,
         spill=config.spill,

@@ -1,0 +1,346 @@
+"""Sharded cluster serving tier: sharding, v3 snapshots, worker fleets.
+
+The load-bearing invariant throughout: a query's pair lane and country
+lane land in the same shard by construction, so the cluster answers are
+byte-identical to the in-process service for any worker count.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import ServiceError
+from repro.service import (
+    CLUSTER_SNAPSHOT_VERSION,
+    NUM_SHARDS,
+    SNAPSHOT_VERSION,
+    TIER_COUNTRY,
+    TIER_PAIR,
+    ClusterService,
+    LoadgenConfig,
+    RelayDirectory,
+    ShortcutService,
+    cross_world_service,
+    load_cluster_snapshot,
+    migrate_snapshot,
+    replay,
+    save_cluster_snapshot,
+)
+from repro.service.cluster import (
+    shard_of_pair_keys,
+    shard_of_queries,
+    split_directory_blocks,
+)
+
+
+@pytest.fixture(scope="module")
+def service(small_campaign_result):
+    return ShortcutService.from_campaign(small_campaign_result)
+
+
+def _v2_bytes(service: ShortcutService) -> bytes:
+    buffer = io.BytesIO()
+    service.save(buffer)
+    return buffer.getvalue()
+
+
+def _sample_codes(service, n=512, seed=7):
+    """Random known endpoint-code pairs drawn from the directory."""
+    codes = service.encode_endpoints(sorted(service.directory.endpoint_ids()))
+    rng = np.random.default_rng(seed)
+    return (
+        codes[rng.integers(codes.size, size=n)],
+        codes[rng.integers(codes.size, size=n)],
+    )
+
+
+class TestSharding:
+    def test_pair_key_hash_deterministic_and_in_range(self):
+        keys = np.arange(10_000, dtype=np.int64) * 17
+        a = shard_of_pair_keys(keys, NUM_SHARDS)
+        b = shard_of_pair_keys(keys, NUM_SHARDS)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < NUM_SHARDS
+        # the splitmix finalizer must spread prefix-sharing keys: every
+        # shard should own a non-trivial slice of a 10k-key population
+        counts = np.bincount(a, minlength=NUM_SHARDS)
+        assert counts.min() > 0
+
+    def test_query_shard_matches_country_pair_shard(self, service):
+        from repro.core.table import ObservationTable
+
+        src, dst = _sample_codes(service)
+        ep_cc = service.directory.endpoint_country_codes()
+        got = shard_of_queries(ep_cc, src, dst, NUM_SHARDS)
+        keys = ObservationTable.pack_pairs(
+            ep_cc[src].astype(np.int64), ep_cc[dst].astype(np.int64)
+        )
+        assert np.array_equal(got, shard_of_pair_keys(keys, NUM_SHARDS))
+
+    def test_unknown_endpoints_clamp_deterministically(self, service):
+        ep_cc = service.directory.endpoint_country_codes()
+        src = np.asarray([-1, 0], np.int64)
+        dst = np.asarray([0, -1], np.int64)
+        a = shard_of_queries(ep_cc, src, dst, NUM_SHARDS)
+        b = shard_of_queries(ep_cc, src, dst, NUM_SHARDS)
+        assert np.array_equal(a, b)
+
+    def test_split_partitions_every_lane_once(self, service):
+        shards = split_directory_blocks(service.directory, NUM_SHARDS)
+        for tier in (TIER_PAIR, TIER_COUNTRY):
+            for code, relay_type in enumerate(RELAY_TYPE_ORDER):
+                block = service.directory.block(tier, relay_type)
+                seen = np.concatenate(
+                    [
+                        s[(tier, code)].keys
+                        for s in shards
+                        if (tier, code) in s
+                    ]
+                    or [np.empty(0, np.int64)]
+                )
+                assert sorted(seen.tolist()) == sorted(block.keys.tolist())
+
+    def test_split_rejects_bad_shard_count(self, service):
+        with pytest.raises(ServiceError):
+            split_directory_blocks(service.directory, 0)
+
+
+class TestSnapshotV3:
+    def test_roundtrip_rebuilds_full_directory(self, service, tmp_path):
+        path = tmp_path / "cluster.npz"
+        save_cluster_snapshot(service, path)
+        snapshot = load_cluster_snapshot(path)
+        assert snapshot.num_shards == NUM_SHARDS
+        rebuilt = snapshot.full_directory()
+        assert (
+            rebuilt.block_signature()
+            == service.directory.block_signature()
+        )
+
+    def test_save_is_deterministic(self, service):
+        a, b = io.BytesIO(), io.BytesIO()
+        save_cluster_snapshot(service, a)
+        save_cluster_snapshot(service, b)
+        assert a.getvalue() == b.getvalue()
+
+    def test_mmap_and_eager_loads_agree(self, service, tmp_path):
+        path = tmp_path / "cluster.npz"
+        save_cluster_snapshot(service, path)
+        lazy = load_cluster_snapshot(path, mmap=True)
+        eager = load_cluster_snapshot(path, mmap=False)
+        for shard in range(NUM_SHARDS):
+            a, b = lazy.shard_blocks(shard), eager.shard_blocks(shard)
+            assert set(a) == set(b)
+            for key in a:
+                assert np.array_equal(a[key].keys, b[key].keys)
+                assert np.array_equal(a[key].relays, b[key].relays)
+
+    def test_v2_snapshot_rejected_with_migrate_hint(self, service):
+        with pytest.raises(ServiceError, match="migrate"):
+            load_cluster_snapshot(io.BytesIO(_v2_bytes(service)))
+
+    def test_v3_snapshot_rejected_by_v2_loader(self, service):
+        buffer = io.BytesIO()
+        save_cluster_snapshot(service, buffer)
+        buffer.seek(0)
+        with pytest.raises(ServiceError, match="sharded cluster"):
+            RelayDirectory.load(buffer)
+
+    def test_unknown_version_rejected(self, service, tmp_path):
+        path = tmp_path / "cluster.npz"
+        save_cluster_snapshot(service, path)
+        arrays = dict(np.load(path))
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] = CLUSTER_SNAPSHOT_VERSION + 1
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, **arrays)
+        with pytest.raises(ServiceError, match="unknown snapshot version"):
+            load_cluster_snapshot(bad)
+
+    def test_migrate_v2_to_v3(self, service, tmp_path):
+        assert CLUSTER_SNAPSHOT_VERSION == SNAPSHOT_VERSION + 1
+        dst = tmp_path / "migrated.npz"
+        migrate_snapshot(io.BytesIO(_v2_bytes(service)), dst)
+        snapshot = load_cluster_snapshot(dst)
+        assert (
+            snapshot.full_directory().block_signature()
+            == service.directory.block_signature()
+        )
+
+    def test_segment_service_answers_match_shard_queries(self, service):
+        buffer = io.BytesIO()
+        save_cluster_snapshot(service, buffer)
+        buffer.seek(0)
+        snapshot = load_cluster_snapshot(buffer)
+        src, dst = _sample_codes(service, n=256)
+        ep_cc = service.directory.endpoint_country_codes()
+        shard = shard_of_queries(ep_cc, src, dst, snapshot.num_shards)
+        want = service.route_many(src, dst, RelayType.COR, 3)
+        for s in np.unique(shard).tolist():
+            rows = shard == s
+            got = snapshot.segment_service(s).route_many(
+                src[rows], dst[rows], RelayType.COR, 3
+            )
+            assert np.array_equal(got.relay_ids, want.relay_ids[rows])
+            assert np.array_equal(got.tier, want.tier[rows])
+
+
+class TestClusterInvariance:
+    CONFIG = LoadgenConfig(num_queries=4096, batch_size=512)
+
+    def test_worker_count_invariant_and_matches_in_process(self, service):
+        want = replay(service, self.CONFIG)
+        digests = {want.answers_digest}
+        for workers in (1, 2):
+            with ClusterService.from_service(
+                service, workers=workers, capacity=1024
+            ) as cluster:
+                assert cluster.workers == workers
+                digests.add(replay(cluster, self.CONFIG).answers_digest)
+        assert len(digests) == 1
+
+    def test_route_many_byte_identical(self, service):
+        src, dst = _sample_codes(service, n=700)
+        with ClusterService.from_service(
+            service, workers=2, capacity=256
+        ) as cluster:
+            for relay_type in RELAY_TYPE_ORDER:
+                want = service.route_many(src, dst, relay_type, 3)
+                got = cluster.route_many(src, dst, relay_type, 3)
+                assert np.array_equal(got.relay_ids, want.relay_ids)
+                assert np.array_equal(got.tier, want.tier)
+                assert np.array_equal(
+                    got.reduction_ms, want.reduction_ms, equal_nan=True
+                )
+
+    def test_scalar_route_matches_in_process(self, service):
+        ids = sorted(service.directory.endpoint_ids())[:2]
+        with ClusterService.from_service(service, workers=1) as cluster:
+            assert cluster.route(ids[0], ids[1]) == service.route(
+                ids[0], ids[1]
+            )
+
+    def test_from_snapshot_serves_v2_and_v3(self, service, tmp_path):
+        src, dst = _sample_codes(service, n=128)
+        want = service.route_many(src, dst, RelayType.COR, 3)
+        v3 = tmp_path / "v3.npz"
+        save_cluster_snapshot(service, v3)
+        for file in (v3, io.BytesIO(_v2_bytes(service))):
+            with ClusterService.from_snapshot(file, workers=2) as cluster:
+                got = cluster.route_many(src, dst, RelayType.COR, 3)
+                assert np.array_equal(got.relay_ids, want.relay_ids)
+
+    def test_constructor_validation(self, service, tmp_path):
+        path = tmp_path / "v3.npz"
+        save_cluster_snapshot(service, path)
+        for kwargs in (
+            {"workers": 0},
+            {"capacity": 0},
+            {"k": 0},
+            {"liveness_rounds": 0},
+            {"spill": -1},
+        ):
+            with pytest.raises(ServiceError):
+                ClusterService(str(path), **kwargs)
+
+    def test_closed_cluster_rejects_queries(self, service):
+        cluster = ClusterService.from_service(service, workers=1)
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(ServiceError):
+            cluster.route_many(
+                np.asarray([0], np.int64), np.asarray([1], np.int64)
+            )
+
+
+class TestIngestSwap:
+    def test_mid_swap_ingest_matches_scratch_build(
+        self, small_campaign_result
+    ):
+        rounds = small_campaign_result.rounds
+        partial = ShortcutService.from_campaign(
+            small_campaign_result, rounds=rounds[:-1]
+        )
+        full = ShortcutService.from_campaign(small_campaign_result)
+        src, dst = _sample_codes(full, n=400)
+        with ClusterService.from_service(partial, workers=2) as cluster:
+            before = cluster.snapshot_path
+            stats = cluster.ingest_round(rounds[-1])
+            assert stats["round_id"] == rounds[-1].round_index
+            assert cluster.snapshot_path != before
+            for relay_type in RELAY_TYPE_ORDER:
+                want = full.route_many(src, dst, relay_type, 3)
+                got = cluster.route_many(src, dst, relay_type, 3)
+                assert np.array_equal(got.relay_ids, want.relay_ids)
+                assert np.array_equal(got.tier, want.tier)
+
+    def test_snapshot_served_cluster_can_ingest(
+        self, small_campaign_result, tmp_path
+    ):
+        rounds = small_campaign_result.rounds
+        partial = ShortcutService.from_campaign(
+            small_campaign_result, rounds=rounds[:-1]
+        )
+        full = ShortcutService.from_campaign(small_campaign_result)
+        path = tmp_path / "partial.npz"
+        save_cluster_snapshot(partial, path)
+        src, dst = _sample_codes(full, n=200)
+        # no master attached: ingest must rebuild one from the snapshot
+        with ClusterService.from_snapshot(path, workers=1) as cluster:
+            cluster.ingest_round(rounds[-1])
+            want = full.route_many(src, dst, RelayType.COR, 3)
+            got = cluster.route_many(src, dst, RelayType.COR, 3)
+            assert np.array_equal(got.relay_ids, want.relay_ids)
+
+
+class TestCrossWorld:
+    def test_unifies_identities_and_stays_deterministic(
+        self, small_campaign_result
+    ):
+        results = [small_campaign_result, small_campaign_result]
+        service, registry, info = cross_world_service(results)
+        assert info["worlds"] == 2
+        # the two worlds are byte-identical, so every relay identity
+        # collapses onto its twin: the unified census equals one world's
+        assert info["relays"] == info["relays_before"] // 2
+        assert info["attribute_conflicts"] == 0
+        again, _, _ = cross_world_service(results)
+        assert (
+            again.directory.block_signature()
+            == service.directory.block_signature()
+        )
+
+    def test_single_world_matches_plain_compile(self, small_campaign_result):
+        unified, _, info = cross_world_service([small_campaign_result])
+        plain = ShortcutService.from_campaign(small_campaign_result)
+        assert info["worlds"] == 1
+        ids = sorted(plain.directory.endpoint_ids())
+        cp = plain.encode_endpoints(ids)
+        cu = unified.encode_endpoints(ids)
+        rng = np.random.default_rng(5)
+        ii = rng.integers(len(ids), size=256)
+        jj = rng.integers(len(ids), size=256)
+        want = plain.route_many(cp[ii], cp[jj], RelayType.COR, 3)
+        got = unified.route_many(cu[ii], cu[jj], RelayType.COR, 3)
+        assert np.array_equal(got.tier, want.tier)
+        assert np.array_equal(
+            got.reduction_ms, want.reduction_ms, equal_nan=True
+        )
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ServiceError):
+            cross_world_service([])
+
+    def test_cluster_serves_unified_world(self, small_campaign_result):
+        service, _, _ = cross_world_service(
+            [small_campaign_result, small_campaign_result]
+        )
+        config = LoadgenConfig(num_queries=2048, batch_size=512)
+        want = replay(service, config)
+        with ClusterService.from_service(service, workers=2) as cluster:
+            got = replay(cluster, config)
+        assert got.answers_digest == want.answers_digest

@@ -236,7 +236,7 @@ class TestQueries:
 
 class TestIngest:
     def test_incremental_equals_full_recompile(self, small_campaign_result):
-        svc = ShortcutService(max_rounds=2)
+        svc = ShortcutService.empty(max_rounds=2)
         for rnd in small_campaign_result.rounds:
             svc.ingest_round(rnd)
         incremental = svc.directory.block_signature()
@@ -246,7 +246,7 @@ class TestIngest:
         assert _snapshot_bytes(svc) == incremental_bytes
 
     def test_window_answers_match_scratch_build(self, small_campaign_result):
-        incremental = ShortcutService(max_rounds=2)
+        incremental = ShortcutService.empty(max_rounds=2)
         for rnd in small_campaign_result.rounds:
             incremental.ingest_round(rnd)
         scratch = ShortcutService.from_result(
@@ -278,14 +278,14 @@ class TestIngest:
             assert np.array_equal(a.reduction_ms, b.reduction_ms, equal_nan=True)
 
     def test_ttl_evicts_oldest(self, small_campaign_result):
-        svc = ShortcutService(max_rounds=2)
+        svc = ShortcutService.empty(max_rounds=2)
         for rnd in small_campaign_result.rounds:
             stats = svc.ingest_round(rnd)
         assert svc.directory.retained_rounds() == [1, 2]
         assert stats["evicted_rounds"] == 1
 
     def test_round_order_enforced(self, small_campaign_result):
-        svc = ShortcutService()
+        svc = ShortcutService.empty()
         svc.ingest_round(small_campaign_result.rounds[1])
         with pytest.raises(ServiceError):
             svc.ingest_round(small_campaign_result.rounds[0])
@@ -303,7 +303,11 @@ class TestIngest:
         with pytest.raises(ServiceError):
             RelayDirectory(max_rounds=0)
         with pytest.raises(ServiceError):
-            ShortcutService(RelayDirectory(), max_rounds=2)
+            ShortcutService.empty(k=0)
+        with pytest.raises(ServiceError):
+            ShortcutService.empty(liveness_rounds=0)
+        with pytest.raises(ServiceError):
+            ShortcutService.empty(spill=-1)
 
 
 class TestSnapshot:

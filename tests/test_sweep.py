@@ -138,11 +138,19 @@ class TestSweepCli:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["sweep", "--out", "x.json"])
         assert args.num_seeds == 4
-        assert args.base_seed == 11
-        assert args.rounds == 4
+        assert args.seed == 11
+        assert args.rounds is None  # resolved to 4 at run time
         assert args.workers == 1
         assert args.seeds is None
-        assert args.scenario == ["baseline"]
+        assert args.scenario is None  # resolved to ("baseline",)
+
+    def test_base_seed_is_deprecated_alias_of_seed(self, capsys):
+        args = build_parser().parse_args(
+            ["sweep", "--base-seed", "7", "--out", "x.json"]
+        )
+        assert args.seed == 7
+        err = capsys.readouterr().err
+        assert "deprecated" in err and "--seed" in err
 
     def test_parser_out_optional_scenarios_repeatable(self):
         args = build_parser().parse_args(
