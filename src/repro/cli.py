@@ -73,9 +73,25 @@ def _single_scenario(args: argparse.Namespace) -> str | None:
     return args.scenario[0]
 
 
+def _world_cache_kwargs(args: argparse.Namespace) -> dict:
+    """``build_world`` cache kwargs from the shared --world-cache flags.
+
+    ``getattr`` defaults keep commands whose parsers predate the flags
+    (``analyze`` declares --seed/--countries itself) on the env-driven
+    default path."""
+    return {
+        "world_cache": getattr(args, "world_cache", None),
+        "use_world_cache": not getattr(args, "no_world_cache", False),
+    }
+
+
 def _build_world_from_args(args: argparse.Namespace):
     topology = TopologyConfig(country_limit=args.countries)
-    return build_world(seed=args.seed, config=WorldConfig(topology=topology))
+    return build_world(
+        seed=args.seed,
+        config=WorldConfig(topology=topology),
+        **_world_cache_kwargs(args),
+    )
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
@@ -118,7 +134,9 @@ def _run_workload_campaign(args: argparse.Namespace, seed: int, default_rounds: 
             countries=args.countries,
             max_countries=args.max_countries,
         )
-        world = build_world(seed=seed, config=scenario.world)
+        world = build_world(
+            seed=seed, config=scenario.world, **_world_cache_kwargs(args)
+        )
         campaign = MeasurementCampaign(world, scenario.campaign)
         workload = (
             f"scenario {scenario_name}, seed {seed}, "
@@ -129,7 +147,11 @@ def _run_workload_campaign(args: argparse.Namespace, seed: int, default_rounds: 
         countries = args.countries
         rounds = args.rounds if args.rounds is not None else default_rounds
         topology = TopologyConfig(country_limit=countries)
-        world = build_world(seed=seed, config=WorldConfig(topology=topology))
+        world = build_world(
+            seed=seed,
+            config=WorldConfig(topology=topology),
+            **_world_cache_kwargs(args),
+        )
         campaign = MeasurementCampaign(
             world,
             CampaignConfig(num_rounds=rounds, max_countries=args.max_countries),
@@ -150,7 +172,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             countries=args.countries,
             max_countries=args.max_countries,
         )
-        world = build_world(seed=args.seed, config=scenario.world)
+        world = build_world(
+            seed=args.seed, config=scenario.world, **_world_cache_kwargs(args)
+        )
         config = scenario.campaign
     else:
         world = _build_world_from_args(args)
@@ -182,6 +206,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_countries=args.max_countries,
         workers=args.workers,
         scenarios=tuple(args.scenario) if args.scenario else ("baseline",),
+        world_cache=args.world_cache,
+        use_world_cache=not args.no_world_cache,
     )
     artifact = run_sweep(config)
     timing = artifact["timing"]
@@ -612,6 +638,18 @@ def build_parser() -> argparse.ArgumentParser:
     world_parent.add_argument(
         "--countries", type=int, default=None,
         help="limit each world to N countries (default: command-specific)",
+    )
+    world_parent.add_argument(
+        "--world-cache", default=None, metavar="DIR",
+        help="world-snapshot cache directory: restore expensive world state "
+             "(topology, routing fabric, delay grid) from deterministic "
+             ".npz snapshots and capture misses for next time; defaults to "
+             "$REPRO_WORLD_CACHE when set",
+    )
+    world_parent.add_argument(
+        "--no-world-cache", action="store_true",
+        help="force the from-scratch reference path, ignoring --world-cache "
+             "and $REPRO_WORLD_CACHE",
     )
 
     history_parent = argparse.ArgumentParser(add_help=False)

@@ -67,6 +67,7 @@ class _RelayArrays:
     registry_idx: np.ndarray  #: (relays,) registry indices
     type_codes: np.ndarray  #: (relays,) positions into RELAY_TYPE_ORDER
     ccs: np.ndarray  #: (relays,) country codes
+    cc_codes: np.ndarray  #: (relays,) campaign-interned ints for the ccs
     city_idx: np.ndarray  #: (relays,) CityDelayMatrix indices
 
     @property
@@ -136,6 +137,17 @@ class MeasurementCampaign:
         # string pools shared by every round's observation table, so the
         # campaign-level concatenation never has to re-code columns
         self._pools = TablePools.fresh()
+        # campaign-private country interner for the same-country broadcast:
+        # equality on these ints replaces a per-round np.unique over U3
+        # strings.  Never serialized, so assignment order is free.
+        self._cc_cmp: dict[str, int] = {}
+
+    def _cc_cmp_code(self, cc: str) -> int:
+        code = self._cc_cmp.get(cc)
+        if code is None:
+            code = len(self._cc_cmp)
+            self._cc_cmp[cc] = code
+        return code
 
     @property
     def config(self) -> CampaignConfig:
@@ -211,6 +223,11 @@ class MeasurementCampaign:
         direct_pairs = [
             (p1, p2) for i, p1 in enumerate(endpoints) for p2 in endpoints[i + 1 :]
         ]
+        # pair keys are shared by the two direct steps (they measure the
+        # same pair list), so they are built once per round
+        direct_keys = [
+            self._pair_key(p1.probe_id, p2.probe_id) for p1, p2 in direct_pairs
+        ]
         # the round's deterministic pair terms as one (endpoints × endpoints)
         # grid: both direct steps gather their legs' base/loss by index
         # instead of resolving each leg through the pair cache
@@ -237,7 +254,9 @@ class MeasurementCampaign:
             egrid = pair_idx = None
 
         # step 2: direct medians (drive feasibility)
-        step2_direct, sent = self._measure_direct(direct_pairs, rng, egrid, pair_idx)
+        step2_direct, sent = self._measure_direct(
+            direct_pairs, direct_keys, rng, egrid, pair_idx
+        )
         pings_sent += sent
 
         # step 3: relay sets + per-pair feasibility as one broadcast mask
@@ -245,7 +264,9 @@ class MeasurementCampaign:
         feasibility = self._feasible_relays(endpoints, relay_arrays, step2_direct)
 
         # step 4: synced re-measurement + legs + stitching
-        step4_direct, sent = self._measure_direct(direct_pairs, rng, egrid, pair_idx)
+        step4_direct, sent = self._measure_direct(
+            direct_pairs, direct_keys, rng, egrid, pair_idx
+        )
         pings_sent += sent
         keep = np.fromiter(
             (pair in step4_direct for pair in feasibility.pair_keys),
@@ -295,7 +316,7 @@ class MeasurementCampaign:
             relay_indices_by_type=self._indices_by_type(relay_arrays),
             table=table,
             direct_medians=step4_direct,
-            relay_medians=leg_medians if cfg.record_relay_medians else None,
+            relay_medians=leg_medians,
             pings_sent=pings_sent,
         )
 
@@ -339,6 +360,7 @@ class MeasurementCampaign:
     def _measure_direct(
         self,
         pairs: list[tuple[AtlasProbe, AtlasProbe]],
+        pair_keys: list[tuple[str, str]],
         rng: np.random.Generator,
         grid=None,
         pair_idx: tuple[np.ndarray, np.ndarray] | None = None,
@@ -367,8 +389,8 @@ class MeasurementCampaign:
             ]
             medians, sent = self._median_legs(legs, rng)
         return {
-            self._pair_key(p1.probe_id, p2.probe_id): med
-            for (p1, p2), med in zip(pairs, medians.tolist())
+            key: med
+            for key, med in zip(pair_keys, medians.tolist())
             if med == med
         }, sent
 
@@ -420,12 +442,14 @@ class MeasurementCampaign:
         relays: list[tuple[int, Endpoint]] = []
         type_codes: list[int] = []
         ccs: list[str] = []
+        cc_codes: list[int] = []
         mix = {RelayType[name] for name in self._cfg.relay_mix}
 
         def _add(idx: int, node, relay_type: RelayType) -> None:
             relays.append((idx, node.endpoint))
             type_codes.append(RELAY_TYPE_ORDER.index(relay_type))
             ccs.append(node.cc)
+            cc_codes.append(self._cc_cmp_code(node.cc))
 
         for colo in self._colo.sample_relays(rng) if RelayType.COR in mix else ():
             node = colo.node
@@ -496,6 +520,7 @@ class MeasurementCampaign:
             registry_idx=np.fromiter((idx for idx, _ in relays), np.intp, n),
             type_codes=codes,
             ccs=np.array(ccs, dtype="U3"),
+            cc_codes=np.asarray(cc_codes, dtype=np.intp),
             city_idx=matrix.indices(ep.city_key for _, ep in relays),
         )
 
@@ -506,12 +531,13 @@ class MeasurementCampaign:
         relays: _RelayArrays,
         rng: np.random.Generator,
         grid=None,
-    ) -> tuple[np.ndarray, dict[tuple[str, int], float], int]:
+    ) -> tuple[np.ndarray, dict[tuple[str, int], float] | None, int]:
         """Median RTT for every needed (endpoint, relay) leg.
 
         Returns the (endpoints × relays) leg-median matrix (NaN where a leg
         was not measured or had too few replies), the same medians keyed by
-        ``(probe_id, registry_idx)`` for the round record, and pings sent.
+        ``(probe_id, registry_idx)`` for the round record (None — not built
+        at all — when the config says not to record them), and pings sent.
         With a round (endpoints × relays) grid, the needed legs' terms are
         gathered straight off it — no leg tuple list is built at all.
         """
@@ -528,6 +554,8 @@ class MeasurementCampaign:
             medians, sent = self._median_legs(legs, rng)
         leg_matrix = np.full(needed.shape, np.nan)
         leg_matrix[e_rows, cols] = medians
+        if not self._cfg.record_relay_medians:
+            return leg_matrix, None, sent
         probe_ids = [p.probe_id for p in endpoints]
         registry_idx = relays.registry_idx.tolist()
         leg_medians = {
@@ -552,8 +580,25 @@ class MeasurementCampaign:
         selection, same-country grouping — happens as broadcasts, and the
         results land directly in :class:`ObservationTable` columns.  No
         per-pair packaging loop: the only remaining Python iteration interns
-        the round's endpoint identity strings.
+        the round's endpoint identity strings — once per *endpoint*, fanned
+        out to pairs by index gathers.
         """
+        # per-endpoint identity codes, interned once; every per-pair column
+        # below is a row gather out of these three small arrays.  The pool
+        # interning order (by_id iteration) is unchanged, so table payloads
+        # stay byte-identical to the per-pair generator path this replaces.
+        pools = self._pools
+        n_ep = len(by_id)
+        row_of: dict[str, int] = {}
+        ep_codes = np.empty((n_ep, 3), np.int32)
+        ep_cmp = np.empty(n_ep, np.intp)
+        for k, (pid, probe) in enumerate(by_id.items()):
+            row_of[pid] = k
+            ep_codes[k, 0] = pools.endpoint_ids.code(pid)
+            ep_codes[k, 1] = pools.countries.code(probe.cc)
+            ep_codes[k, 2] = pools.cities.code(probe.node.city_key)
+            ep_cmp[k] = self._cc_cmp_code(probe.cc)
+
         pair_rows = {
             pair: k for k, pair in enumerate(feasibility.pair_keys) if pair in direct
         }
@@ -571,16 +616,14 @@ class MeasurementCampaign:
         stitched = leg_matrix[e1_rows] + leg_matrix[e2_rows]
         usable = mask & ~np.isnan(stitched)
         improving = usable & (stitched < direct_ms[:, np.newaxis])
-        # country comparison on int codes: elementwise U3 string equality
-        # over a (pairs × relays) broadcast is far slower than int equality
-        pair_ccs_1 = np.array([by_id[p1].cc for p1, _ in pair_rows], dtype="U3")
-        pair_ccs_2 = np.array([by_id[p2].cc for _, p2 in pair_rows], dtype="U3")
-        cc_codes = np.unique(
-            np.concatenate((relays.ccs, pair_ccs_1, pair_ccs_2)), return_inverse=True
-        )[1]
-        relay_cc = cc_codes[: relays.count]
-        cc1 = cc_codes[relays.count : relays.count + n_pairs]
-        cc2 = cc_codes[relays.count + n_pairs :]
+        # country comparison on the campaign's interned int codes:
+        # elementwise U3 string equality over a (pairs × relays) broadcast
+        # is far slower than int equality, and re-deriving codes per round
+        # (np.unique over all the round's strings) costs more than the
+        # comparison itself
+        relay_cc = relays.cc_codes
+        cc1 = ep_cmp[e1_rows]
+        cc2 = ep_cmp[e2_rows]
         same_country = (relay_cc[np.newaxis, :] == cc1[:, np.newaxis]) | (
             relay_cc[np.newaxis, :] == cc2[:, np.newaxis]
         )
@@ -661,22 +704,12 @@ class MeasurementCampaign:
         indptr = np.zeros(n_obs * num_types + 1, np.int64)
         np.cumsum(counts_col.reshape(-1), out=indptr[1:])
 
-        # endpoint identity columns: intern each round endpoint once, then
-        # gather per pair
-        pools = self._pools
-        code_of: dict[str, tuple[int, int, int]] = {}
-        for pid, probe in by_id.items():
-            code_of[pid] = (
-                pools.endpoint_ids.code(pid),
-                pools.countries.code(probe.cc),
-                pools.cities.code(probe.node.city_key),
-            )
-        e1_codes = np.fromiter(
-            (c for pair in direct for c in code_of[pair[0]]), np.int32, 3 * n_obs
-        ).reshape(n_obs, 3)
-        e2_codes = np.fromiter(
-            (c for pair in direct for c in code_of[pair[1]]), np.int32, 3 * n_obs
-        ).reshape(n_obs, 3)
+        # endpoint identity columns: one row-index per pair side, then a
+        # fused gather out of the per-endpoint code array built above
+        d_e1 = np.fromiter((row_of[p1] for p1, _ in direct), np.intp, n_obs)
+        d_e2 = np.fromiter((row_of[p2] for _, p2 in direct), np.intp, n_obs)
+        e1_codes = ep_codes[d_e1]
+        e2_codes = ep_codes[d_e2]
 
         return ObservationTable(
             pools,

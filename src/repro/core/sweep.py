@@ -72,6 +72,19 @@ class SweepConfig:
     """Registered scenario names to fan out over (see
     :mod:`repro.scenarios`); every scenario runs every seed."""
 
+    world_cache: str | None = None
+    """Optional world-snapshot cache directory (see
+    :mod:`repro.core.worldcache`): workers restore each ``(config, seed)``
+    world from its deterministic snapshot when present — the fabric and
+    delay-grid arrays arrive memory-mapped and read-only, so N workers
+    share one on-disk copy — and the first builder of a missing key
+    captures it.  Results are byte-identical either way; None (the
+    default) still honours ``$REPRO_WORLD_CACHE``."""
+
+    use_world_cache: bool = True
+    """False forces the from-scratch reference path in every worker,
+    ignoring both ``world_cache`` and the environment override."""
+
     def __post_init__(self) -> None:
         if not self.seeds:
             raise ConfigError("sweep needs at least one seed")
@@ -95,6 +108,8 @@ def _run_seed_columns(
     rounds: int,
     countries: int | None = None,
     max_countries: int | None = None,
+    world_cache: str | None = None,
+    use_world_cache: bool = True,
 ) -> dict:
     """Run one (scenario, seed) campaign; return its columns + scalars.
 
@@ -103,6 +118,11 @@ def _run_seed_columns(
     campaign result travels back as a columnar payload (flat arrays) plus
     the few scalars the table does not carry, never as pickled
     ``PairObservation`` lists.
+
+    Wall clock is reported split into ``world_build_s`` (world assembly +
+    routing fabric/grid — snapshot-restored when ``world_cache`` hits) and
+    ``campaign_s`` (the measurement itself), so the bench drift guard can
+    see regressions in either half.
     """
     scenario = scenario_with(
         get_scenario(scenario_name),
@@ -110,11 +130,18 @@ def _run_seed_columns(
         countries=countries,
         max_countries=max_countries,
     )
-    world = build_world(seed=seed, config=scenario.world)
-    campaign = MeasurementCampaign(world, scenario.campaign)
     start = time.perf_counter()
+    world = build_world(
+        seed=seed,
+        config=scenario.world,
+        world_cache=world_cache,
+        use_world_cache=use_world_cache,
+    )
+    world.ensure_routing_fabric()
+    build_done = time.perf_counter()
+    campaign = MeasurementCampaign(world, scenario.campaign)
     result = campaign.run()
-    wall_clock_s = time.perf_counter() - start
+    end = time.perf_counter()
     return {
         "scenario": scenario_name,
         "seed": seed,
@@ -122,7 +149,9 @@ def _run_seed_columns(
         "registry": result.registry.to_payload(),
         "total_pings": result.total_pings,
         "relays_registered": len(result.registry),
-        "wall_clock_s": round(wall_clock_s, 3),
+        "world_build_s": round(build_done - start, 3),
+        "campaign_s": round(end - build_done, 3),
+        "wall_clock_s": round(end - start, 3),
     }
 
 
@@ -161,7 +190,9 @@ def run_seed_campaign(
     }
 
 
-def _sweep_job(args: tuple[str, int, int, int | None, int | None]) -> dict:
+def _sweep_job(
+    args: tuple[str, int, int, int | None, int | None, str | None, bool],
+) -> dict:
     """Picklable process-pool entry point."""
     return _run_seed_columns(*args)
 
@@ -221,7 +252,15 @@ def run_sweep(config: SweepConfig) -> dict:
     unification census under ``cross_world``.
     """
     jobs = [
-        (scenario, seed, config.rounds, config.countries, config.max_countries)
+        (
+            scenario,
+            seed,
+            config.rounds,
+            config.countries,
+            config.max_countries,
+            config.world_cache,
+            config.use_world_cache,
+        )
         for scenario in config.scenarios
         for seed in config.seeds
     ]
@@ -286,7 +325,10 @@ def run_sweep(config: SweepConfig) -> dict:
         artifact["aggregate"] = only["aggregate"]
     artifact["timing"] = {
         "workers": config.workers,
+        "world_cache": config.world_cache,
         "wall_clock_s": round(wall_clock_s, 3),
         "per_seed_s": [outcome["wall_clock_s"] for outcome in outcomes],
+        "world_build_s": [outcome["world_build_s"] for outcome in outcomes],
+        "campaign_s": [outcome["campaign_s"] for outcome in outcomes],
     }
     return artifact

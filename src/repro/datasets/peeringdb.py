@@ -25,23 +25,42 @@ class PeeringDB:
         topology: Topology,
         config: DatasetConfig,
         seeds: SeedSequenceFactory,
+        *,
+        churn: tuple[frozenset[int], frozenset[tuple[int, int]]] | None = None,
     ) -> None:
-        rng = seeds.rng("peeringdb.generate")
-        self._closed: set[int] = {
-            fac_id
-            for fac_id in topology.facilities
-            if rng.random() < config.closed_facility_prob
-        }
-        # membership churn: (facility, asn) pairs that dissolved since 2015
-        self._departed: set[tuple[int, int]] = set()
-        for fac_id, fac in topology.facilities.items():
-            if fac_id in self._closed:
-                continue
-            for asn in fac.members:
-                if rng.random() < config.membership_churn_prob:
-                    self._departed.add((fac_id, asn))
+        if churn is not None:
+            # restored from a world snapshot: the churn draws below iterate
+            # ``fac.members`` frozensets, whose iteration order cannot be
+            # reproduced by rebuilding the sets from their elements, so the
+            # outcome travels with the snapshot instead of being re-derived
+            closed, departed = churn
+            self._closed = set(closed)
+            self._departed = set(departed)
+        else:
+            rng = seeds.rng("peeringdb.generate")
+            self._closed: set[int] = {
+                fac_id
+                for fac_id in topology.facilities
+                if rng.random() < config.closed_facility_prob
+            }
+            # membership churn: (facility, asn) pairs dissolved since 2015
+            self._departed: set[tuple[int, int]] = set()
+            for fac_id, fac in topology.facilities.items():
+                if fac_id in self._closed:
+                    continue
+                for asn in fac.members:
+                    if rng.random() < config.membership_churn_prob:
+                        self._departed.add((fac_id, asn))
         self._facilities = topology.facilities
         self._ixps = topology.ixps
+
+    def churn_state(self) -> tuple[frozenset[int], frozenset[tuple[int, int]]]:
+        """The generated ``(closed facilities, departed memberships)``.
+
+        Serialized into world snapshots and fed back through ``churn=`` so a
+        restored world reproduces this dataset byte-for-byte.
+        """
+        return frozenset(self._closed), frozenset(self._departed)
 
     # ------------------------------------------------------------ facilities
 

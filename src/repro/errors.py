@@ -62,3 +62,11 @@ class UnknownCountryError(ServiceError):
 
 class TimelineError(ReproError):
     """A fault-timeline event or schedule is invalid."""
+
+
+class WorldCacheError(ReproError):
+    """A world snapshot could not be captured or restored.
+
+    Raised only for caller bugs (capturing before the fabric is built,
+    restoring onto a mismatched world); unreadable or stale cache *files*
+    never raise — they are treated as misses and rebuilt."""

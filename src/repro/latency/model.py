@@ -298,6 +298,29 @@ class LatencyModel:
         self._grid_ids = att_ids
         self._att_of = {}
 
+    def attachment_grid(
+        self,
+    ) -> tuple[np.ndarray, dict[tuple[int, str], int]] | None:
+        """The installed ``(grid, attachment -> row)`` pair, or None.
+
+        Exposed for world snapshotting (:mod:`repro.core.worldcache`); the
+        returned arrays must be treated as read-only.
+        """
+        if self._grid is None:
+            return None
+        return self._grid, self._grid_ids
+
+    def attachment_grid_covers(self, attachments: list[tuple[int, str]]) -> bool:
+        """True if the installed grid's rows are exactly ``attachments``.
+
+        Row order matters (it is the grid's index order), so the caller
+        passes the same sorted attachment list the grid was built from.
+        This is how :meth:`World.ensure_routing_fabric` detects that a
+        restored or pre-warmed grid already serves the campaign and skips
+        the rebuild.
+        """
+        return self._grid is not None and list(self._grid_ids) == attachments
+
     def _attachment_id(self, endpoint: Endpoint) -> int:
         """The endpoint's grid row, or -1 if outside the grid."""
         key = id(endpoint)

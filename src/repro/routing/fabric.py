@@ -199,6 +199,59 @@ class RoutingFabric:
             self._slot[dst] = (batch_no, row)
         return len(missing)
 
+    # ------------------------------------------------------- snapshot state
+
+    def export_tables(self) -> tuple[list[int], np.ndarray, np.ndarray, np.ndarray]:
+        """The computed destination tables as flat arrays.
+
+        Returns ``(destinations, rclass, dist, next_hop)`` with one row per
+        destination, rows in slot-assignment order (sorted within each
+        :meth:`ensure` call).  The arrays are copies laid out for
+        serialization; feeding them back through :meth:`restore_tables` on a
+        fabric over an identical graph reproduces every query answer.
+        """
+        dests = list(self._slot)
+        num = len(dests)
+        rclass = np.empty((num, self._n), dtype=np.int8)
+        dist = np.empty((num, self._n), dtype=np.int32)
+        next_hop = np.empty((num, self._n), dtype=np.int32)
+        for i, dst in enumerate(dests):
+            batch_no, row = self._slot[dst]
+            batch = self._batches[batch_no]
+            rclass[i] = batch.rclass[row]
+            dist[i] = batch.dist[row]
+            next_hop[i] = batch.next_hop[row]
+        return dests, rclass, dist, next_hop
+
+    def restore_tables(
+        self,
+        destinations,
+        rclass: np.ndarray,
+        dist: np.ndarray,
+        next_hop: np.ndarray,
+    ) -> None:
+        """Adopt previously exported destination tables without relaxing.
+
+        The arrays may be read-only (e.g. memory-mapped from a snapshot);
+        the fabric only ever reads them.  Restoring is only valid on a
+        fabric with no computed destinations yet, over the same graph the
+        tables were exported from.
+        """
+        if self._slot:
+            raise RoutingError("cannot restore tables into a non-empty fabric")
+        dest_list = [int(d) for d in destinations]
+        shape = (len(dest_list), self._n)
+        for name, arr in (("rclass", rclass), ("dist", dist), ("next_hop", next_hop)):
+            if arr.shape != shape:
+                raise RoutingError(
+                    f"restored {name} shape {arr.shape} != expected {shape}"
+                )
+        for dst in dest_list:
+            self._graph.get_as(dst)
+        self._batches.append(_Batch(rclass, dist, next_hop))
+        for row, dst in enumerate(dest_list):
+            self._slot[dst] = (0, row)
+
     # -------------------------------------------------------------- queries
 
     def path(self, src: int, dst: int) -> list[int] | None:

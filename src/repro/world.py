@@ -5,11 +5,21 @@ topology, routing, latency, measurement infrastructure, dataset substrates —
 and returns a :class:`World` handle the measurement methodology
 (:mod:`repro.core`) runs against.  Two worlds built from the same seed and
 config are identical in every observable way.
+
+World construction is cacheable: pass ``world_cache`` (or set
+``$REPRO_WORLD_CACHE``) and the expensive state — topology, routing
+fabric, attachment delay grid — is restored from a deterministic on-disk
+snapshot keyed by ``(config, seed)`` when one exists, and captured into
+the cache the first time :meth:`World.ensure_routing_fabric` computes it.
+A cache-restored world's campaign output is byte-identical to a freshly
+built one's (see :mod:`repro.core.worldcache`); ``use_world_cache=False``
+forces the reference from-scratch path regardless of the environment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.datasets.apnic import ApnicCoverage
 from repro.datasets.config import DatasetConfig
@@ -34,7 +44,11 @@ from repro.routing.fabric import RoutingFabric
 from repro.routing.geopath import GeoPathWalker
 from repro.topology.builder import Topology, TopologyBuilder
 from repro.topology.config import TopologyConfig
+from repro.topology.types import ASType
 from repro.util.rand import SeedSequenceFactory
+
+if TYPE_CHECKING:
+    from repro.core.worldcache import WorldCache, WorldSnapshot
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,12 +68,26 @@ class World:
     read-only by convention.
     """
 
-    def __init__(self, seed: int, config: WorldConfig) -> None:
+    def __init__(
+        self,
+        seed: int,
+        config: WorldConfig,
+        *,
+        snapshot: "WorldSnapshot | None" = None,
+    ) -> None:
         self.seed = seed
         self.config = config
         self.seeds = SeedSequenceFactory(seed)
 
-        self.topology: Topology = TopologyBuilder(config.topology, self.seeds).build()
+        #: With a snapshot, the topology is restored from arrays instead of
+        #: generated; every insertion order is preserved, and the builder's
+        #: seed streams are simply never drawn (streams are named, so no
+        #: other subsystem shifts).
+        self.topology: Topology = (
+            snapshot.restore_topology(config.topology)
+            if snapshot is not None
+            else TopologyBuilder(config.topology, self.seeds).build()
+        )
         self.graph = self.topology.graph
         #: This world's precomputed routing fabric.  Created empty (CSR
         #: adjacency arrays only); destination tables are bulk-computed by
@@ -93,7 +121,12 @@ class World:
             self.topology, book, config.infrastructure, self.seeds
         )
 
-        self.peeringdb = PeeringDB(self.topology, config.datasets, self.seeds)
+        self.peeringdb = PeeringDB(
+            self.topology,
+            config.datasets,
+            self.seeds,
+            churn=snapshot.peeringdb_churn() if snapshot is not None else None,
+        )
         self.prefix2as = Prefix2AS(self.topology, config.datasets, self.seeds)
         self.facility_mapping = FacilityMappingDataset(
             self.topology, self.colo_pool, config.datasets, self.seeds
@@ -107,6 +140,11 @@ class World:
         self._nodes_by_ip: dict[IPv4Address, MeasurementNode] = {}
         self._index_nodes()
         self._fabric_ready = False
+        #: Cache to capture into once the fabric is computed (set by
+        #: :func:`build_world` on a miss; never set on a restored world).
+        self._world_cache: "WorldCache | None" = None
+        if snapshot is not None:
+            snapshot.attach_routing(self)
 
     def _index_nodes(self) -> None:
         nodes: list[MeasurementNode] = [p.node for p in self.atlas.all_probes()]
@@ -158,22 +196,50 @@ class World:
         Computes every destination routing table in one batched pass, then
         the attachment-to-attachment one-way delay grid (vectorized
         wavefront walks over the predecessor arrays) that the latency model
-        serves base RTTs from.  Idempotent; returns the fabric.  Called
-        eagerly by :class:`~repro.core.campaign.MeasurementCampaign` so no
-        round pays for first-time routing computation.
+        serves base RTTs from.  Idempotent on coverage, not just per
+        session: if the fabric already covers the destination set and the
+        installed grid's rows match the attachment list — a snapshot-
+        restored world, or a fabric warmed by an earlier caller — nothing
+        is recomputed.  Called eagerly by
+        :class:`~repro.core.campaign.MeasurementCampaign` so no round pays
+        for first-time routing computation.
+
+        On the first computation of a world built with a cache
+        (:func:`build_world` ``world_cache=``), the finished state is
+        captured into the cache for future processes.
         """
         if self._fabric_ready:
             return self.fabric
-        self.fabric.ensure(self.campaign_destination_asns())
-        attachments = sorted(
-            {(n.asn, n.city_key) for n in self._campaign_nodes()}
-        )
-        grid, att_ids = self.fabric.build_attachment_grid(
-            self.walker, attachments, self.config.latency.per_hop_ms
-        )
-        self.latency.set_attachment_grid(grid, att_ids)
+        attachments = self._grid_attachments()
+        self.fabric.ensure(sorted({asn for asn, _ in attachments}))
+        if not self.latency.attachment_grid_covers(attachments):
+            grid, att_ids = self.fabric.build_attachment_grid(
+                self.walker, attachments, self.config.latency.per_hop_ms
+            )
+            self.latency.set_attachment_grid(grid, att_ids)
+            if self._world_cache is not None:
+                self._world_cache.store(self)
         self._fabric_ready = True
         return self.fabric
+
+    def _grid_attachments(self) -> list[tuple[int, str]]:
+        """Every ``(asn, city)`` attachment the delay grid precomputes.
+
+        Campaign nodes (endpoints and relays) plus the fixed measurement
+        vantages whose legs the colo pipeline resolves every run — the
+        Periscope looking glasses and the pipeline monitor's tier-1
+        attachment — so that one-time verification is grid gathers instead
+        of scalar walks.
+        """
+        attachments = {(n.asn, n.city_key) for n in self._campaign_nodes()}
+        for city in self.periscope.covered_cities():
+            for lg in self.periscope.lgs_in(city):
+                attachments.add((lg.node.asn, lg.node.city_key))
+        tier1s = self.topology.asns_of_type(ASType.TRANSIT_GLOBAL)
+        if tier1s:
+            monitor_as = self.graph.get_as(tier1s[0])
+            attachments.add((monitor_as.asn, monitor_as.primary_city))
+        return sorted(attachments)
 
     def _campaign_nodes(self):
         for probe in self.atlas.all_probes():
@@ -194,6 +260,32 @@ class World:
         return info
 
 
-def build_world(seed: int = 0, config: WorldConfig | None = None) -> World:
-    """Build a complete world from a seed (the package's main entry point)."""
-    return World(seed, config or WorldConfig())
+def build_world(
+    seed: int = 0,
+    config: WorldConfig | None = None,
+    *,
+    world_cache: str | None = None,
+    use_world_cache: bool = True,
+) -> World:
+    """Build a complete world from a seed (the package's main entry point).
+
+    ``world_cache`` names an on-disk snapshot directory (falling back to
+    ``$REPRO_WORLD_CACHE`` when None): a snapshot keyed to ``(config,
+    seed)`` restores the topology, routing fabric and delay grid instead
+    of rebuilding them, and a miss arms the world to capture its state
+    once :meth:`World.ensure_routing_fabric` first computes it.
+    ``use_world_cache=False`` is the reference path — always build from
+    scratch, never read or write a cache.
+    """
+    from repro.core.worldcache import resolve_cache
+
+    config = config or WorldConfig()
+    cache = resolve_cache(world_cache) if use_world_cache else None
+    if cache is None:
+        return World(seed, config)
+    snapshot = cache.load(seed, config)
+    if snapshot is not None:
+        return World(seed, config, snapshot=snapshot)
+    world = World(seed, config)
+    world._world_cache = cache
+    return world
