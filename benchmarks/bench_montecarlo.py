@@ -1,0 +1,227 @@
+"""MONTECARLO — confidence-bounded paper shapes under knob perturbation.
+
+Runs the frozen ``tiny-mc`` regime (baseline scenario, campaign-level
+knobs perturbed per draw, 8-country world, 1 round) three ways and
+records the answers into ``BENCH_montecarlo.json`` at the repo root:
+
+* does the regime converge — every claim's Wilson interval and every
+  metric's bootstrap interval inside its target half-width — within the
+  draw cap, and how many draws does it take?
+* is the artifact deterministic — two runs over one world-snapshot
+  cache must agree byte-for-byte outside the ``timing`` section?
+* what does the snapshot cache buy — cold (no cache) vs warm
+  (pre-populated cache) wall clock for the same draw sequence?
+
+Run standalone with ``python benchmarks/bench_montecarlo.py`` or via
+pytest with the other benches.  ``--smoke --budget-factor F [--json-out
+PATH]`` runs the regime once against a fresh cache and exits non-zero if
+it fails to converge, the artifact drifts from determinism, or the wall
+clock exceeds F times the recorded run — CI's montecarlo-smoke guard.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+if importlib.util.find_spec("repro") is None:  # bare checkout: src layout
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro import MonteCarloConfig, run_montecarlo
+
+REGIME = "tiny-mc"
+SEED = 7
+COUNTRIES = 8
+ROUNDS = 1
+
+_OUT_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_montecarlo.json"
+
+
+def _config(world_cache: str | None, use_world_cache: bool = True):
+    return MonteCarloConfig(
+        regime=REGIME,
+        seed=SEED,
+        batch_size=4,
+        max_draws=8,
+        confidence=0.9,
+        target_half_width=0.35,
+        rounds=ROUNDS,
+        countries=COUNTRIES,
+        bootstrap_resamples=500,
+        world_cache=world_cache,
+        use_world_cache=use_world_cache,
+    )
+
+
+def _stable(artifact: dict) -> str:
+    """The deterministic payload: everything but the wall clocks."""
+    return json.dumps(
+        {k: v for k, v in artifact.items() if k != "timing"}, sort_keys=True
+    )
+
+
+def run_bench() -> dict:
+    """Convergence, determinism and cache-reuse record for ``tiny-mc``."""
+    with tempfile.TemporaryDirectory(prefix="mc-bench-") as cache_dir:
+        start = time.perf_counter()
+        cold = run_montecarlo(_config(world_cache=None, use_world_cache=False))
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        first = run_montecarlo(_config(cache_dir))
+        populate_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        second = run_montecarlo(_config(cache_dir))
+        warm_s = time.perf_counter() - start
+
+    deterministic = (
+        _stable(cold) == _stable(first) == _stable(second)
+    )
+    convergence = first["convergence"]
+    report = {
+        "workload": (
+            f"{REGIME} regime, {COUNTRIES}-country world, seed {SEED}, "
+            f"{ROUNDS} round(s) per draw; batch 4, cap 8, 90% confidence, "
+            f"target half-width 0.35, 500 bootstrap resamples"
+        ),
+        "convergence": {
+            "converged": convergence["converged"],
+            "draws": convergence["draws"],
+            "batches": convergence["batches"],
+            "max_draws": convergence["max_draws"],
+        },
+        "claims": {
+            name: {
+                "probability": row["probability"],
+                "ci": [row["ci_low"], row["ci_high"]],
+                "half_width": row["half_width"],
+            }
+            for name, row in first["risk"]["claims"].items()
+        },
+        "metrics": {
+            name: {
+                "mean": row["mean"],
+                "ci": [row["ci_low"], row["ci_high"]],
+                "half_width": row["half_width"],
+                "target": row["target"],
+            }
+            for name, row in first["risk"]["metrics"].items()
+        },
+        "world_cache": first["world_cache"],
+        "deterministic": deterministic,
+        "wall_clock_s": {
+            "no_cache": round(cold_s, 3),
+            "cache_populate": round(populate_s, 3),
+            "cache_warm": round(warm_s, 3),
+        },
+    }
+    _OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def run_smoke(budget_factor: float, json_out: str | None = None) -> int:
+    """One capped run checked against convergence and the recorded wall.
+
+    The budget is ``budget_factor x`` the recorded no-cache wall plus a
+    2 s grace.  Fails if the regime misses convergence inside the draw
+    cap, the stable payload drifts from a repeat run over the same
+    cache, or the run is too slow.
+    """
+    recorded = json.loads(_OUT_PATH.read_text())
+    budget = budget_factor * recorded["wall_clock_s"]["no_cache"] + 2.0
+
+    with tempfile.TemporaryDirectory(prefix="mc-smoke-") as cache_dir:
+        start = time.perf_counter()
+        artifact = run_montecarlo(_config(cache_dir))
+        elapsed = time.perf_counter() - start
+        repeat = run_montecarlo(_config(cache_dir))
+
+    convergence = artifact["convergence"]
+    converged = convergence["converged"]
+    deterministic = _stable(artifact) == _stable(repeat)
+    ok = converged and deterministic and elapsed <= budget
+    print(
+        f"montecarlo smoke: {REGIME} ran {convergence['draws']} draws in "
+        f"{convergence['batches']} batch(es), {elapsed:.3f} s (budget "
+        f"{budget:.3f} s = {budget_factor}x recorded "
+        f"{recorded['wall_clock_s']['no_cache']} s + 2 s grace); "
+        f"converged={converged}, deterministic={deterministic} -> "
+        f"{'OK' if ok else 'FAIL'}"
+    )
+    if json_out is not None:
+        outcome = {
+            "regime": REGIME,
+            "wall_clock_s": round(elapsed, 3),
+            "budget_s": round(budget, 3),
+            "budget_factor": budget_factor,
+            "converged": converged,
+            "deterministic": deterministic,
+            "draws": convergence["draws"],
+            "ok": ok,
+        }
+        pathlib.Path(json_out).write_text(json.dumps(outcome, indent=2) + "\n")
+    return 0 if ok else 1
+
+
+def test_montecarlo_bench(report_sink):
+    report = run_bench()
+    claim_lines = "\n".join(
+        f"  {name}: P(hold) {row['probability']} "
+        f"[{row['ci'][0]}, {row['ci'][1]}] (half-width {row['half_width']})"
+        for name, row in report["claims"].items()
+    )
+    metric_lines = "\n".join(
+        f"  {name}: mean {row['mean']} [{row['ci'][0]}, {row['ci'][1]}] "
+        f"(half-width {row['half_width']}, target {row['target']})"
+        for name, row in report["metrics"].items()
+    )
+    walls = report["wall_clock_s"]
+    report_sink(
+        "montecarlo_bench",
+        f"workload: {report['workload']}\n"
+        f"converged after {report['convergence']['draws']} draws "
+        f"({report['convergence']['batches']} batch(es), cap "
+        f"{report['convergence']['max_draws']})\n"
+        f"claim-hold probabilities (Wilson):\n{claim_lines}\n"
+        f"metric bootstrap CIs:\n{metric_lines}\n"
+        f"world cache: {report['world_cache']['distinct_worlds']} distinct "
+        f"world(s) across {report['world_cache']['draws']} draws\n"
+        f"wall clock: no-cache {walls['no_cache']} s, populate "
+        f"{walls['cache_populate']} s, warm {walls['cache_warm']} s\n"
+        f"deterministic across cache modes: {report['deterministic']}\n"
+        f"(written to {_OUT_PATH.name})",
+    )
+    # the acceptance floors: the frozen regime must converge inside the
+    # cap and the artifact must not depend on cache state
+    assert report["convergence"]["converged"] is True
+    assert report["convergence"]["draws"] <= report["convergence"]["max_draws"]
+    assert report["deterministic"] is True
+    # every draw of tiny-mc shares one config digest (campaign-only
+    # perturbations) — the whole point of the regime's cache affinity
+    assert report["world_cache"]["distinct_configs"] == 1
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="one capped run checked against the recorded wall clock",
+    )
+    parser.add_argument(
+        "--budget-factor", type=float, default=3.0,
+        help="smoke budget as a multiple of the recorded no-cache wall",
+    )
+    parser.add_argument(
+        "--json-out", default=None,
+        help="write the smoke outcome as JSON (CI's montecarlo-smoke artifact)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.smoke:
+        sys.exit(run_smoke(cli_args.budget_factor, cli_args.json_out))
+    print(json.dumps(run_bench(), indent=2))

@@ -46,7 +46,7 @@ if importlib.util.find_spec("repro") is None:  # bare checkout: src layout
 from repro import (
     CampaignConfig,
     MeasurementCampaign,
-    SweepConfig,
+    SweepRequest,
     build_world,
     run_sweep,
 )
@@ -189,7 +189,8 @@ def run_bench() -> dict:
     # the cold sweep keeps the world-build wall on record; the cache runs
     # measure the snapshot layer (populate = build + capture, hit = restore)
     sweep_artifact = run_sweep(
-        SweepConfig(
+        SweepRequest.from_scenario(
+            "baseline",
             seeds=SWEEP_SEEDS,
             rounds=SWEEP_ROUNDS,
             workers=SWEEP_WORKERS,
@@ -197,7 +198,8 @@ def run_bench() -> dict:
         )
     )
     with tempfile.TemporaryDirectory(prefix="repro-world-cache-") as cache_dir:
-        cached_config = SweepConfig(
+        cached_config = SweepRequest.from_scenario(
+            "baseline",
             seeds=SWEEP_SEEDS,
             rounds=SWEEP_ROUNDS,
             workers=SWEEP_WORKERS,
@@ -333,7 +335,8 @@ def run_sweep_smoke(
     campaign working set, so they are excluded from the ceiling accounting.
     Returns a process exit code.
     """
-    config = SweepConfig(
+    config = SweepRequest.from_scenario(
+        "baseline",
         seeds=SWEEP_SEEDS,
         rounds=SWEEP_ROUNDS,
         workers=SWEEP_WORKERS,

@@ -25,6 +25,7 @@ import time
 EXAMPLES = (
     "quickstart",
     "colo_filter_pipeline",
+    "montecarlo_risk",
     "overlay_service",
     "relay_placement_study",
     "temporal_stability",

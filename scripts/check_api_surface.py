@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Guard the public service API surface (CI lint job).
+"""Guard the public API surfaces (CI lint job).
 
-Three checks, each cheap and loud:
+Three checks per guarded package, each cheap and loud:
 
-1. The README's "Service API" bullet list (lines shaped ``- `Name` —
-   ...`` under that heading) must name exactly ``repro.service.__all__``
-   — the documented surface and the exported surface cannot drift apart.
-2. Every name in ``repro.service.__all__`` must actually resolve on the
+1. The README's API bullet list for the package (lines shaped ``- `Name`
+   — ...`` under its ``### <X> API`` heading) must name exactly the
+   package's ``__all__`` — the documented surface and the exported
+   surface cannot drift apart.
+2. Every name in ``__all__`` must be sorted and actually resolve on the
    package (no stale exports).
 3. ``examples/`` and ``tests/`` must not import ``_``-private names from
    ``repro`` (``from repro.x import _y`` or ``from repro.x._y import``)
@@ -14,6 +15,9 @@ Three checks, each cheap and loud:
    (Test modules for private helpers import the *module* and call
    ``module._helper``; importing private names directly is the pattern
    this rejects.)
+
+Guarded packages: ``repro.service`` ("Service API"), ``repro.scenarios``
+("Scenario API") and ``repro.analysis`` ("Analysis API").
 
 Exits non-zero with a per-failure report.  Run from the repo root:
 ``python scripts/check_api_surface.py``.
@@ -28,7 +32,14 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(ROOT / "src"))
 
-#: ``- `Name` — description`` bullets inside the Service API section.
+#: README heading -> guarded package, in README order.
+SECTIONS = (
+    ("Service API", "repro.service"),
+    ("Scenario API", "repro.scenarios"),
+    ("Analysis API", "repro.analysis"),
+)
+
+#: ``- `Name` — description`` bullets inside an API section.
 _BULLET = re.compile(r"^- `([A-Za-z_][A-Za-z0-9_]*)` — ")
 
 #: ``from repro... import ...`` with any ``_``-private leaf in either the
@@ -38,12 +49,12 @@ _PRIVATE_IMPORT = re.compile(
 )
 
 
-def documented_surface(readme: pathlib.Path) -> list[str]:
-    """The names the README's Service API section documents, in order."""
+def documented_surface(readme: pathlib.Path, heading: str) -> list[str]:
+    """The names the README documents under ``### <heading>``, in order."""
     names: list[str] = []
     in_section = False
     for line in readme.read_text(encoding="utf-8").splitlines():
-        if line.startswith("### Service API"):
+        if line.startswith(f"### {heading}"):
             in_section = True
             continue
         if in_section and line.startswith("#"):
@@ -75,27 +86,47 @@ def private_imports(tree: pathlib.Path) -> list[str]:
     return hits
 
 
-def main() -> int:
-    import repro.service
+def check_package(heading: str, package_name: str) -> tuple[list[str], int]:
+    """``(failures, exported-count)`` for one guarded package."""
+    import importlib
 
+    package = importlib.import_module(package_name)
     failures: list[str] = []
-    exported = list(repro.service.__all__)
+    exported = list(package.__all__)
 
-    documented = documented_surface(ROOT / "README.md")
+    documented = documented_surface(ROOT / "README.md", heading)
     if not documented:
-        failures.append("README.md has no '### Service API' bullet list")
+        failures.append(f"README.md has no '### {heading}' bullet list")
     missing = sorted(set(exported) - set(documented))
     extra = sorted(set(documented) - set(exported))
     if missing:
-        failures.append(f"exported but not documented in README.md: {missing}")
+        failures.append(
+            f"{package_name}: exported but not documented under "
+            f"'### {heading}': {missing}"
+        )
     if extra:
-        failures.append(f"documented in README.md but not exported: {extra}")
+        failures.append(
+            f"{package_name}: documented under '### {heading}' but not "
+            f"exported: {extra}"
+        )
 
     if exported != sorted(exported):
-        failures.append("repro.service.__all__ is not sorted")
+        failures.append(f"{package_name}.__all__ is not sorted")
     for name in exported:
-        if not hasattr(repro.service, name):
-            failures.append(f"repro.service.__all__ names missing symbol {name!r}")
+        if not hasattr(package, name):
+            failures.append(
+                f"{package_name}.__all__ names missing symbol {name!r}"
+            )
+    return failures, len(exported)
+
+
+def main() -> int:
+    failures: list[str] = []
+    total = 0
+    for heading, package_name in SECTIONS:
+        package_failures, exported = check_package(heading, package_name)
+        failures.extend(package_failures)
+        total += exported
 
     for tree in (ROOT / "examples", ROOT / "tests"):
         for hit in private_imports(tree):
@@ -106,8 +137,8 @@ def main() -> int:
             print(f"api-surface: {failure}", file=sys.stderr)
         return 1
     print(
-        f"api-surface: ok ({len(exported)} symbols documented, "
-        "no private imports in examples/ or tests/)"
+        f"api-surface: ok ({total} symbols documented across "
+        f"{len(SECTIONS)} packages, no private imports in examples/ or tests/)"
     )
     return 0
 

@@ -25,10 +25,31 @@ from repro.world import World, WorldConfig, build_world
 from repro.core.config import CampaignConfig
 from repro.core.campaign import MeasurementCampaign
 from repro.core.results import CampaignResult, PairObservation, RoundResult
-from repro.core.sweep import SweepConfig, run_sweep
+from repro.core.sweep import (
+    SweepConfig,
+    SweepEntry,
+    SweepRequest,
+    SweepResult,
+    run_sweep,
+)
+from repro.core.montecarlo import (
+    MonteCarloConfig,
+    MonteCarloManager,
+    ParamSpec,
+    run_montecarlo,
+)
 from repro.core.table import ObservationTable, TablePools
 from repro.routing.fabric import RoutingFabric
-from repro.scenarios import Scenario, all_scenarios, get_scenario, scenario_names
+from repro.scenarios import (
+    Regime,
+    Scenario,
+    all_scenarios,
+    get_regime,
+    get_scenario,
+    list_regimes,
+    list_scenarios,
+    scenario_names,
+)
 from repro.service import RelayDirectory, ShortcutService
 from repro.timeline import (
     LinkDegradation,
@@ -43,7 +64,7 @@ from repro.analysis.ranking import TopRelayAnalysis
 from repro.analysis.facilities import FacilityTable
 from repro.analysis.stability import StabilityAnalysis
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "World",
@@ -57,11 +78,22 @@ __all__ = [
     "ObservationTable",
     "TablePools",
     "SweepConfig",
+    "SweepEntry",
+    "SweepRequest",
+    "SweepResult",
     "run_sweep",
+    "MonteCarloConfig",
+    "MonteCarloManager",
+    "ParamSpec",
+    "run_montecarlo",
     "RoutingFabric",
+    "Regime",
     "Scenario",
     "all_scenarios",
+    "get_regime",
     "get_scenario",
+    "list_regimes",
+    "list_scenarios",
     "scenario_names",
     "RelayDirectory",
     "ShortcutService",

@@ -1,21 +1,49 @@
 """Analyses over campaign results: every figure, table and in-text number
-of the paper's Sec 3."""
+of the paper's Sec 3, plus the cross-regime paper-shape reductions
+(:mod:`repro.analysis.scenarios`) and the Monte-Carlo risk reductions
+(:mod:`repro.analysis.montecarlo`)."""
 
-from repro.analysis.improvements import ImprovementAnalysis
-from repro.analysis.ranking import TopRelayAnalysis
-from repro.analysis.facilities import FacilityRow, FacilityTable
 from repro.analysis.countries import CountryChangeAnalysis
-from repro.analysis.voip import VoipAnalysis
+from repro.analysis.facilities import FacilityRow, FacilityTable
+from repro.analysis.improvements import ImprovementAnalysis
+from repro.analysis.montecarlo import (
+    bootstrap_ci,
+    draw_metrics,
+    hold_probability,
+    risk_summary,
+    summary_converged,
+    top_relay_coverage,
+)
+from repro.analysis.ranking import TopRelayAnalysis
+from repro.analysis.scenarios import (
+    check_expectations,
+    compare_scenarios,
+    paper_shapes,
+    scenario_metrics,
+    scenario_report,
+)
 from repro.analysis.stability import StabilityAnalysis
 from repro.analysis.symmetry import SymmetryAnalysis
+from repro.analysis.voip import VoipAnalysis
 
 __all__ = [
-    "ImprovementAnalysis",
-    "TopRelayAnalysis",
-    "FacilityTable",
-    "FacilityRow",
     "CountryChangeAnalysis",
-    "VoipAnalysis",
+    "FacilityRow",
+    "FacilityTable",
+    "ImprovementAnalysis",
     "StabilityAnalysis",
     "SymmetryAnalysis",
+    "TopRelayAnalysis",
+    "VoipAnalysis",
+    "bootstrap_ci",
+    "check_expectations",
+    "compare_scenarios",
+    "draw_metrics",
+    "hold_probability",
+    "paper_shapes",
+    "risk_summary",
+    "scenario_metrics",
+    "scenario_report",
+    "summary_converged",
+    "top_relay_coverage",
 ]

@@ -1,0 +1,268 @@
+"""Confidence-bounded paper shapes: the Monte-Carlo reductions.
+
+The per-draw half turns one draw's pooled
+:class:`~repro.core.table.ObservationTable` into metrics and boolean
+shapes (:func:`draw_metrics` — the sweep's :func:`scenario_report` plus a
+top-relay concentration shape).  The cross-draw half turns a list of draw
+records into a risk summary (:func:`risk_summary`): for every tracked
+claim, the probability it holds with a Wilson score interval; for every
+tracked metric, the mean with a seeded percentile-bootstrap interval.
+Convergence (:func:`summary_converged`) is simply "every interval's
+half-width is within its target" — the adaptive batch loop in
+:class:`~repro.core.montecarlo.MonteCarloManager` keeps drawing until it
+is.
+
+Everything here is deterministic: the Wilson interval is closed-form, and
+the bootstrap derives its resampling stream from ``(seed, metric name,
+draw count)`` — so an intermediate convergence check after batch ``k``
+never perturbs the interval the final artifact reports, and the artifact
+is byte-identical however the draws were batched.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.scenarios import scenario_report
+from repro.core.table import ObservationTable
+from repro.core.types import RELAY_TYPE_ORDER, RelayType
+from repro.errors import AnalysisError
+from repro.util.rand import derive_rng
+
+#: How many top colo relays the concentration shape considers.
+TOP_RELAY_COUNT = 10
+
+#: Every shape key :func:`draw_metrics` emits (the sweep's paper shapes
+#: plus the relay-concentration shape).  Regime claim keys must come from
+#: this set — see :mod:`repro.scenarios.regimes`.
+SHAPE_KEYS = (
+    "cases_observed",
+    "cor_wins_majority",
+    "cor_leads_relay_types",
+    "cor_reduction_tens_of_ms",
+    "voip_no_worse_with_cor",
+    "rar_relays_observed",
+    "top_relays_cover_majority",
+)
+
+#: Fraction of improved cases the top relays must cover for the
+#: ``top_relays_cover_majority`` shape to hold.
+TOP_COVERAGE_THRESHOLD = 0.5
+
+
+def z_value(confidence: float) -> float:
+    """Two-sided standard-normal critical value for a confidence level.
+
+    Solved by bisection on the normal CDF (via :func:`math.erf`) — no
+    scipy, deterministic, and exact to well below float precision.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    target = (1.0 + confidence) / 2.0
+    lo, hi = 0.0, 10.0
+    for _ in range(100):
+        mid = (lo + hi) / 2.0
+        if (1.0 + math.erf(mid / math.sqrt(2.0))) / 2.0 < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def hold_probability(
+    holds: int, draws: int, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """``(point, low, high)`` Wilson score interval for a hold count.
+
+    The Wilson interval stays inside ``[0, 1]`` and behaves sensibly at
+    0/n and n/n — exactly the edges claim-hold counts live at on
+    well-behaved regimes — unlike the normal approximation.
+    """
+    if draws < 1:
+        raise AnalysisError("hold_probability needs at least one draw")
+    if not 0 <= holds <= draws:
+        raise AnalysisError(f"holds {holds} outside [0, {draws}]")
+    z = z_value(confidence)
+    p = holds / draws
+    denom = 1.0 + z * z / draws
+    center = (p + z * z / (2 * draws)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1.0 - p) / draws + z * z / (4.0 * draws * draws))
+        / denom
+    )
+    return p, max(0.0, center - half), min(1.0, center + half)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    name: str,
+    seed: int,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+) -> tuple[float, float, float]:
+    """``(mean, low, high)`` percentile bootstrap of the mean.
+
+    The resampling stream is ``montecarlo.bootstrap.{name}.n{len(values)}``
+    of ``seed`` — a function of the *draw count*, not of how many times
+    convergence was checked along the way, so re-running with a different
+    batch size reproduces the exact interval.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise AnalysisError(f"bootstrap_ci({name!r}) needs at least one value")
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, mean, mean
+    rng = derive_rng(seed, f"montecarlo.bootstrap.{name}.n{data.size}")
+    idx = rng.integers(data.size, size=(resamples, data.size))
+    means = data[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return mean, float(low), float(high)
+
+
+def top_relay_coverage(
+    table: ObservationTable,
+    *,
+    relay_type: RelayType = RelayType.COR,
+    top_n: int = TOP_RELAY_COUNT,
+) -> float:
+    """Fraction of the type's improved cases its busiest relays cover.
+
+    "Busiest" ranks relays by how many cases they improve (ties broken by
+    registry index, so pooled tables rank deterministically); coverage is
+    the fraction of improved cases that at least one top-``top_n`` relay
+    improves.  The paper's shortcut story concentrates on a small set of
+    well-placed colo relays — this is that concentration as one number.
+    """
+    code = RELAY_TYPE_ORDER.index(relay_type)
+    cases, relays, _ = table.type_entries(code)
+    if cases.size == 0:
+        return 0.0
+    counts = np.bincount(relays)
+    ranked = sorted(
+        np.nonzero(counts)[0].tolist(), key=lambda r: (-int(counts[r]), r)
+    )
+    top = np.asarray(ranked[:top_n], dtype=relays.dtype)
+    covered = np.unique(cases[np.isin(relays, top)])
+    return covered.size / np.unique(cases).size
+
+
+def draw_metrics(table: ObservationTable) -> tuple[dict, dict[str, bool]]:
+    """``(metrics, shapes)`` of one Monte-Carlo draw's pooled table.
+
+    :func:`~repro.analysis.scenarios.scenario_report` plus the relay
+    concentration measure: ``top10_cor_coverage`` in the metrics and
+    ``top_relays_cover_majority`` (coverage at or above
+    :data:`TOP_COVERAGE_THRESHOLD`) in the shapes.
+    """
+    metrics, shapes = scenario_report(table)
+    coverage = top_relay_coverage(table)
+    metrics["top10_cor_coverage"] = round(coverage, 4)
+    shapes["top_relays_cover_majority"] = coverage >= TOP_COVERAGE_THRESHOLD
+    return metrics, shapes
+
+
+def risk_summary(
+    records: Sequence[Mapping],
+    *,
+    claims: Mapping[str, bool],
+    metric_targets: Mapping[str, float],
+    confidence: float = 0.95,
+    target_half_width: float = 0.1,
+    seed: int = 0,
+    resamples: int = 2000,
+) -> dict:
+    """Per-claim and per-metric risk of a set of draw records.
+
+    ``records`` are the manager's draw dicts (each carrying ``metrics``
+    and ``shapes`` sections).  For every claim in ``claims`` the summary
+    reports the probability the observed shape matched the expected value
+    with a Wilson interval; for every metric in ``metric_targets`` the
+    mean with a bootstrap interval.  ``within_target`` compares each
+    interval's half-width against ``target_half_width`` (claims) or the
+    metric's own target; a metric with fewer than two usable values never
+    counts as converged.  Values are rounded to six places — well above
+    float noise, and stable for byte-compared artifacts.
+    """
+    if not records:
+        raise AnalysisError("risk_summary needs at least one draw record")
+    draws = len(records)
+
+    claim_rows: dict[str, dict] = {}
+    for name, expected in claims.items():
+        holds = sum(
+            1 for record in records if record["shapes"].get(name) is expected
+        )
+        point, low, high = hold_probability(holds, draws, confidence)
+        half = (high - low) / 2.0
+        claim_rows[name] = {
+            "expected": expected,
+            "holds": holds,
+            "draws": draws,
+            "probability": round(point, 6),
+            "ci_low": round(low, 6),
+            "ci_high": round(high, 6),
+            "half_width": round(half, 6),
+            "within_target": half <= target_half_width,
+        }
+
+    metric_rows: dict[str, dict] = {}
+    for name, target in metric_targets.items():
+        values = [
+            record["metrics"][name]
+            for record in records
+            if record["metrics"].get(name) is not None
+        ]
+        if len(values) < 2:
+            metric_rows[name] = {
+                "mean": round(float(values[0]), 6) if values else None,
+                "ci_low": None,
+                "ci_high": None,
+                "half_width": None,
+                "target": target,
+                "values": len(values),
+                "within_target": False,
+            }
+            continue
+        mean, low, high = bootstrap_ci(
+            values,
+            name=name,
+            seed=seed,
+            confidence=confidence,
+            resamples=resamples,
+        )
+        half = (high - low) / 2.0
+        metric_rows[name] = {
+            "mean": round(mean, 6),
+            "ci_low": round(low, 6),
+            "ci_high": round(high, 6),
+            "half_width": round(half, 6),
+            "target": target,
+            "values": len(values),
+            "within_target": half <= target,
+        }
+
+    return {
+        "draws": draws,
+        "confidence": confidence,
+        "target_half_width": target_half_width,
+        "claims": claim_rows,
+        "metrics": metric_rows,
+    }
+
+
+def summary_converged(summary: Mapping) -> bool:
+    """Did every tracked interval reach its half-width target?"""
+    if not summary:
+        return False
+    return all(
+        entry["within_target"] for entry in summary["claims"].values()
+    ) and all(
+        entry["within_target"] for entry in summary["metrics"].values()
+    )

@@ -12,6 +12,9 @@ Usage (also via ``python -m repro``)::
     repro campaign    --scenario lossy --out result.json
     repro sweep       --num-seeds 4 --seed 11 --rounds 4 --out sweep.json
     repro sweep       --scenario lossy spike-storm --seeds 11 12 --out sweep.json
+    repro montecarlo  --regime tiny-mc --countries 8 --rounds 1 --out mc.json
+    repro montecarlo  --regime baseline-mc --max-draws 48 --workers 4
+    repro montecarlo  --list
     repro scenarios
     repro scenarios   --verify sweep.json
     repro analyze     result.json --report fig2
@@ -193,23 +196,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.core.sweep import SweepConfig, run_sweep
+    from repro.core.sweep import SweepRequest, run_sweep
 
     if args.seeds is not None:
         seeds = tuple(args.seeds)
     else:
         seeds = tuple(range(args.seed, args.seed + args.num_seeds))
-    config = SweepConfig(
+    request = SweepRequest.from_scenario(
+        tuple(args.scenario) if args.scenario else ("baseline",),
         seeds=seeds,
         rounds=args.rounds if args.rounds is not None else 4,
         countries=args.countries,
         max_countries=args.max_countries,
         workers=args.workers,
-        scenarios=tuple(args.scenario) if args.scenario else ("baseline",),
         world_cache=args.world_cache,
         use_world_cache=not args.no_world_cache,
     )
-    artifact = run_sweep(config)
+    result = run_sweep(request)
+    artifact = result.as_dict()
     timing = artifact["timing"]
     print(
         f"{artifact['workload']}: {timing['wall_clock_s']} s "
@@ -237,6 +241,69 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         verdict = section["expectations"]
         print(f"{name + ' paper shapes':>36}: {'ok' if verdict['ok'] else 'FAILED'}")
     print(f"wrote {len(artifact['per_seed'])} campaign summaries to {args.out}")
+    return 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from repro.analysis.montecarlo import summary_converged
+    from repro.core.montecarlo import MonteCarloConfig, run_montecarlo
+    from repro.scenarios.regimes import list_regimes
+
+    if args.list:
+        for regime in list_regimes():
+            print(f"{regime.name:>16}: {regime.description}")
+        return 0
+    config = MonteCarloConfig(
+        regime=args.regime,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        max_draws=args.max_draws,
+        confidence=args.confidence,
+        target_half_width=args.target_half_width,
+        rounds=args.rounds if args.rounds is not None else 2,
+        countries=args.countries,
+        max_countries=args.max_countries,
+        workers=args.workers,
+        world_cache=args.world_cache,
+        use_world_cache=not args.no_world_cache,
+        bootstrap_resamples=args.bootstrap_resamples,
+    )
+    artifact = run_montecarlo(config)
+    convergence = artifact["convergence"]
+    timing = artifact["timing"]
+    print(
+        f"montecarlo {args.regime}: {convergence['draws']} draws in "
+        f"{convergence['batches']} batch(es), {timing['wall_clock_s']} s "
+        f"({timing['workers']} worker{'s' if timing['workers'] != 1 else ''}); "
+        f"{convergence['reason']}",
+        file=sys.stderr,
+    )
+    for name, row in artifact["risk"]["claims"].items():
+        print(
+            f"{name:>28}: holds {row['probability']:.3f} "
+            f"[{row['ci_low']:.3f}, {row['ci_high']:.3f}] "
+            f"({row['holds']}/{row['draws']} draws)",
+            file=sys.stderr,
+        )
+    if args.out is None:
+        # deterministic artifact to stdout, byte identical across runs
+        # and worker counts (timing stays on stderr above)
+        deterministic = {k: v for k, v in artifact.items() if k != "timing"}
+        json.dump(deterministic, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {convergence['draws']} draws to {args.out}", file=sys.stderr)
+    if args.require_converged and not summary_converged(artifact["risk"]):
+        print(
+            f"montecarlo: FAILED: not converged within "
+            f"{config.max_draws} draws (too wide: "
+            f"{', '.join(convergence['too_wide'])})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -708,6 +775,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="output JSON path (default: deterministic artifact to stdout)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_mc = sub.add_parser(
+        "montecarlo", parents=[world_parent, history_parent],
+        help="sample a regime's config distributions until the paper-claim "
+             "confidence intervals converge",
+    )
+    p_mc.add_argument(
+        "--regime", default="baseline-mc", metavar="NAME",
+        help="Monte-Carlo regime preset — see --list",
+    )
+    p_mc.add_argument(
+        "--list", action="store_true", help="list regime presets and exit"
+    )
+    p_mc.add_argument(
+        "--batch-size", type=int, default=8,
+        help="draws per adaptive batch (affects scheduling only: the draw "
+             "stream and risk summary are batch-size invariant)",
+    )
+    p_mc.add_argument(
+        "--max-draws", type=int, default=64,
+        help="hard draw cap; hitting it ends the run unconverged",
+    )
+    p_mc.add_argument(
+        "--confidence", type=float, default=0.95,
+        help="confidence level of the bootstrap/Wilson intervals",
+    )
+    p_mc.add_argument(
+        "--target-half-width", type=float, default=0.1,
+        help="convergence target for every claim-hold probability interval",
+    )
+    p_mc.add_argument(
+        "--bootstrap-resamples", type=int, default=2000,
+        help="resamples per bootstrap interval",
+    )
+    p_mc.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool size for each batch's fan-out (1 = inline)",
+    )
+    p_mc.add_argument(
+        "--require-converged", action="store_true",
+        help="exit 1 when the draw cap trips before the half-width targets",
+    )
+    p_mc.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: deterministic artifact to stdout)",
+    )
+    p_mc.set_defaults(func=_cmd_montecarlo)
 
     p_scenarios = sub.add_parser(
         "scenarios", help="list scenario presets / verify a sweep artifact"

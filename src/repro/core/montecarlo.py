@@ -1,0 +1,462 @@
+"""Monte-Carlo scenario manager: sample configs, bound the paper's claims.
+
+The enumerated preset x seed sweeps answer "does the paper's shape hold
+under these hand-picked regimes"; this module answers the stronger
+question "with what *probability* does each claim hold when the regime
+itself is uncertain".  A :class:`~repro.scenarios.regimes.Regime` attaches
+parameter distributions (:class:`ParamSpec`) to a base scenario's
+``WorldConfig``/``CampaignConfig`` knobs; :class:`MonteCarloManager`
+samples complete configurations from them, fans each batch of draws out
+through the typed sweep runner (:class:`~repro.core.sweep.SweepRequest`,
+one entry per draw, so the whole fan-out parallelizes and reuses the
+world-snapshot cache across draws that share a config digest), computes
+the paper-shape metrics per draw and keeps drawing adaptive batches until
+the bootstrap confidence intervals on every tracked metric — and the
+Wilson intervals on every claim-hold probability — are tighter than the
+configured half-width targets (or a hard draw cap trips, recorded in the
+convergence report).
+
+Determinism is per-draw, not per-run: draw ``i`` samples everything it
+needs (the world seed, then one value per spec, in spec order) from the
+dedicated ``montecarlo.draw{i}`` stream of the manager's root seed, so
+the sampled sequence is invariant to batch size and worker count, and
+the emitted artifact is byte-identical across runs
+(``tests/test_montecarlo.py`` asserts all three).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.analysis.montecarlo import draw_metrics, risk_summary, summary_converged
+from repro.core.sweep import SweepEntry, SweepRequest, run_sweep
+from repro.errors import ConfigError
+from repro.util.rand import derive_rng
+
+if TYPE_CHECKING:
+    from repro.scenarios.regimes import Regime
+
+#: Distribution kinds a :class:`ParamSpec` can draw from.
+PARAM_KINDS = ("uniform", "log_uniform", "choice")
+
+#: Prefixes a spec target may address (the two config trees a
+#: :class:`~repro.scenarios.Scenario` bundles).
+_TARGET_ROOTS = ("world", "campaign")
+
+
+@dataclass(frozen=True, slots=True)
+class ParamSpec:
+    """A distribution over one configuration knob.
+
+    Attributes:
+        target: Dotted path into the scenario's configs, rooted at
+            ``world`` or ``campaign`` — e.g.
+            ``"world.latency.jitter_sigma"`` or
+            ``"campaign.pings_per_pair"``.
+        kind: ``"uniform"`` (float in ``[low, high)``), ``"log_uniform"``
+            (float whose log is uniform — scale parameters), or
+            ``"choice"`` (one of ``choices``, uniformly).
+        low / high: Bounds for the numeric kinds.
+        choices: The candidate values for ``"choice"``.
+        integer: Round ``uniform`` draws to int (e.g. round counts).
+    """
+
+    target: str
+    kind: str
+    low: float | None = None
+    high: float | None = None
+    choices: tuple = ()
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        root, _, rest = self.target.partition(".")
+        if root not in _TARGET_ROOTS or not rest:
+            raise ConfigError(
+                f"param target must be '<root>.<field>[...]' with root in "
+                f"{_TARGET_ROOTS}, got {self.target!r}"
+            )
+        if self.kind not in PARAM_KINDS:
+            raise ConfigError(
+                f"param kind must be one of {PARAM_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "choice":
+            if not self.choices:
+                raise ConfigError(f"choice param {self.target!r} needs choices")
+            if self.low is not None or self.high is not None:
+                raise ConfigError(
+                    f"choice param {self.target!r} takes choices, not low/high"
+                )
+        else:
+            if self.low is None or self.high is None:
+                raise ConfigError(
+                    f"{self.kind} param {self.target!r} needs low and high"
+                )
+            if not self.low < self.high:
+                raise ConfigError(
+                    f"{self.kind} param {self.target!r}: low {self.low} must be "
+                    f"< high {self.high}"
+                )
+            if self.kind == "log_uniform" and self.low <= 0:
+                raise ConfigError(
+                    f"log_uniform param {self.target!r} needs low > 0, "
+                    f"got {self.low}"
+                )
+            if self.integer and self.kind != "uniform":
+                raise ConfigError(
+                    f"integer rounding only applies to uniform params "
+                    f"({self.target!r} is {self.kind})"
+                )
+
+    def sample(self, rng) -> Any:
+        """Draw one value from the spec's distribution."""
+        if self.kind == "choice":
+            return self.choices[int(rng.integers(len(self.choices)))]
+        if self.kind == "log_uniform":
+            return float(
+                math.exp(rng.uniform(math.log(self.low), math.log(self.high)))
+            )
+        value = rng.uniform(self.low, self.high)
+        return int(round(value)) if self.integer else float(value)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready description (the artifact's ``params`` section)."""
+        out: dict[str, Any] = {"target": self.target, "kind": self.kind}
+        if self.kind == "choice":
+            out["choices"] = list(self.choices)
+        else:
+            out["low"] = self.low
+            out["high"] = self.high
+            if self.integer:
+                out["integer"] = True
+        return out
+
+
+def replace_field(config: Any, path: str, value: Any) -> Any:
+    """A copy of a (nested, frozen) config dataclass with one field set.
+
+    ``path`` is dotted relative to ``config`` (``"latency.jitter_sigma"``);
+    every dataclass along the way is rebuilt via :func:`dataclasses.replace`
+    so the original stays untouched and ``__post_init__`` validation
+    re-runs at each level.
+    """
+    head, _, rest = path.partition(".")
+    if not dataclasses.is_dataclass(config):
+        raise ConfigError(
+            f"cannot descend into {type(config).__name__!r} at {path!r}"
+        )
+    if not hasattr(config, head):
+        raise ConfigError(
+            f"{type(config).__name__} has no field {head!r} (path {path!r})"
+        )
+    if not rest:
+        return dataclasses.replace(config, **{head: value})
+    child = replace_field(getattr(config, head), rest, value)
+    return dataclasses.replace(config, **{head: child})
+
+
+@dataclass(frozen=True, slots=True)
+class DrawSpec:
+    """One sampled configuration: ``(index, world seed, param values)``."""
+
+    index: int
+    world_seed: int
+    values: tuple[tuple[str, Any], ...]
+
+    @property
+    def label(self) -> str:
+        return f"draw-{self.index:04d}"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "draw": self.index,
+            "world_seed": self.world_seed,
+            "params": {target: value for target, value in self.values},
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class MonteCarloConfig:
+    """Knobs of a :class:`MonteCarloManager` run."""
+
+    regime: str
+    """Registered regime name (see :mod:`repro.scenarios.regimes`)."""
+
+    seed: int = 0
+    """Root seed of the ``montecarlo.draw{i}`` sampling streams."""
+
+    batch_size: int = 8
+    """Draws fanned out per adaptive batch (convergence is re-checked
+    after every batch; the draw *stream* is batch-size invariant)."""
+
+    max_draws: int = 64
+    """Hard cap on total draws; hitting it ends the run unconverged
+    (recorded in the convergence report, never an error)."""
+
+    confidence: float = 0.95
+    """Confidence level of the bootstrap and Wilson intervals."""
+
+    target_half_width: float = 0.1
+    """Convergence target for every claim-hold probability interval."""
+
+    metric_targets: Mapping[str, float] | None = None
+    """Per-metric bootstrap CI half-width targets (None = the regime's
+    own defaults)."""
+
+    rounds: int = 2
+    """Measurement rounds per draw campaign."""
+
+    countries: int | None = None
+    """Optional world country limit applied to every draw."""
+
+    max_countries: int | None = None
+    """Optional cap on endpoint countries per round."""
+
+    workers: int = 1
+    """Sweep process-pool size used for each batch's fan-out."""
+
+    world_cache: str | None = None
+    """World-snapshot cache shared across draws and batches: draws whose
+    sampled ``WorldConfig`` and world seed repeat (choice-valued or
+    campaign-only regimes, and any re-run) restore instead of rebuilding."""
+
+    use_world_cache: bool = True
+    """False forces from-scratch world builds in every draw."""
+
+    bootstrap_resamples: int = 2000
+    """Resamples per bootstrap interval (seeded; see
+    :func:`repro.analysis.montecarlo.bootstrap_ci`)."""
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        if self.max_draws < 1:
+            raise ConfigError("max_draws must be >= 1")
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigError("confidence must be in (0, 1)")
+        if self.target_half_width <= 0:
+            raise ConfigError("target_half_width must be positive")
+        if self.rounds < 1:
+            raise ConfigError("rounds must be >= 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+        if self.bootstrap_resamples < 1:
+            raise ConfigError("bootstrap_resamples must be >= 1")
+        if self.metric_targets is not None:
+            for name, target in self.metric_targets.items():
+                if target <= 0:
+                    raise ConfigError(
+                        f"metric target for {name!r} must be positive, "
+                        f"got {target}"
+                    )
+        # resolve the regime now so bad names fail at construction
+        from repro.scenarios.regimes import get_regime
+
+        get_regime(self.regime)
+
+
+class MonteCarloManager:
+    """Samples scenario configurations and bounds the paper's claims.
+
+    One manager owns one regime run: it deterministically samples draw
+    configurations, executes them in adaptive batches through
+    :func:`repro.core.sweep.run_sweep`, accumulates per-draw paper-shape
+    metrics, and stops when every tracked interval is tight enough (or
+    the draw cap trips).  :meth:`run` returns the JSON-ready risk
+    artifact; everything except its ``timing`` section is deterministic.
+    """
+
+    def __init__(self, config: MonteCarloConfig) -> None:
+        from repro.scenarios import get_scenario
+        from repro.scenarios.regimes import get_regime
+
+        self.config = config
+        self.regime: "Regime" = get_regime(config.regime)
+        self.base = get_scenario(self.regime.base)
+        self.metric_targets: dict[str, float] = dict(
+            config.metric_targets
+            if config.metric_targets is not None
+            else self.regime.metric_targets
+        )
+        self.claims: dict[str, bool] = dict(
+            self.regime.claims
+            if self.regime.claims is not None
+            else self.base.expect
+        )
+        if not self.claims:
+            raise ConfigError(
+                f"regime {self.regime.name!r} tracks no claims (neither the "
+                f"regime nor its base scenario declares expectations)"
+            )
+
+    # ------------------------------------------------------------ sampling
+
+    def sample_draw(self, index: int) -> DrawSpec:
+        """Draw ``index``'s sampled configuration.
+
+        Depends only on ``(config.seed, index)`` — each draw owns the
+        dedicated ``montecarlo.draw{index}`` stream and samples the world
+        seed first, then one value per spec in regime order, so adding a
+        spec to the *end* of a regime leaves earlier values unchanged.
+        """
+        rng = derive_rng(self.config.seed, f"montecarlo.draw{index}")
+        world_seed = int(rng.integers(self.regime.seed_pool))
+        values = tuple(
+            (spec.target, spec.sample(rng)) for spec in self.regime.params
+        )
+        return DrawSpec(index=index, world_seed=world_seed, values=values)
+
+    def draw_scenario(self, draw: DrawSpec):
+        """The base scenario with the draw's sampled values applied."""
+        scenario = self.base
+        for target, value in draw.values:
+            root, _, rest = target.partition(".")
+            scenario = dataclasses.replace(
+                scenario,
+                **{root: replace_field(getattr(scenario, root), rest, value)},
+            )
+        return scenario
+
+    def _batch_request(self, draws: list[DrawSpec]) -> SweepRequest:
+        return SweepRequest(
+            entries=tuple(
+                SweepEntry(
+                    label=draw.label,
+                    scenario=self.draw_scenario(draw),
+                    seeds=(draw.world_seed,),
+                )
+                for draw in draws
+            ),
+            rounds=self.config.rounds,
+            countries=self.config.countries,
+            max_countries=self.config.max_countries,
+            workers=self.config.workers,
+            world_cache=self.config.world_cache,
+            use_world_cache=self.config.use_world_cache,
+        )
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> dict:
+        """Execute adaptive batches until convergence or the draw cap.
+
+        Returns the risk artifact::
+
+            regime / base_scenario / description — what ran;
+            config — the manager knobs;
+            params — the regime's distributions (JSON-ready);
+            claims — the expected value of each tracked paper shape;
+            draws — per draw: world seed, sampled params, metrics, shapes;
+            risk — per-claim hold probability with Wilson CI, per-metric
+                bootstrap CI (see :func:`repro.analysis.montecarlo.risk_summary`);
+            convergence — did the intervals reach their targets, in how
+                many draws/batches, and what was still too wide if not;
+            world_cache — distinct (config digest, seed) census: how much
+                snapshot reuse the draw stream allowed;
+            timing — wall clocks (the one non-deterministic section).
+        """
+        from repro.core.worldcache import config_digest
+
+        records: list[dict] = []
+        batch_walls: list[float] = []
+        batches = 0
+        summary: dict = {}
+        start = time.perf_counter()
+        while len(records) < self.config.max_draws:
+            size = min(self.config.batch_size, self.config.max_draws - len(records))
+            draws = [
+                self.sample_draw(index)
+                for index in range(len(records), len(records) + size)
+            ]
+            batch_start = time.perf_counter()
+            result = run_sweep(self._batch_request(draws))
+            batch_walls.append(round(time.perf_counter() - batch_start, 3))
+            for draw in draws:
+                metrics, shapes = draw_metrics(result.tables[draw.label])
+                record = draw.as_dict()
+                record["metrics"] = metrics
+                record["shapes"] = shapes
+                records.append(record)
+            batches += 1
+            summary = risk_summary(
+                records,
+                claims=self.claims,
+                metric_targets=self.metric_targets,
+                confidence=self.config.confidence,
+                target_half_width=self.config.target_half_width,
+                seed=self.config.seed,
+                resamples=self.config.bootstrap_resamples,
+            )
+            if summary_converged(summary):
+                break
+        wall_clock_s = time.perf_counter() - start
+
+        converged = summary_converged(summary)
+        too_wide = [
+            f"claim:{name}"
+            for name, entry in summary["claims"].items()
+            if not entry["within_target"]
+        ] + [
+            f"metric:{name}"
+            for name, entry in summary["metrics"].items()
+            if not entry["within_target"]
+        ]
+        world_keys = {
+            (config_digest(self.draw_scenario(self.sample_draw(r["draw"])).world),
+             r["world_seed"])
+            for r in records
+        }
+        artifact = {
+            "regime": self.regime.name,
+            "base_scenario": self.regime.base,
+            "description": self.regime.description,
+            "config": {
+                "seed": self.config.seed,
+                "batch_size": self.config.batch_size,
+                "max_draws": self.config.max_draws,
+                "confidence": self.config.confidence,
+                "target_half_width": self.config.target_half_width,
+                "metric_targets": dict(self.metric_targets),
+                "rounds": self.config.rounds,
+                "countries": self.config.countries,
+                "max_countries": self.config.max_countries,
+            },
+            "params": [spec.as_dict() for spec in self.regime.params],
+            "claims": dict(self.claims),
+            "draws": records,
+            "risk": summary,
+            "convergence": {
+                "converged": converged,
+                "draws": len(records),
+                "batches": batches,
+                "max_draws": self.config.max_draws,
+                "target_half_width": self.config.target_half_width,
+                "metric_targets": dict(self.metric_targets),
+                "too_wide": sorted(too_wide),
+                "reason": (
+                    "every interval within its half-width target"
+                    if converged
+                    else "draw cap reached before the half-width targets"
+                ),
+            },
+            "world_cache": {
+                "distinct_worlds": len(world_keys),
+                "distinct_configs": len({key for key, _ in world_keys}),
+                "draws": len(records),
+            },
+            "timing": {
+                "workers": self.config.workers,
+                "world_cache": self.config.world_cache,
+                "wall_clock_s": round(wall_clock_s, 3),
+                "batch_s": batch_walls,
+            },
+        }
+        return artifact
+
+
+def run_montecarlo(config: MonteCarloConfig) -> dict:
+    """One-shot helper: ``MonteCarloManager(config).run()``."""
+    return MonteCarloManager(config).run()

@@ -1,28 +1,45 @@
-"""Multi-seed, multi-scenario campaign sweeps.
+"""Multi-seed, multi-scenario campaign sweeps behind a typed request API.
 
 One seed is one synthetic Internet; one scenario is one measurement
 regime (a named world/latency/workload configuration from
 :mod:`repro.scenarios`).  The paper's qualitative claims (colo relays win
 most cases, median RTT reductions in the tens of ms) should hold across
 *worlds* and survive *regimes*, not just rounds of one world —
-:func:`run_sweep` runs the full campaign for every (scenario, seed)
+:func:`run_sweep` runs the full campaign for every entry x seed
 combination — optionally in parallel via :mod:`concurrent.futures` — and
-aggregates each run's paper-shape metrics into a single JSON-ready
-artifact.
+aggregates each run's paper-shape metrics into one
+:class:`SweepResult`.
+
+The programmatic surface mirrors the service API redesign:
+
+* :class:`SweepRequest` is the typed, frozen request.  Build it with
+  :meth:`SweepRequest.from_scenario` (registered preset names, one
+  shared seed list) or :meth:`SweepRequest.from_configs` (explicit
+  ``WorldConfig``/``CampaignConfig`` pairs — the Monte-Carlo manager's
+  path, where every sampled draw is its own entry with its own seed).
+* :class:`SweepResult` is the typed, frozen return value.  It carries
+  the JSON-ready artifact sections as attributes plus the pooled
+  per-entry :class:`~repro.core.table.ObservationTable` objects
+  (``tables``; never serialized), and bridges read-only mapping access
+  (``result["per_seed"]``, ``dict(result)``) over :meth:`as_dict` so
+  callers that treated the old artifact dict as JSON keep working.
+* The pre-redesign call shape — ``run_sweep(SweepConfig(...))`` — still
+  works behind a ``DeprecationWarning`` and produces a byte-identical
+  artifact (asserted in ``tests/test_sweep.py``).
 
 Transport is columnar: each worker returns its campaign's
 :class:`~repro.core.table.ObservationTable` as a compact payload (a dozen
 flat NumPy buffers plus string pools) and its relay registry as flat
 identity columns, rather than pickling one Python object per case.  The
 parent computes every metric from the received columns and pools each
-scenario's seeds into one cross-world table — relay identities unified
+entry's seeds into one cross-world table — relay identities unified
 by ``(node_id, relay_type)`` first, so the pooled table is servable
 directly (see :mod:`repro.service.cluster`) — which
-also feeds the scenario's paper-shape verdict
+also feeds the entry's paper-shape verdict
 (:func:`repro.analysis.scenarios.paper_shapes` against the preset's
-expectations) and the cross-scenario ``comparison`` section.
+expectations) and the cross-entry ``comparison`` section.
 
-Determinism: every per-run metric depends only on ``(scenario, seed,
+Determinism: every per-run metric depends only on ``(configs, seed,
 rounds, countries, max_countries)``, so everything except the ``timing``
 section is identical regardless of the worker count (the CLI test asserts
 this byte for byte).
@@ -31,8 +48,11 @@ this byte for byte).
 from __future__ import annotations
 
 import time
+import warnings
+from collections.abc import Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Iterator
 
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.analysis.scenarios import (
@@ -42,16 +62,23 @@ from repro.analysis.scenarios import (
     scenario_report,
 )
 from repro.core.campaign import MeasurementCampaign
+from repro.core.config import CampaignConfig
 from repro.core.results import RelayRegistry, unify_relay_identities
 from repro.core.table import ObservationTable
 from repro.errors import ConfigError
-from repro.scenarios import get_scenario, scenario_with
-from repro.world import build_world
+from repro.scenarios import Scenario, get_scenario, scenario_with
+from repro.world import WorldConfig, build_world
 
 
 @dataclass(frozen=True, slots=True)
 class SweepConfig:
-    """Parameters of a multi-seed, multi-scenario campaign sweep."""
+    """Parameters of a multi-seed, multi-scenario campaign sweep.
+
+    The pre-redesign request shape: registry names plus one shared seed
+    list.  Passing one to :func:`run_sweep` still works behind a
+    ``DeprecationWarning``; new callers build a :class:`SweepRequest`
+    (``SweepRequest.from_config`` converts losslessly).
+    """
 
     seeds: tuple[int, ...]
     """World seeds to run, one full campaign each per scenario."""
@@ -99,51 +126,285 @@ class SweepConfig:
         if len(set(self.scenarios)) != len(self.scenarios):
             raise ConfigError(f"duplicate scenarios in sweep: {self.scenarios}")
         for name in self.scenarios:
-            get_scenario(name)  # raises ConfigError for unknown names
+            get_scenario(name)  # raises UnknownScenarioError for unknown names
+
+
+@dataclass(frozen=True, slots=True)
+class SweepEntry:
+    """One labelled regime of a sweep, with its own seed list.
+
+    ``label`` keys the artifact's per-entry sections (for registry-backed
+    sweeps it is the scenario name; the Monte-Carlo manager labels each
+    sampled draw ``draw-NNNN``).  ``scenario`` carries the complete
+    world/campaign configuration plus the paper-shape expectations the
+    pooled table is checked against.
+    """
+
+    label: str
+    scenario: Scenario
+    seeds: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ConfigError("sweep entry needs a label")
+        if not self.seeds:
+            raise ConfigError(f"sweep entry {self.label!r} needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ConfigError(
+                f"duplicate seeds in sweep entry {self.label!r}: {self.seeds}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepRequest:
+    """The typed sweep request :func:`run_sweep` executes.
+
+    Build one with :meth:`from_scenario` (registered presets, shared
+    seeds — the CLI path) or :meth:`from_configs` (explicit configs, the
+    programmatic/Monte-Carlo path); the bare constructor takes
+    pre-assembled :class:`SweepEntry` rows for full control (per-entry
+    seed lists).
+    """
+
+    entries: tuple[SweepEntry, ...]
+    """The labelled regimes to run; every entry runs its own seeds."""
+
+    rounds: int = 4
+    """Measurement rounds per campaign (overrides each scenario's own)."""
+
+    countries: int | None = None
+    """Optional world country limit (None = each scenario's own scope)."""
+
+    max_countries: int | None = None
+    """Optional cap on endpoint countries per round."""
+
+    workers: int = 1
+    """Process-pool size; 1 runs the campaigns inline."""
+
+    world_cache: str | None = None
+    """World-snapshot cache directory (see :class:`SweepConfig`)."""
+
+    use_world_cache: bool = True
+    """False forces the from-scratch reference path in every worker."""
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ConfigError("sweep needs at least one entry")
+        labels = [entry.label for entry in self.entries]
+        if len(set(labels)) != len(labels):
+            raise ConfigError(f"duplicate labels in sweep entries: {labels}")
+        if self.rounds < 1:
+            raise ConfigError("rounds must be >= 1")
+        if self.workers < 1:
+            raise ConfigError("workers must be >= 1")
+
+    @classmethod
+    def from_scenario(
+        cls,
+        names: str | Sequence[str],
+        *,
+        seeds: Sequence[int],
+        rounds: int = 4,
+        countries: int | None = None,
+        max_countries: int | None = None,
+        workers: int = 1,
+        world_cache: str | None = None,
+        use_world_cache: bool = True,
+    ) -> "SweepRequest":
+        """A request over registered scenario presets, one shared seed list.
+
+        Raises:
+            UnknownScenarioError: for names missing from the registry.
+        """
+        if isinstance(names, str):
+            names = (names,)
+        if not names:
+            raise ConfigError("sweep needs at least one scenario")
+        seed_tuple = tuple(seeds)
+        return cls(
+            entries=tuple(
+                SweepEntry(label=name, scenario=get_scenario(name), seeds=seed_tuple)
+                for name in names
+            ),
+            rounds=rounds,
+            countries=countries,
+            max_countries=max_countries,
+            workers=workers,
+            world_cache=world_cache,
+            use_world_cache=use_world_cache,
+        )
+
+    @classmethod
+    def from_configs(
+        cls,
+        world: WorldConfig | None = None,
+        campaign: CampaignConfig | None = None,
+        *,
+        seeds: Sequence[int],
+        label: str = "custom",
+        description: str = "explicit world/campaign configuration",
+        expect: Mapping[str, bool] | None = None,
+        rounds: int = 4,
+        countries: int | None = None,
+        max_countries: int | None = None,
+        workers: int = 1,
+        world_cache: str | None = None,
+        use_world_cache: bool = True,
+    ) -> "SweepRequest":
+        """A single-entry request over explicit configs (no registry).
+
+        ``expect`` optionally asserts paper shapes on the pooled table
+        exactly like a registered preset's expectations would.
+        """
+        scenario = Scenario(
+            name=label,
+            description=description,
+            world=world if world is not None else WorldConfig(),
+            campaign=campaign if campaign is not None else CampaignConfig(),
+            expect=dict(expect) if expect else {},
+        )
+        return cls(
+            entries=(SweepEntry(label=label, scenario=scenario, seeds=tuple(seeds)),),
+            rounds=rounds,
+            countries=countries,
+            max_countries=max_countries,
+            workers=workers,
+            world_cache=world_cache,
+            use_world_cache=use_world_cache,
+        )
+
+    @classmethod
+    def from_config(cls, config: SweepConfig) -> "SweepRequest":
+        """Lossless conversion of the pre-redesign :class:`SweepConfig`."""
+        return cls.from_scenario(
+            config.scenarios,
+            seeds=config.seeds,
+            rounds=config.rounds,
+            countries=config.countries,
+            max_countries=config.max_countries,
+            workers=config.workers,
+            world_cache=config.world_cache,
+            use_world_cache=config.use_world_cache,
+        )
+
+    @property
+    def shared_seeds(self) -> tuple[int, ...] | None:
+        """The one seed list every entry runs, or None when they differ."""
+        first = self.entries[0].seeds
+        if all(entry.seeds == first for entry in self.entries):
+            return first
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """One sweep's typed outcome (see :func:`run_sweep`).
+
+    Attribute-typed, with a read-only mapping bridge (``result["key"]``,
+    ``"key" in result``, ``dict(result)``) over :meth:`as_dict` so
+    callers that treated the old artifact dict as JSON keep working.
+    ``tables`` / ``registries`` expose each entry's pooled cross-world
+    observation table and unified relay registry for further analysis
+    (the Monte-Carlo manager's per-draw metrics); they never appear in
+    :meth:`as_dict`.
+    """
+
+    workload: str
+    config: dict
+    per_seed: tuple[dict, ...]
+    scenarios: dict[str, dict]
+    comparison: dict
+    shapes_ok: bool
+    timing: dict
+    pooled: dict | None = None
+    aggregate: dict | None = None
+    tables: dict[str, ObservationTable] = field(default_factory=dict, repr=False)
+    registries: dict[str, RelayRegistry] = field(default_factory=dict, repr=False)
+
+    def as_dict(self, *, include_timing: bool = True) -> dict[str, Any]:
+        """The JSON-ready artifact (the old ``run_sweep`` dict shape).
+
+        ``include_timing=False`` drops the one non-deterministic section,
+        leaving bytes that are identical across runs and worker counts.
+        """
+        out: dict[str, Any] = {
+            "workload": self.workload,
+            "config": dict(self.config),
+            "per_seed": list(self.per_seed),
+            "scenarios": dict(self.scenarios),
+            "comparison": dict(self.comparison),
+            "shapes_ok": self.shapes_ok,
+        }
+        if self.pooled is not None:
+            out["pooled"] = self.pooled
+        if self.aggregate is not None:
+            out["aggregate"] = self.aggregate
+        if include_timing:
+            out["timing"] = dict(self.timing)
+        return out
+
+    # ------------------------------------------------- mapping bridge
+    def __getitem__(self, key: str) -> Any:
+        return self.as_dict()[key]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.as_dict()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.as_dict())
+
+    def keys(self):
+        return self.as_dict().keys()
+
+    def values(self):
+        return self.as_dict().values()
+
+    def items(self):
+        return self.as_dict().items()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
 
 
 def _run_seed_columns(
-    scenario_name: str,
+    label: str,
+    world_config: WorldConfig,
+    campaign_config: CampaignConfig,
     seed: int,
-    rounds: int,
-    countries: int | None = None,
-    max_countries: int | None = None,
     world_cache: str | None = None,
     use_world_cache: bool = True,
 ) -> dict:
-    """Run one (scenario, seed) campaign; return its columns + scalars.
+    """Run one (configs, seed) campaign; return its columns + scalars.
 
-    This is the worker side of the sweep: the scenario is resolved from
-    the registry by name (names travel cheaply to pool processes), and the
-    campaign result travels back as a columnar payload (flat arrays) plus
-    the few scalars the table does not carry, never as pickled
-    ``PairObservation`` lists.
+    This is the worker side of the sweep: the parent resolves each
+    entry's scenario into explicit configs (registry scenarios hold
+    unpicklable mapping proxies; plain config dataclasses travel cheaply
+    to pool processes), and the campaign result travels back as a
+    columnar payload (flat arrays) plus the few scalars the table does
+    not carry, never as pickled ``PairObservation`` lists.
 
     Wall clock is reported split into ``world_build_s`` (world assembly +
     routing fabric/grid — snapshot-restored when ``world_cache`` hits) and
     ``campaign_s`` (the measurement itself), so the bench drift guard can
     see regressions in either half.
     """
-    scenario = scenario_with(
-        get_scenario(scenario_name),
-        rounds=rounds,
-        countries=countries,
-        max_countries=max_countries,
-    )
     start = time.perf_counter()
     world = build_world(
         seed=seed,
-        config=scenario.world,
+        config=world_config,
         world_cache=world_cache,
         use_world_cache=use_world_cache,
     )
     world.ensure_routing_fabric()
     build_done = time.perf_counter()
-    campaign = MeasurementCampaign(world, scenario.campaign)
+    campaign = MeasurementCampaign(world, campaign_config)
     result = campaign.run()
     end = time.perf_counter()
     return {
-        "scenario": scenario_name,
+        "scenario": label,
         "seed": seed,
         "columns": result.table.to_payload(),
         "registry": result.registry.to_payload(),
@@ -169,6 +430,19 @@ def _metrics_from_columns(outcome: dict, table: ObservationTable) -> dict:
     return metrics
 
 
+def _resolved_configs(
+    request: SweepRequest, entry: SweepEntry
+) -> tuple[WorldConfig, CampaignConfig]:
+    """The entry's configs with the request's workload overrides applied."""
+    scenario = scenario_with(
+        entry.scenario,
+        rounds=request.rounds,
+        countries=request.countries,
+        max_countries=request.max_countries,
+    )
+    return scenario.world, scenario.campaign
+
+
 def run_seed_campaign(
     seed: int,
     rounds: int,
@@ -182,7 +456,13 @@ def run_seed_campaign(
     ``wall_clock_s`` (reported under the same key the sweep's ``timing``
     section uses, and stripped from the deterministic sections).
     """
-    outcome = _run_seed_columns(scenario, seed, rounds, countries, max_countries)
+    resolved = scenario_with(
+        get_scenario(scenario),
+        rounds=rounds,
+        countries=countries,
+        max_countries=max_countries,
+    )
+    outcome = _run_seed_columns(scenario, resolved.world, resolved.campaign, seed)
     table = ObservationTable.from_payload(outcome["columns"])
     return {
         "metrics": _metrics_from_columns(outcome, table),
@@ -191,7 +471,7 @@ def run_seed_campaign(
 
 
 def _sweep_job(
-    args: tuple[str, int, int, int | None, int | None, str | None, bool],
+    args: tuple[str, WorldConfig, CampaignConfig, int, str | None, bool],
 ) -> dict:
     """Picklable process-pool entry point."""
     return _run_seed_columns(*args)
@@ -219,15 +499,44 @@ def _aggregate(per_seed: list[dict]) -> dict:
     return aggregate
 
 
-def run_sweep(config: SweepConfig) -> dict:
-    """Run the sweep and return the aggregated artifact (JSON-ready).
+def _config_section(request: SweepRequest) -> dict:
+    """The artifact's ``config`` section.
 
-    Artifact sections, all deterministic across worker counts:
+    Keeps the pre-redesign shape byte for byte when every entry shares one
+    seed list (``seeds`` + ``scenarios``); per-entry seed lists (the
+    Monte-Carlo fan-out) additionally carry an ``entries`` mapping and
+    report ``seeds: null``.
+    """
+    shared = request.shared_seeds
+    section: dict = {
+        "seeds": list(shared) if shared is not None else None,
+        "rounds": request.rounds,
+        "countries": request.countries,
+        "max_countries": request.max_countries,
+        "scenarios": [entry.label for entry in request.entries],
+    }
+    if shared is None:
+        section["entries"] = {
+            entry.label: list(entry.seeds) for entry in request.entries
+        }
+    return section
+
+
+def run_sweep(request: SweepRequest | SweepConfig) -> SweepResult:
+    """Run the sweep and return its :class:`SweepResult`.
+
+    Passing the pre-redesign :class:`SweepConfig` still works behind a
+    ``DeprecationWarning`` (the artifact bytes are identical — asserted
+    in ``tests/test_sweep.py``); new callers build a
+    :class:`SweepRequest`.
+
+    Artifact sections (:meth:`SweepResult.as_dict`), all deterministic
+    across worker counts:
 
     * ``config`` — the sweep parameters;
-    * ``per_seed`` — each (scenario, seed) run's metrics, scenario-major
-      in ``config.scenarios`` × ``config.seeds`` order;
-    * ``scenarios`` — per scenario: its description, the same metrics
+    * ``per_seed`` — each (entry, seed) run's metrics, entry-major in
+      ``entries`` x ``seeds`` order;
+    * ``scenarios`` — per entry label: its description, the same metrics
       over all its seeds' cases pooled into one cross-world table
       (``pooled``), the paper-shape booleans of that pooled table
       (``shapes``), the verdict against the scenario's expectations
@@ -235,9 +544,9 @@ def run_sweep(config: SweepConfig) -> dict:
       across-seed ``aggregate`` (mean/min/max per metric);
     * ``comparison`` — pooled metrics pivoted metric-first so regimes
       read side by side;
-    * ``shapes_ok`` — True iff every scenario met its expectations;
-    * ``pooled`` / ``aggregate`` — single-scenario sweeps only: aliases
-      of that scenario's sections (the pre-scenario artifact shape).
+    * ``shapes_ok`` — True iff every entry met its expectations;
+    * ``pooled`` / ``aggregate`` — single-entry sweeps only: aliases
+      of that entry's sections (the pre-scenario artifact shape).
 
     A separate ``timing`` section carries wall clocks and worker count.
 
@@ -248,27 +557,37 @@ def run_sweep(config: SweepConfig) -> dict:
     table is directly servable (``repro.service.cluster``) — a naive
     concat would alias unrelated relays that happen to share an index.
     The ``pooled`` *metrics* are identity-free (fractions and gains) and
-    are unchanged by the remap; each scenario section reports the
+    are unchanged by the remap; each entry section reports the
     unification census under ``cross_world``.
     """
-    jobs = [
-        (
-            scenario,
-            seed,
-            config.rounds,
-            config.countries,
-            config.max_countries,
-            config.world_cache,
-            config.use_world_cache,
+    if isinstance(request, SweepConfig):
+        warnings.warn(
+            "run_sweep(SweepConfig) is deprecated; build a SweepRequest "
+            "(SweepRequest.from_scenario / from_configs) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        for scenario in config.scenarios
-        for seed in config.seeds
-    ]
+        request = SweepRequest.from_config(request)
+
+    jobs = []
+    for entry in request.entries:
+        world_config, campaign_config = _resolved_configs(request, entry)
+        jobs.extend(
+            (
+                entry.label,
+                world_config,
+                campaign_config,
+                seed,
+                request.world_cache,
+                request.use_world_cache,
+            )
+            for seed in entry.seeds
+        )
     start = time.perf_counter()
-    if config.workers == 1:
+    if request.workers == 1:
         outcomes = [_sweep_job(job) for job in jobs]
     else:
-        with ProcessPoolExecutor(max_workers=config.workers) as pool:
+        with ProcessPoolExecutor(max_workers=request.workers) as pool:
             outcomes = list(pool.map(_sweep_job, jobs))
     wall_clock_s = time.perf_counter() - start
 
@@ -280,55 +599,64 @@ def run_sweep(config: SweepConfig) -> dict:
     ]
 
     scenario_sections: dict[str, dict] = {}
-    for pos, name in enumerate(config.scenarios):
-        scenario = get_scenario(name)
-        lo = pos * len(config.seeds)
-        hi = lo + len(config.seeds)
-        unified_tables, _, cross_world = unify_relay_identities(
+    pooled_tables: dict[str, ObservationTable] = {}
+    pooled_registries: dict[str, RelayRegistry] = {}
+    lo = 0
+    for entry in request.entries:
+        hi = lo + len(entry.seeds)
+        unified_tables, unified_registry, cross_world = unify_relay_identities(
             tables[lo:hi], registries[lo:hi]
         )
         pooled_table = ObservationTable.concat(unified_tables)
         pooled_metrics, shapes = scenario_report(pooled_table)
-        scenario_sections[name] = {
-            "description": scenario.description,
+        scenario_sections[entry.label] = {
+            "description": entry.scenario.description,
             "pooled": pooled_metrics,
             "shapes": shapes,
-            "expectations": check_expectations(shapes, scenario.expect),
+            "expectations": check_expectations(shapes, entry.scenario.expect),
             "aggregate": _aggregate(per_seed[lo:hi]),
             "cross_world": cross_world,
         }
+        pooled_tables[entry.label] = pooled_table
+        pooled_registries[entry.label] = unified_registry
+        lo = hi
 
-    artifact = {
-        "workload": (
-            f"{len(config.seeds)}-seed x {len(config.scenarios)}-scenario "
-            f"sweep, {config.rounds} rounds each"
-        ),
-        "config": {
-            "seeds": list(config.seeds),
-            "rounds": config.rounds,
-            "countries": config.countries,
-            "max_countries": config.max_countries,
-            "scenarios": list(config.scenarios),
-        },
-        "per_seed": per_seed,
-        "scenarios": scenario_sections,
-        "comparison": compare_scenarios(
+    shared = request.shared_seeds
+    if shared is not None:
+        workload = (
+            f"{len(shared)}-seed x {len(request.entries)}-scenario "
+            f"sweep, {request.rounds} rounds each"
+        )
+    else:
+        workload = (
+            f"{len(jobs)}-run x {len(request.entries)}-entry "
+            f"sweep, {request.rounds} rounds each"
+        )
+
+    single = scenario_sections[request.entries[0].label] if (
+        len(request.entries) == 1
+    ) else None
+    return SweepResult(
+        workload=workload,
+        config=_config_section(request),
+        per_seed=tuple(per_seed),
+        scenarios=scenario_sections,
+        comparison=compare_scenarios(
             {name: section["pooled"] for name, section in scenario_sections.items()}
         ),
-        "shapes_ok": all(
+        shapes_ok=all(
             section["expectations"]["ok"] for section in scenario_sections.values()
         ),
-    }
-    if len(config.scenarios) == 1:
-        only = scenario_sections[config.scenarios[0]]
-        artifact["pooled"] = only["pooled"]
-        artifact["aggregate"] = only["aggregate"]
-    artifact["timing"] = {
-        "workers": config.workers,
-        "world_cache": config.world_cache,
-        "wall_clock_s": round(wall_clock_s, 3),
-        "per_seed_s": [outcome["wall_clock_s"] for outcome in outcomes],
-        "world_build_s": [outcome["world_build_s"] for outcome in outcomes],
-        "campaign_s": [outcome["campaign_s"] for outcome in outcomes],
-    }
-    return artifact
+        pooled=single["pooled"] if single is not None else None,
+        aggregate=single["aggregate"] if single is not None else None,
+        timing={
+            "workers": request.workers,
+            "world_cache": request.world_cache,
+            "wall_clock_s": round(wall_clock_s, 3),
+            "per_seed_s": [outcome["wall_clock_s"] for outcome in outcomes],
+            "world_build_s": [outcome["world_build_s"] for outcome in outcomes],
+            "campaign_s": [outcome["campaign_s"] for outcome in outcomes],
+        },
+        tables=pooled_tables,
+        registries=pooled_registries,
+    )

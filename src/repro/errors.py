@@ -14,6 +14,13 @@ class ConfigError(ReproError):
     """A configuration object contains an invalid or inconsistent value."""
 
 
+class UnknownScenarioError(ConfigError):
+    """A scenario or Monte-Carlo regime name is not in its registry.
+
+    Subclasses :class:`ConfigError` so existing ``except ConfigError``
+    call sites keep working; the message lists the registered names."""
+
+
 class GeoError(ReproError):
     """Invalid geographic input (bad coordinates, unknown country/city)."""
 

@@ -1,0 +1,197 @@
+"""Monte-Carlo regimes: scenarios with parameter *distributions*.
+
+A :class:`Regime` is to the Monte-Carlo manager what a
+:class:`~repro.scenarios.Scenario` is to the sweep runner: a named,
+registered preset.  Where a scenario fixes every configuration knob, a
+regime starts from a base scenario and attaches
+:class:`~repro.core.montecarlo.ParamSpec` distributions to the knobs that
+are *uncertain* — the manager samples a complete configuration per draw
+(plus a world seed from ``seed_pool``) and asks how often the paper's
+claims survive.
+
+``claims`` lists the shapes whose hold-probability the run bounds
+(``None`` inherits the base scenario's expectations); ``metric_targets``
+names the metrics whose bootstrap confidence intervals gate convergence,
+mapped to their half-width targets.  Lookups raise
+:class:`~repro.errors.UnknownScenarioError`, same as the scenario
+registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.analysis.montecarlo import SHAPE_KEYS
+from repro.core.montecarlo import ParamSpec
+from repro.errors import ConfigError, UnknownScenarioError
+from repro.scenarios.registry import get_scenario
+
+
+@dataclass(frozen=True)
+class Regime:
+    """One named Monte-Carlo sampling regime.
+
+    Attributes:
+        name: Registry key (kebab-case, conventionally ``*-mc``).
+        description: One-line summary shown by ``repro montecarlo --list``.
+        base: Name of the registered scenario the draws perturb.
+        params: Distributions over the base scenario's config knobs,
+            sampled in order on each draw.
+        seed_pool: World seeds are drawn uniformly from
+            ``[0, seed_pool)``; a small pool makes draws *collide* on
+            (config digest, seed) and reuse world snapshots.
+        claims: Shapes whose hold-probability the run reports, mapped to
+            the expected boolean (``None`` = the base scenario's
+            ``expect``).  Keys must be draw shape keys
+            (:data:`~repro.analysis.montecarlo.SHAPE_KEYS`).
+        metric_targets: Draw metrics whose bootstrap CIs gate
+            convergence, mapped to half-width targets.
+    """
+
+    name: str
+    description: str
+    base: str = "baseline"
+    params: tuple[ParamSpec, ...] = ()
+    seed_pool: int = 1000
+    claims: Mapping[str, bool] | None = None
+    metric_targets: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or self.name != self.name.strip().lower():
+            raise ConfigError(f"regime name must be lowercase, got {self.name!r}")
+        get_scenario(self.base)  # unknown base fails at definition time
+        targets = [spec.target for spec in self.params]
+        if len(set(targets)) != len(targets):
+            raise ConfigError(f"regime {self.name!r} has duplicate param targets")
+        if self.seed_pool < 1:
+            raise ConfigError("seed_pool must be >= 1")
+        if self.claims is not None:
+            unknown = set(self.claims) - set(SHAPE_KEYS)
+            if unknown:
+                raise ConfigError(
+                    f"regime {self.name!r} claims unknown shapes: "
+                    f"{sorted(unknown)}; known: {SHAPE_KEYS}"
+                )
+            object.__setattr__(self, "claims", MappingProxyType(dict(self.claims)))
+        for metric, target in self.metric_targets.items():
+            if target <= 0:
+                raise ConfigError(
+                    f"regime {self.name!r}: metric target for {metric!r} "
+                    f"must be positive, got {target}"
+                )
+        object.__setattr__(
+            self, "metric_targets", MappingProxyType(dict(self.metric_targets))
+        )
+
+
+_REGISTRY: dict[str, Regime] = {}
+
+
+def register_regime(regime: Regime) -> Regime:
+    """Add a regime to the registry (returns it for chaining).
+
+    Raises:
+        ConfigError: if the name is already taken.
+    """
+    if regime.name in _REGISTRY:
+        raise ConfigError(f"regime {regime.name!r} already registered")
+    _REGISTRY[regime.name] = regime
+    return regime
+
+
+def get_regime(name: str) -> Regime:
+    """Look a regime up by name.
+
+    Raises:
+        UnknownScenarioError: for unknown names (message lists what
+            exists; subclasses :class:`~repro.errors.ConfigError`).
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown regime {name!r}; registered: {', '.join(regime_names())}"
+        ) from None
+
+
+def regime_names() -> tuple[str, ...]:
+    """Registered regime names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def list_regimes() -> tuple[Regime, ...]:
+    """Every registered regime, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+# --------------------------------------------------------------- presets
+
+register_regime(
+    Regime(
+        name="baseline-mc",
+        description="Paper defaults with uncertain jitter, queueing, loss "
+                    "and ping budget.",
+        base="baseline",
+        params=(
+            ParamSpec("world.latency.jitter_sigma", "uniform", 0.015, 0.04),
+            ParamSpec("world.latency.queueing_scale_ms", "log_uniform", 0.2, 1.0),
+            ParamSpec("world.latency.base_loss_prob", "log_uniform", 0.001, 0.02),
+            ParamSpec(
+                "campaign.pings_per_pair", "uniform", 6, 10, integer=True
+            ),
+        ),
+        seed_pool=1000,
+        metric_targets={
+            "win_rate_COR": 0.05,
+            "top10_cor_coverage": 0.08,
+        },
+    )
+)
+
+register_regime(
+    Regime(
+        name="lossy-mc",
+        description="Degraded networks with uncertain loss floor and spike "
+                    "pressure.",
+        base="lossy",
+        params=(
+            ParamSpec("world.latency.base_loss_prob", "log_uniform", 0.01, 0.08),
+            ParamSpec("world.latency.spike_prob", "uniform", 0.01, 0.08),
+            ParamSpec("world.latency.queueing_scale_ms", "log_uniform", 0.3, 1.5),
+        ),
+        seed_pool=1000,
+        metric_targets={"win_rate_COR": 0.06},
+    )
+)
+
+register_regime(
+    Regime(
+        name="tiny-mc",
+        description="CI smoke regime: baseline shapes on small perturbed "
+                    "worlds, loose targets.",
+        base="baseline",
+        # campaign-only perturbations keep the world digest constant, so
+        # the 4-seed pool collides on (digest, seed) and draws restore
+        # snapshots instead of rebuilding — the cache-reuse path CI gates
+        params=(
+            ParamSpec("campaign.pings_per_pair", "uniform", 6, 9, integer=True),
+            ParamSpec(
+                "campaign.relay_mix",
+                "choice",
+                choices=(
+                    ("COR", "PLR", "RAR_OTHER", "RAR_EYE"),
+                    ("COR", "PLR", "RAR_OTHER"),
+                ),
+            ),
+        ),
+        seed_pool=4,
+        claims={
+            "cases_observed": True,
+            "cor_wins_majority": True,
+            "voip_no_worse_with_cor": True,
+        },
+        metric_targets={"win_rate_COR": 0.2},
+    )
+)

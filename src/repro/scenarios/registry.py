@@ -26,7 +26,7 @@ from types import MappingProxyType
 from typing import Mapping
 
 from repro.core.config import CampaignConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownScenarioError
 from repro.latency.model import LatencyConfig
 from repro.measurement.config import InfrastructureConfig
 from repro.timeline.events import (
@@ -100,12 +100,13 @@ def get_scenario(name: str) -> Scenario:
     """Look a scenario up by name.
 
     Raises:
-        ConfigError: for unknown names (message lists what exists).
+        UnknownScenarioError: for unknown names (message lists what
+            exists; subclasses :class:`~repro.errors.ConfigError`).
     """
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise ConfigError(
+        raise UnknownScenarioError(
             f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
         ) from None
 
@@ -115,9 +116,13 @@ def scenario_names() -> tuple[str, ...]:
     return tuple(_REGISTRY)
 
 
-def all_scenarios() -> tuple[Scenario, ...]:
+def list_scenarios() -> tuple[Scenario, ...]:
     """Every registered scenario, in registration order."""
     return tuple(_REGISTRY.values())
+
+
+#: Backwards-compatible name of :func:`list_scenarios`.
+all_scenarios = list_scenarios
 
 
 # --------------------------------------------------------------- presets

@@ -61,6 +61,12 @@ def test_colo_filter_pipeline(capsys):
     assert "verified relay pool" in out
 
 
+def test_montecarlo_risk(capsys):
+    out = _run("montecarlo_risk", capsys)
+    assert "claim-hold probabilities" in out
+    assert "world reuse" in out
+
+
 def test_overlay_service(capsys):
     out = _run("overlay_service", capsys)
     assert "oracle-best relay" in out

@@ -1,14 +1,22 @@
 """Tests for the multi-seed sweep runner and its CLI subcommand."""
 
-import copy
 import json
 
 import pytest
 
 from repro.cli import build_parser, main
-from repro.core.sweep import SweepConfig, run_sweep
+from repro.core.config import CampaignConfig
+from repro.core.sweep import (
+    SweepConfig,
+    SweepEntry,
+    SweepRequest,
+    SweepResult,
+    run_sweep,
+)
+from repro.core.table import ObservationTable
 from repro.core.types import RELAY_TYPE_ORDER
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownScenarioError
+from repro.scenarios import get_scenario
 
 
 class TestSweepConfig:
@@ -35,10 +43,69 @@ class TestSweepConfig:
             SweepConfig(seeds=(1,), scenarios=("no-such-regime",))
 
 
+class TestSweepRequest:
+    def test_rejects_empty_entries(self):
+        with pytest.raises(ConfigError):
+            SweepRequest(entries=())
+
+    def test_rejects_duplicate_labels(self):
+        entry = SweepEntry(
+            label="baseline", scenario=get_scenario("baseline"), seeds=(1,)
+        )
+        with pytest.raises(ConfigError):
+            SweepRequest(entries=(entry, entry))
+
+    def test_entry_rejects_empty_or_duplicate_seeds(self):
+        scenario = get_scenario("baseline")
+        with pytest.raises(ConfigError):
+            SweepEntry(label="x", scenario=scenario, seeds=())
+        with pytest.raises(ConfigError):
+            SweepEntry(label="x", scenario=scenario, seeds=(3, 3))
+
+    def test_from_scenario_rejects_unknown_names(self):
+        with pytest.raises(UnknownScenarioError):
+            SweepRequest.from_scenario("no-such-regime", seeds=(1,))
+
+    def test_from_config_is_lossless(self):
+        config = SweepConfig(
+            seeds=(3, 4), rounds=2, countries=8,
+            scenarios=("baseline", "lossy"), workers=2,
+        )
+        request = SweepRequest.from_config(config)
+        assert [e.label for e in request.entries] == ["baseline", "lossy"]
+        assert request.shared_seeds == (3, 4)
+        assert request.rounds == 2
+        assert request.workers == 2
+
+    def test_from_configs_runs_without_registry(self):
+        request = SweepRequest.from_configs(
+            campaign=CampaignConfig(relay_mix=("COR", "PLR")),
+            seeds=(3,), label="ad-hoc", rounds=1, countries=8,
+            expect={"cases_observed": True, "rar_relays_observed": False},
+        )
+        result = run_sweep(request)
+        assert result["config"]["scenarios"] == ["ad-hoc"]
+        assert result.scenarios["ad-hoc"]["expectations"]["ok"] is True
+        assert result.per_seed[0]["win_rate_RAR_OTHER"] == 0.0
+
+    def test_shared_seeds_none_for_per_entry_lists(self):
+        scenario = get_scenario("baseline")
+        request = SweepRequest(
+            entries=(
+                SweepEntry(label="a", scenario=scenario, seeds=(1,)),
+                SweepEntry(label="b", scenario=scenario, seeds=(2,)),
+            ),
+            rounds=1,
+        )
+        assert request.shared_seeds is None
+
+
 class TestRunSweep:
     @pytest.fixture(scope="class")
     def artifact(self):
-        return run_sweep(SweepConfig(seeds=(3, 4), rounds=1, countries=8))
+        return run_sweep(
+            SweepRequest.from_scenario("baseline", seeds=(3, 4), rounds=1, countries=8)
+        )
 
     def test_artifact_shape(self, artifact):
         assert artifact["config"]["seeds"] == [3, 4]
@@ -81,17 +148,36 @@ class TestRunSweep:
 
     def test_deterministic_across_worker_counts(self, artifact):
         parallel = run_sweep(
-            SweepConfig(seeds=(3, 4), rounds=1, countries=8, workers=2)
+            SweepRequest.from_scenario(
+                "baseline", seeds=(3, 4), rounds=1, countries=8, workers=2
+            )
         )
-        a = copy.deepcopy(artifact)
-        b = copy.deepcopy(parallel)
-        a.pop("timing")
-        b.pop("timing")
-        assert a == b
+        assert artifact.as_dict(include_timing=False) == (
+            parallel.as_dict(include_timing=False)
+        )
+
+    def test_result_is_typed_and_bridges_mapping_access(self, artifact):
+        assert isinstance(artifact, SweepResult)
+        assert artifact.shapes_ok == artifact["shapes_ok"]
+        assert set(artifact.keys()) == set(artifact.as_dict())
+        assert dict(artifact.items()) == artifact.as_dict()
+        assert artifact.get("no-such-key") is None
+        assert "workload" in artifact and "no-such-key" not in artifact
+        table = artifact.tables["baseline"]
+        assert isinstance(table, ObservationTable)
+        assert table.num_cases == artifact.pooled["total_cases"]
+        assert "tables" not in artifact.as_dict()
+
+    def test_sweepconfig_shim_warns_and_matches_byte_for_byte(self, artifact):
+        with pytest.warns(DeprecationWarning, match="SweepRequest"):
+            legacy = run_sweep(SweepConfig(seeds=(3, 4), rounds=1, countries=8))
+        assert json.dumps(legacy.as_dict(include_timing=False)) == (
+            json.dumps(artifact.as_dict(include_timing=False))
+        )
 
     def test_aggregate_none_when_metric_missing_everywhere(self):
         artifact = run_sweep(
-            SweepConfig(seeds=(3,), rounds=1, countries=8)
+            SweepRequest.from_scenario("baseline", seeds=(3,), rounds=1, countries=8)
         )
         aggregate = artifact["aggregate"]
         for key, entry in aggregate.items():
@@ -106,9 +192,8 @@ class TestMultiScenarioSweep:
     @pytest.fixture(scope="class")
     def artifact(self):
         return run_sweep(
-            SweepConfig(
-                seeds=(3,), rounds=1, countries=8,
-                scenarios=("baseline", "no-probes"),
+            SweepRequest.from_scenario(
+                ("baseline", "no-probes"), seeds=(3,), rounds=1, countries=8
             )
         )
 
@@ -226,11 +311,11 @@ class TestScenariosCli:
             assert name in out
 
     def test_verify_ok(self, tmp_path, capsys):
-        artifact = run_sweep(
-            SweepConfig(seeds=(3,), rounds=1, countries=8)
+        result = run_sweep(
+            SweepRequest.from_scenario("baseline", seeds=(3,), rounds=1, countries=8)
         )
         path = tmp_path / "sweep.json"
-        path.write_text(json.dumps(artifact))
+        path.write_text(json.dumps(result.as_dict()))
         assert main(["scenarios", "--verify", str(path)]) == 0
         assert "baseline: ok" in capsys.readouterr().out.replace("  ", " ").strip()
 

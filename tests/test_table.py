@@ -8,7 +8,6 @@ columnar numbers are identical — plus structural round-trips
 cases (zero improving / zero feasible relays).
 """
 
-import copy
 import json
 import pickle
 
@@ -21,7 +20,7 @@ from repro.analysis.ranking import TopRelayAnalysis
 from repro.analysis.stability import StabilityAnalysis
 from repro.analysis.voip import VoipAnalysis
 from repro.core.results import PairObservation
-from repro.core.sweep import SweepConfig, run_seed_campaign, run_sweep
+from repro.core.sweep import SweepRequest, run_seed_campaign, run_sweep
 from repro.core.table import NUM_RELAY_TYPES, ObservationTable, TablePools
 from repro.core.types import RELAY_TYPE_ORDER, RelayType
 from repro.util.stats import median
@@ -303,12 +302,11 @@ class TestRoundTrips:
 class TestSweepTransport:
     def test_artifact_byte_identical_across_runs_and_workers(self):
         config = dict(seeds=(3, 4), rounds=1, countries=8)
-        a = run_sweep(SweepConfig(**config))
-        b = run_sweep(SweepConfig(**config, workers=2))
-        a, b = copy.deepcopy(a), copy.deepcopy(b)
-        a.pop("timing")
-        b.pop("timing")
-        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+        a = run_sweep(SweepRequest.from_scenario("baseline", **config))
+        b = run_sweep(SweepRequest.from_scenario("baseline", **config, workers=2))
+        assert json.dumps(a.as_dict(include_timing=False), sort_keys=True) == (
+            json.dumps(b.as_dict(include_timing=False), sort_keys=True)
+        )
 
     def test_per_seed_metrics_match_object_path(self):
         outcome = run_seed_campaign(3, rounds=1, countries=8)
@@ -335,7 +333,9 @@ class TestSweepTransport:
             assert metrics[f"median_rtt_reduction_ms_{name}"] == expected
 
     def test_pooled_section_counts_all_cases(self):
-        artifact = run_sweep(SweepConfig(seeds=(3, 4), rounds=1, countries=8))
+        artifact = run_sweep(
+            SweepRequest.from_scenario("baseline", seeds=(3, 4), rounds=1, countries=8)
+        )
         assert artifact["pooled"]["total_cases"] == sum(
             m["total_cases"] for m in artifact["per_seed"]
         )
