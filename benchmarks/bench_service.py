@@ -48,6 +48,7 @@ ROUNDS = 3
 QUERIES = 200_000
 BATCH_SIZE = 1024
 REPEATS = 3  #: best-of-N for the timed sections (history built once)
+LIVENESS_ROUNDS = 2  #: health window of the churn-aware degradation leg
 CLUSTER_REPEATS = 5  #: interleaved 1-/2-worker replays for the scale-out ratio
 CLUSTER_BATCH_SIZE = 8192  #: bigger batches amortize the front's serial CPU
 
@@ -104,6 +105,33 @@ def run_bench() -> dict:
         stats = replay(service, config)
         if best is None or stats["wall_clock_s"] < best["wall_clock_s"]:
             best = stats
+
+    # churn-aware leg: the same stream against a liveness-enabled service,
+    # recording the health path's degradation counters (stale answers,
+    # evictions, tier fallbacks) and its cost next to the health-off
+    # replay.  A fresh service per repeat keeps the cumulative counters
+    # comparable across runs.
+    live_best = live_service = None
+    for _ in range(REPEATS):
+        candidate = ShortcutService.from_result(
+            result, liveness_rounds=LIVENESS_ROUNDS
+        )
+        stats = replay(candidate, config)
+        if live_best is None or stats["wall_clock_s"] < live_best["wall_clock_s"]:
+            live_best, live_service = stats, candidate
+    degradation_report = {
+        "liveness_rounds": LIVENESS_ROUNDS,
+        "dead_relays": live_service.dead_relay_count(),
+        "queries_per_s": live_best["queries_per_s"],
+        "health_cost_pct": round(
+            100.0
+            * (live_best["wall_clock_s"] - best["wall_clock_s"])
+            / best["wall_clock_s"],
+            1,
+        ),
+        "tier_counts": live_best["tier_counts"],
+        "counters": live_best.degradation,
+    }
 
     # sharded multi-process cluster: the same stream against 1 worker and
     # 2 workers, scored on CPU-clock critical paths (front CPU + slowest
@@ -180,6 +208,7 @@ def run_bench() -> dict:
         },
         "directory": service.stats(),
         "replay": best.as_dict(),
+        "degradation": degradation_report,
         "cluster": cluster_report,
     }
     _OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -248,6 +277,11 @@ def test_service_bench(report_sink):
         f"{report['snapshot']['restore_s'] * 1000:.1f} ms\n"
         f"replay: {best['queries']} queries -> {best['queries_per_s']:,} "
         f"queries/s ({100 * best['relay_answer_frac']:.1f}% relay answers)\n"
+        f"degradation (liveness={report['degradation']['liveness_rounds']}): "
+        f"{report['degradation']['counters']['candidates_evicted']} evicted, "
+        f"{report['degradation']['counters']['fallback_country']} country "
+        f"fallbacks, health cost "
+        f"{report['degradation']['health_cost_pct']}%\n"
         f"cluster: 1 worker "
         f"{cluster['single_worker']['aggregate_queries_per_s']:,.0f} q/s, "
         f"2 workers "

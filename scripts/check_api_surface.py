@@ -17,7 +17,8 @@ Three checks per guarded package, each cheap and loud:
    this rejects.)
 
 Guarded packages: ``repro.service`` ("Service API"), ``repro.scenarios``
-("Scenario API") and ``repro.analysis`` ("Analysis API").
+("Scenario API"), ``repro.analysis`` ("Analysis API") and ``repro.obs``
+("Observability API").
 
 Exits non-zero with a per-failure report.  Run from the repo root:
 ``python scripts/check_api_surface.py``.
@@ -37,6 +38,7 @@ SECTIONS = (
     ("Service API", "repro.service"),
     ("Scenario API", "repro.scenarios"),
     ("Analysis API", "repro.analysis"),
+    ("Observability API", "repro.obs"),
 )
 
 #: ``- `Name` — description`` bullets inside an API section.

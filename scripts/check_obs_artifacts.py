@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""Validate observability artifacts (CI's obs-smoke job).
+
+Stdlib-only schema checks over the two artifact kinds the ``--metrics``
+and ``--trace`` flags write:
+
+* ``--metrics FILE`` — a ``repro.obs.metrics/1`` artifact: the schema
+  tag, a ``structural`` object holding string→int/float ``counters``
+  (ints only) and ``gauges``, and a ``timings`` object whose entries
+  each carry ``count``/``total_ms``/``mean_ms``/``min_ms``/``max_ms``.
+* ``--trace FILE`` — Chrome trace-event JSON: a ``traceEvents`` list of
+  ``ph: "X"`` complete events (ts/dur in µs, non-negative) and
+  ``ph: "M"`` metadata rows.  ``--expect-tids N`` additionally requires
+  spans on at least N distinct timeline lanes (e.g. 3 for a front + two
+  cluster workers).
+
+Repeat either flag to validate several files in one run.  Exits
+non-zero with a per-failure report.  Run from the repo root::
+
+    python scripts/check_obs_artifacts.py --metrics m.json \
+        --trace t.json --expect-tids 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+METRICS_SCHEMA = "repro.obs.metrics/1"
+_TIMING_KEYS = {"count", "total_ms", "mean_ms", "min_ms", "max_ms"}
+
+
+def check_metrics(path: str) -> list[str]:
+    failures: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            artifact = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable metrics artifact: {exc}"]
+    if artifact.get("schema") != METRICS_SCHEMA:
+        failures.append(
+            f"{path}: schema {artifact.get('schema')!r} != {METRICS_SCHEMA!r}"
+        )
+    structural = artifact.get("structural")
+    if not isinstance(structural, dict) or set(structural) != {
+        "counters",
+        "gauges",
+    }:
+        failures.append(f"{path}: structural must hold counters + gauges")
+        structural = {"counters": {}, "gauges": {}}
+    for name, value in structural["counters"].items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            failures.append(f"{path}: counter {name!r} is not an int: {value!r}")
+    for name, value in structural["gauges"].items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            failures.append(f"{path}: gauge {name!r} is not numeric: {value!r}")
+    timings = artifact.get("timings")
+    if not isinstance(timings, dict):
+        failures.append(f"{path}: timings section missing")
+        timings = {}
+    for name, entry in timings.items():
+        if not isinstance(entry, dict) or set(entry) != _TIMING_KEYS:
+            failures.append(
+                f"{path}: timing {name!r} keys {sorted(entry)} != "
+                f"{sorted(_TIMING_KEYS)}"
+            )
+            continue
+        if entry["count"] < 1:
+            failures.append(f"{path}: timing {name!r} has count < 1")
+        if not (0 <= entry["min_ms"] <= entry["max_ms"] <= entry["total_ms"]):
+            failures.append(
+                f"{path}: timing {name!r} min/max/total are inconsistent"
+            )
+    return failures
+
+
+def check_trace(path: str, expect_tids: int | None) -> list[str]:
+    failures: list[str] = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable trace: {exc}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents must be a list"]
+    tids: set[int] = set()
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            failures.append(f"{path}: event {index} has unknown ph {phase!r}")
+            continue
+        if phase == "M":
+            if event.get("name") not in ("process_name", "thread_name"):
+                failures.append(
+                    f"{path}: metadata event {index} has unexpected name "
+                    f"{event.get('name')!r}"
+                )
+            continue
+        for key in ("name", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                failures.append(f"{path}: span {index} is missing {key!r}")
+        if event.get("ts", 0) < 0 or event.get("dur", 0) < 0:
+            failures.append(f"{path}: span {index} has negative ts/dur")
+        tids.add(event.get("tid", 0))
+    if not any(e.get("ph") == "X" for e in events):
+        failures.append(f"{path}: trace holds no complete (ph=X) spans")
+    if expect_tids is not None and len(tids) < expect_tids:
+        failures.append(
+            f"{path}: spans on {len(tids)} lane(s), expected >= {expect_tids}"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--metrics", action="append", default=[], metavar="FILE",
+        help="metrics artifact to validate (repeatable)",
+    )
+    parser.add_argument(
+        "--trace", action="append", default=[], metavar="FILE",
+        help="Chrome trace to validate (repeatable)",
+    )
+    parser.add_argument(
+        "--expect-tids", type=int, default=None,
+        help="require spans on at least N distinct trace lanes",
+    )
+    args = parser.parse_args()
+    if not args.metrics and not args.trace:
+        parser.error("nothing to check: pass --metrics and/or --trace")
+    failures: list[str] = []
+    for path in args.metrics:
+        failures.extend(check_metrics(path))
+    for path in args.trace:
+        failures.extend(check_trace(path, args.expect_tids))
+    if failures:
+        for failure in failures:
+            print(f"obs-artifacts: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"obs-artifacts: ok ({len(args.metrics)} metrics, "
+        f"{len(args.trace)} trace artifact(s) validated)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,8 @@ Usage (also via ``python -m repro``)::
     repro serve-bench --scenario paper-scale --rounds 12 --queries 200000
     repro serve-bench --workers 2 --min-scaleout-efficiency 0.55
     repro serve-bench --seeds 11 12 13
+    repro campaign    --seed 11 --rounds 6 --out r.json --metrics m.json --trace t.json
+    repro metrics summarize m.json
 
 The world/history knobs are shared parent parsers, so ``--seed``,
 ``--countries``, ``--rounds``, ``--max-countries`` and ``--scenario``
@@ -38,6 +40,7 @@ import json
 import sys
 from collections.abc import Sequence
 
+from repro import obs
 from repro.core.campaign import MeasurementCampaign
 from repro.core.colo import ColoRelayPipeline
 from repro.core.config import CampaignConfig
@@ -220,6 +223,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({timing['workers']} worker{'s' if timing['workers'] != 1 else ''})",
         file=sys.stderr,
     )
+    for metric in ("world_build", "campaign"):
+        pooled = timing.get(metric)
+        if pooled:
+            print(
+                f"  {metric.replace('_', '-')} per seed: min {pooled['min']} / "
+                f"median {pooled['median']} / max {pooled['max']} s",
+                file=sys.stderr,
+            )
     if args.out is None:
         # no output file: the deterministic artifact goes to stdout, byte
         # identical across worker counts (timing is the one section that
@@ -362,7 +373,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         result = load_result(args.result)
         workload = f"stored result {args.result}"
         start = time.perf_counter()
-        service = ShortcutService.from_campaign(result, max_rounds=args.max_rounds)
+        service = ShortcutService.from_campaign(
+            result,
+            max_rounds=args.max_rounds,
+            liveness_rounds=args.liveness_rounds,
+            spill=args.spill,
+        )
         compile_s = time.perf_counter() - start
         total_cases, num_rounds = result.total_cases, len(result.rounds)
     elif args.seeds is not None:
@@ -376,7 +392,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             results.append(result)
         start = time.perf_counter()
         service, _, cross_world = cross_world_service(
-            results, max_rounds=args.max_rounds
+            results,
+            max_rounds=args.max_rounds,
+            liveness_rounds=args.liveness_rounds,
+            spill=args.spill,
         )
         compile_s = time.perf_counter() - start
         workload = (
@@ -391,7 +410,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             args, args.seed, default_rounds=3
         )
         start = time.perf_counter()
-        service = ShortcutService.from_campaign(result, max_rounds=args.max_rounds)
+        service = ShortcutService.from_campaign(
+            result,
+            max_rounds=args.max_rounds,
+            liveness_rounds=args.liveness_rounds,
+            spill=args.spill,
+        )
         compile_s = time.perf_counter() - start
         total_cases, num_rounds = result.total_cases, len(result.rounds)
 
@@ -428,6 +452,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             service, workers=1, num_shards=args.num_shards
         ) as cluster:
             single = replay(cluster, config)
+            cluster.collect_obs()
         cluster_report = {
             "num_shards": args.num_shards,
             "workers": args.workers,
@@ -439,6 +464,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 service, workers=args.workers, num_shards=args.num_shards
             ) as cluster:
                 scaled = replay(cluster, config)
+                cluster.collect_obs()
             agg_1 = single.scale_out["aggregate_queries_per_s"]
             agg_n = scaled.scale_out["aggregate_queries_per_s"]
             speedup = round(agg_n / agg_1, 3) if agg_1 and agg_n else None
@@ -495,6 +521,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"{100 * stats.relay_answer_frac:.1f}%)",
         file=sys.stderr,
     )
+    if stats.degradation is not None:
+        deg = stats.degradation
+        print(
+            f"  degradation: {deg['stale_top_answers']} stale top answers, "
+            f"{deg['candidates_evicted']} candidates evicted, "
+            f"{deg['fallback_country']} country fallbacks, "
+            f"{deg['direct']} direct fallbacks, "
+            f"{deg['unanswerable']} unanswerable "
+            f"(liveness window {args.liveness_rounds} rounds, "
+            f"{service.dead_relay_count()} relays presumed dead)",
+            file=sys.stderr,
+        )
     if cluster_report is not None:
         agg = cluster_report["single"]["scale_out"]["aggregate_queries_per_s"]
         line = (
@@ -515,11 +553,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     if chaos is not None:
         summary = chaos["summary"]
+        ctiers = summary["tier_counts"]
+        cdeg = summary["degradation"]
         print(
             f"  chaos: {summary['replayed_rounds']} faulted rounds, "
             f"min availability {summary['min_availability']}, "
-            f"max stale-answer rate {summary['max_stale_answer_rate']}, "
-            f"degradation {summary['degradation']}",
+            f"max stale-answer rate {summary['max_stale_answer_rate']} "
+            f"(tiers: pair {ctiers['pair']}, country {ctiers['country']}, "
+            f"direct {ctiers['direct']}; "
+            f"{cdeg['candidates_evicted']} candidates evicted, "
+            f"{cdeg['fallback_country']} country fallbacks, "
+            f"{cdeg['unanswerable']} unanswerable)",
             file=sys.stderr,
         )
 
@@ -683,6 +727,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_summarize(args: argparse.Namespace) -> int:
+    from repro.obs.summarize import summarize_metrics
+
+    artifact = obs.load_artifact(args.artifact)
+    print(summarize_metrics(artifact))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests).
 
@@ -736,6 +788,20 @@ def build_parser() -> argparse.ArgumentParser:
              "serve-bench take exactly one, sweep fans out over all",
     )
 
+    obs_parent = argparse.ArgumentParser(add_help=False)
+    obs_parent.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write a deterministic metrics artifact (counters, gauges, "
+             "quantized phase timings) here; inspect it with "
+             "'repro metrics summarize PATH'",
+    )
+    obs_parent.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace-event JSON of the run's spans here "
+             "(open in chrome://tracing or https://ui.perfetto.dev); "
+             "worker processes appear as separate timeline lanes",
+    )
+
     p_summary = sub.add_parser(
         "summary", parents=[world_parent], help="print world entity counts"
     )
@@ -748,15 +814,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_funnel.set_defaults(func=_cmd_funnel)
 
     p_campaign = sub.add_parser(
-        "campaign", parents=[world_parent, history_parent, scenario_parent],
+        "campaign",
+        parents=[world_parent, history_parent, scenario_parent, obs_parent],
         help="run a measurement campaign",
     )
     p_campaign.add_argument("--out", required=True, help="output JSON path")
+    p_campaign.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="cProfile the run and write merged pstats here "
+             "(inspect with 'python -m pstats PATH')",
+    )
     p_campaign.set_defaults(func=_cmd_campaign)
 
     p_sweep = sub.add_parser(
-        "sweep", parents=[world_parent, history_parent, scenario_parent],
+        "sweep",
+        parents=[world_parent, history_parent, scenario_parent, obs_parent],
         help="run the campaign for several seeds and aggregate metrics",
+    )
+    p_sweep.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="cProfile driver and pool workers, merged into one pstats file",
     )
     p_sweep.add_argument(
         "--seeds", type=int, nargs="+", default=None,
@@ -777,7 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_mc = sub.add_parser(
-        "montecarlo", parents=[world_parent, history_parent],
+        "montecarlo", parents=[world_parent, history_parent, obs_parent],
         help="sample a regime's config distributions until the paper-claim "
              "confidence intervals converge",
     )
@@ -834,7 +911,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_scenarios.set_defaults(func=_cmd_scenarios)
 
     p_serve = sub.add_parser(
-        "serve-bench", parents=[world_parent, history_parent, scenario_parent],
+        "serve-bench",
+        parents=[world_parent, history_parent, scenario_parent, obs_parent],
         help="compile the serving layer and replay synthetic traffic against it",
     )
     p_serve.add_argument(
@@ -852,8 +930,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--liveness-rounds", type=int, default=None,
-        help="chaos replay: relays unseen in the newest N ingested rounds "
-             "are demoted as dead (default: 1 for faulted workloads)",
+        help="churn awareness: relays unseen in the newest N ingested rounds "
+             "are demoted as dead; enables degradation counters on the "
+             "replayed service (chaos replay defaults to 1 when unset)",
     )
     p_serve.add_argument(
         "--spill", type=int, default=2,
@@ -912,6 +991,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(func=_cmd_serve_bench)
 
+    p_metrics = sub.add_parser(
+        "metrics", help="inspect observability artifacts"
+    )
+    metrics_sub = p_metrics.add_subparsers(dest="metrics_command", required=True)
+    p_msummarize = metrics_sub.add_parser(
+        "summarize",
+        help="print the phase-time/counter tables of a --metrics artifact",
+    )
+    p_msummarize.add_argument(
+        "artifact", help="metrics JSON written by a --metrics run"
+    )
+    p_msummarize.set_defaults(func=_cmd_metrics_summarize)
+
     p_analyze = sub.add_parser("analyze", help="analyse a stored campaign result")
     p_analyze.add_argument("result", help="result JSON written by 'campaign'")
     p_analyze.add_argument("--report", choices=_REPORTS, default="summary")
@@ -922,12 +1014,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_command(args: argparse.Namespace) -> int:
+    """Dispatch one subcommand under its observability/profiling flags.
+
+    With no ``--metrics``/``--trace``/``--profile`` flag set (or on
+    commands that do not declare them) this is exactly ``args.func(args)``
+    — the recorders stay the module-level null handles and the run is
+    byte-identical to the uninstrumented path.
+    """
+    metrics_path = getattr(args, "metrics", None)
+    trace_path = getattr(args, "trace", None)
+    profile_path = getattr(args, "profile", None)
+    if metrics_path or trace_path:
+        obs.enable(
+            metrics=metrics_path is not None, trace=trace_path is not None
+        )
+    try:
+        if profile_path:
+            from repro.obs.profile import profile_to
+
+            with profile_to(
+                profile_path, workers=args.command == "sweep"
+            ):
+                code = args.func(args)
+            print(f"wrote profile to {profile_path}", file=sys.stderr)
+        else:
+            code = args.func(args)
+        if metrics_path:
+            obs.write_metrics(metrics_path)
+            print(f"wrote metrics to {metrics_path}", file=sys.stderr)
+        if trace_path:
+            obs.write_trace(trace_path)
+            print(f"wrote trace to {trace_path}", file=sys.stderr)
+        return code
+    finally:
+        if metrics_path or trace_path:
+            obs.disable()
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        return _run_command(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

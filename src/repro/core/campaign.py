@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.colo import ColoRelayPipeline
 from repro.core.config import CampaignConfig
 from repro.core.eyeballs import EyeballSelector
@@ -141,6 +142,21 @@ class MeasurementCampaign:
         # equality on these ints replaces a per-round np.unique over U3
         # strings.  Never serialized, so assignment order is free.
         self._cc_cmp: dict[str, int] = {}
+        # pre-bound observability handles: null singletons unless metrics
+        # or tracing were enabled before construction, so the disabled
+        # path costs one no-op context manager per phase and nothing else
+        self._sp_round = obs.span("campaign.round")
+        self._sp_sampling = obs.span("campaign.sampling")
+        self._sp_pair_grid = obs.span("campaign.pair_grid")
+        self._sp_timeline = obs.span("campaign.timeline")
+        self._sp_direct = obs.span("campaign.measure_direct")
+        self._sp_relays = obs.span("campaign.assemble_relays")
+        self._sp_feasibility = obs.span("campaign.feasibility")
+        self._sp_legs = obs.span("campaign.measure_legs")
+        self._sp_stitch = obs.span("campaign.stitch")
+        self._c_rounds = obs.counter("campaign.rounds")
+        self._c_pairs = obs.counter("campaign.pairs")
+        self._c_pings = obs.counter("campaign.pings")
 
     def _cc_cmp_code(self, cc: str) -> int:
         code = self._cc_cmp.get(cc)
@@ -182,7 +198,11 @@ class MeasurementCampaign:
         self._world.ensure_routing_fabric()
         rounds = []
         for round_index in range(self._cfg.num_rounds):
-            result = self.run_round(round_index)
+            with self._sp_round:
+                result = self.run_round(round_index)
+            self._c_rounds.inc()
+            self._c_pairs.inc(result.num_pairs())
+            self._c_pings.inc(result.pings_sent)
             rounds.append(result)
             if progress is not None:
                 progress(round_index, result)
@@ -211,7 +231,8 @@ class MeasurementCampaign:
         absent = effects.absent_ids if effects is not None else frozenset()
 
         # step 1: endpoints (one probe-id lookup table for the whole round)
-        endpoints = self._eyeballs.sample_endpoints(rng)
+        with self._sp_sampling:
+            endpoints = self._eyeballs.sample_endpoints(rng)
         if absent:
             # churn filters *after* sampling: selector RNG consumption is
             # unchanged, only the dark probes drop out of the round
@@ -238,11 +259,13 @@ class MeasurementCampaign:
             else None
         )
         if self._use_pair_grid:
-            egrid = self._world.latency.pair_grid(endpoint_eps, endpoint_eps)
+            with self._sp_pair_grid:
+                egrid = self._world.latency.pair_grid(endpoint_eps, endpoint_eps)
             if endpoint_ccs is not None:
-                egrid = self.timeline.apply_link_overrides(
-                    egrid, endpoint_ccs, endpoint_ccs, round_index
-                )
+                with self._sp_timeline:
+                    egrid = self.timeline.apply_link_overrides(
+                        egrid, endpoint_ccs, endpoint_ccs, round_index
+                    )
             pair_idx = (
                 np.repeat(np.arange(n_ep), np.arange(n_ep - 1, -1, -1)),
                 np.concatenate(
@@ -254,19 +277,27 @@ class MeasurementCampaign:
             egrid = pair_idx = None
 
         # step 2: direct medians (drive feasibility)
-        step2_direct, sent = self._measure_direct(
-            direct_pairs, direct_keys, rng, egrid, pair_idx
-        )
+        with self._sp_direct:
+            step2_direct, sent = self._measure_direct(
+                direct_pairs, direct_keys, rng, egrid, pair_idx
+            )
         pings_sent += sent
 
         # step 3: relay sets + per-pair feasibility as one broadcast mask
-        relay_arrays = self._assemble_relays(round_index, rng, endpoint_ids, absent)
-        feasibility = self._feasible_relays(endpoints, relay_arrays, step2_direct)
+        with self._sp_relays:
+            relay_arrays = self._assemble_relays(
+                round_index, rng, endpoint_ids, absent
+            )
+        with self._sp_feasibility:
+            feasibility = self._feasible_relays(
+                endpoints, relay_arrays, step2_direct
+            )
 
         # step 4: synced re-measurement + legs + stitching
-        step4_direct, sent = self._measure_direct(
-            direct_pairs, direct_keys, rng, egrid, pair_idx
-        )
+        with self._sp_direct:
+            step4_direct, sent = self._measure_direct(
+                direct_pairs, direct_keys, rng, egrid, pair_idx
+            )
         pings_sent += sent
         keep = np.fromiter(
             (pair in step4_direct for pair in feasibility.pair_keys),
@@ -284,30 +315,33 @@ class MeasurementCampaign:
             for r1, r2, m in zip(e1_kept, e2_kept, kept_mask):
                 needed[r1] |= m
                 needed[r2] |= m
-        rgrid = (
-            self._world.latency.pair_grid(
-                endpoint_eps, [ep for _, ep in relay_arrays.items]
-            )
-            if self._use_pair_grid and relay_arrays.count
-            else None
-        )
+        if self._use_pair_grid and relay_arrays.count:
+            with self._sp_pair_grid:
+                rgrid = self._world.latency.pair_grid(
+                    endpoint_eps, [ep for _, ep in relay_arrays.items]
+                )
+        else:
+            rgrid = None
         if rgrid is not None and endpoint_ccs is not None:
-            rgrid = self.timeline.apply_link_overrides(
-                rgrid, endpoint_ccs, relay_arrays.ccs, round_index
+            with self._sp_timeline:
+                rgrid = self.timeline.apply_link_overrides(
+                    rgrid, endpoint_ccs, relay_arrays.ccs, round_index
+                )
+        with self._sp_legs:
+            leg_matrix, leg_medians, sent = self._measure_legs(
+                endpoints, needed, relay_arrays, rng, rgrid
             )
-        leg_matrix, leg_medians, sent = self._measure_legs(
-            endpoints, needed, relay_arrays, rng, rgrid
-        )
         pings_sent += sent
 
-        table = self._stitch_table(
-            round_index,
-            by_id,
-            step4_direct,
-            feasibility,
-            relay_arrays,
-            leg_matrix,
-        )
+        with self._sp_stitch:
+            table = self._stitch_table(
+                round_index,
+                by_id,
+                step4_direct,
+                feasibility,
+                relay_arrays,
+                leg_matrix,
+            )
 
         return RoundResult(
             round_index=round_index,

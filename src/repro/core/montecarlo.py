@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Mapping
 
+from repro import obs
 from repro.analysis.montecarlo import draw_metrics, risk_summary, summary_converged
 from repro.core.sweep import SweepEntry, SweepRequest, run_sweep
 from repro.errors import ConfigError
@@ -364,6 +365,7 @@ class MonteCarloManager:
         batch_walls: list[float] = []
         batches = 0
         summary: dict = {}
+        sp_batch = obs.span("montecarlo.batch")
         start = time.perf_counter()
         while len(records) < self.config.max_draws:
             size = min(self.config.batch_size, self.config.max_draws - len(records))
@@ -372,7 +374,8 @@ class MonteCarloManager:
                 for index in range(len(records), len(records) + size)
             ]
             batch_start = time.perf_counter()
-            result = run_sweep(self._batch_request(draws))
+            with sp_batch:
+                result = run_sweep(self._batch_request(draws))
             batch_walls.append(round(time.perf_counter() - batch_start, 3))
             for draw in draws:
                 metrics, shapes = draw_metrics(result.tables[draw.label])
@@ -390,6 +393,17 @@ class MonteCarloManager:
                 seed=self.config.seed,
                 resamples=self.config.bootstrap_resamples,
             )
+            obs.inc("montecarlo.batches")
+            obs.inc("montecarlo.draws", size)
+            if obs.metrics_on():
+                # per-batch convergence trail: each claim's Wilson
+                # half-width after this batch (deterministic values)
+                for name, entry in summary["claims"].items():
+                    half = entry.get("half_width")
+                    if half is not None:
+                        obs.set_gauge(
+                            f"montecarlo.batch{batches}.half_width.{name}", half
+                        )
             if summary_converged(summary):
                 break
         wall_clock_s = time.perf_counter() - start

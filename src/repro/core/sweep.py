@@ -47,6 +47,7 @@ this byte for byte).
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
 from collections.abc import Mapping, Sequence
@@ -54,6 +55,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro import obs
 from repro.analysis.improvements import ImprovementAnalysis
 from repro.analysis.scenarios import (
     check_expectations,
@@ -66,6 +68,7 @@ from repro.core.config import CampaignConfig
 from repro.core.results import RelayRegistry, unify_relay_identities
 from repro.core.table import ObservationTable
 from repro.errors import ConfigError
+from repro.obs.profile import active_worker_dir, profile_worker_job
 from repro.scenarios import Scenario, get_scenario, scenario_with
 from repro.world import WorldConfig, build_world
 
@@ -376,6 +379,8 @@ def _run_seed_columns(
     seed: int,
     world_cache: str | None = None,
     use_world_cache: bool = True,
+    obs_modes: dict | None = None,
+    profile_dir: str | None = None,
 ) -> dict:
     """Run one (configs, seed) campaign; return its columns + scalars.
 
@@ -390,20 +395,34 @@ def _run_seed_columns(
     routing fabric/grid — snapshot-restored when ``world_cache`` hits) and
     ``campaign_s`` (the measurement itself), so the bench drift guard can
     see regressions in either half.
+
+    ``obs_modes`` (pool workers only, when the driver has observability
+    on) starts fresh recorders on this process's own trace lane and ships
+    their snapshot back under the outcome's ``obs`` key; ``profile_dir``
+    (pool workers under ``--profile``) dumps this job's cProfile stats
+    there for the driver to merge.  Both default off, leaving the
+    outcome shape untouched.
     """
-    start = time.perf_counter()
-    world = build_world(
-        seed=seed,
-        config=world_config,
-        world_cache=world_cache,
-        use_world_cache=use_world_cache,
-    )
-    world.ensure_routing_fabric()
-    build_done = time.perf_counter()
-    campaign = MeasurementCampaign(world, campaign_config)
-    result = campaign.run()
-    end = time.perf_counter()
-    return {
+    if obs_modes is not None:
+        obs.enable(**obs_modes)
+        obs.begin_worker(
+            lane=os.getpid(), lane_name=f"sweep-worker-{os.getpid()}"
+        )
+    with profile_worker_job(profile_dir, f"{label}-{seed}"):
+        with obs.span(f"sweep.seed {label}:{seed}"):
+            start = time.perf_counter()
+            world = build_world(
+                seed=seed,
+                config=world_config,
+                world_cache=world_cache,
+                use_world_cache=use_world_cache,
+            )
+            world.ensure_routing_fabric()
+            build_done = time.perf_counter()
+            campaign = MeasurementCampaign(world, campaign_config)
+            result = campaign.run()
+            end = time.perf_counter()
+    outcome = {
         "scenario": label,
         "seed": seed,
         "columns": result.table.to_payload(),
@@ -414,6 +433,10 @@ def _run_seed_columns(
         "campaign_s": round(end - build_done, 3),
         "wall_clock_s": round(end - start, 3),
     }
+    if obs_modes is not None:
+        outcome["obs"] = {"payload": obs.worker_payload(), "pid": os.getpid()}
+        obs.disable()
+    return outcome
 
 
 def _metrics_from_columns(outcome: dict, table: ObservationTable) -> dict:
@@ -470,11 +493,20 @@ def run_seed_campaign(
     }
 
 
-def _sweep_job(
-    args: tuple[str, WorldConfig, CampaignConfig, int, str | None, bool],
-) -> dict:
-    """Picklable process-pool entry point."""
+def _sweep_job(args: tuple) -> dict:
+    """Picklable process-pool entry point (a ``_run_seed_columns`` arg tuple)."""
     return _run_seed_columns(*args)
+
+
+def _pooled_clock_stats(values: Sequence[float]) -> dict:
+    """min/median/max of one per-seed wall-clock column."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n % 2:
+        median = ordered[n // 2]
+    else:
+        median = round((ordered[n // 2 - 1] + ordered[n // 2]) / 2, 3)
+    return {"min": ordered[0], "median": median, "max": ordered[-1]}
 
 
 def _aggregate(per_seed: list[dict]) -> dict:
@@ -569,6 +601,16 @@ def run_sweep(request: SweepRequest | SweepConfig) -> SweepResult:
         )
         request = SweepRequest.from_config(request)
 
+    # pool workers record observability/profiles locally and ship them
+    # back with their outcome; inline jobs record straight into the
+    # driver's recorders (both no-ops when obs/profiling are off)
+    fan_out = request.workers > 1
+    obs_modes = (
+        {"metrics": obs.metrics_on(), "trace": obs.tracing_on()}
+        if fan_out and obs.active()
+        else None
+    )
+    profile_dir = active_worker_dir() if fan_out else None
     jobs = []
     for entry in request.entries:
         world_config, campaign_config = _resolved_configs(request, entry)
@@ -580,6 +622,8 @@ def run_sweep(request: SweepRequest | SweepConfig) -> SweepResult:
                 seed,
                 request.world_cache,
                 request.use_world_cache,
+                obs_modes,
+                profile_dir,
             )
             for seed in entry.seeds
         )
@@ -590,6 +634,21 @@ def run_sweep(request: SweepRequest | SweepConfig) -> SweepResult:
         with ProcessPoolExecutor(max_workers=request.workers) as pool:
             outcomes = list(pool.map(_sweep_job, jobs))
     wall_clock_s = time.perf_counter() - start
+    if obs_modes is not None:
+        # merge worker recorders; per-worker busy seconds (grouped by pool
+        # pid) land in the sweep.worker.busy histogram = utilization view
+        busy: dict[int, float] = {}
+        for outcome in outcomes:
+            shipped = outcome.pop("obs", None)
+            if shipped is None:
+                continue
+            obs.merge_worker_payload(shipped["payload"])
+            pid = shipped["pid"]
+            busy[pid] = busy.get(pid, 0.0) + outcome["wall_clock_s"]
+        for pid in sorted(busy):
+            obs.observe("sweep.worker.busy", busy[pid])
+    obs.inc("sweep.jobs", len(jobs))
+    obs.set_gauge("sweep.workers", request.workers)
 
     tables = [ObservationTable.from_payload(o["columns"]) for o in outcomes]
     registries = [RelayRegistry.from_payload(o["registry"]) for o in outcomes]
@@ -656,6 +715,12 @@ def run_sweep(request: SweepRequest | SweepConfig) -> SweepResult:
             "per_seed_s": [outcome["wall_clock_s"] for outcome in outcomes],
             "world_build_s": [outcome["world_build_s"] for outcome in outcomes],
             "campaign_s": [outcome["campaign_s"] for outcome in outcomes],
+            "world_build": _pooled_clock_stats(
+                [outcome["world_build_s"] for outcome in outcomes]
+            ),
+            "campaign": _pooled_clock_stats(
+                [outcome["campaign_s"] for outcome in outcomes]
+            ),
         },
         tables=pooled_tables,
         registries=pooled_registries,

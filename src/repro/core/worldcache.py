@@ -54,6 +54,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.errors import WorldCacheError
 from repro.net.ipv4 import IPv4Address, IPv4Prefix
 from repro.topology.builder import Topology
@@ -452,6 +453,10 @@ class WorldCache:
 
     def load(self, seed: int, config: "WorldConfig") -> WorldSnapshot | None:
         """Load and validate a snapshot; None on miss or any defect."""
+        with obs.span("world.cache.load"):
+            return self._load(seed, config)
+
+    def _load(self, seed: int, config: "WorldConfig") -> WorldSnapshot | None:
         path = self.path_for(seed, config)
         try:
             arrays = _mmap_npz(os.fspath(path))
@@ -473,7 +478,10 @@ class WorldCache:
             ):
                 arrays[name].shape  # noqa: B018 — existence check
             return WorldSnapshot(arrays)
+        except FileNotFoundError:
+            return None
         except Exception:
+            obs.inc("world.cache.defects")
             return None
 
     def store(self, world: "World") -> Path:
@@ -483,6 +491,10 @@ class WorldCache:
         a private temp file in the cache directory and ``os.replace``\\ s
         it over the final name.
         """
+        with obs.span("world.cache.store"):
+            return self._store(world)
+
+    def _store(self, world: "World") -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(world.seed, world.config)
         arrays = capture_arrays(world)

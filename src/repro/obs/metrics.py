@@ -1,0 +1,223 @@
+"""Deterministic metrics registry (counters, gauges, histogram timers).
+
+The registry is the storage half of :mod:`repro.obs`: instrumented code
+holds *handles* bound either to a live registry or to the shared
+:data:`NULL_HANDLE` singleton, so the disabled path allocates nothing
+and never touches a random stream.  Counters and gauges hold
+deterministic *structural* values (query counts, cache hits, claim
+half-widths); timer histograms hold wall-clock observations.  The JSON
+artifact keeps the two strictly apart — the ``structural`` section is
+byte-stable across runs of the same command, the ``timings`` section is
+quantized but inherently run-dependent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any
+
+__all__ = [
+    "CounterHandle",
+    "GaugeHandle",
+    "MetricsRegistry",
+    "NULL_HANDLE",
+    "NullHandle",
+    "TimerHandle",
+]
+
+#: Millisecond decimals kept in the timings section of the artifact.
+_QUANTUM_DECIMALS = 3
+
+
+class NullHandle:
+    """The disabled-path recorder: every operation is a no-op.
+
+    One shared instance stands in for counters, gauges, timers, spans
+    and decorators alike, so binding instrumentation while observability
+    is off costs a single attribute load and zero allocations.  It is
+    falsy so hot paths can guard optional extra work with
+    ``if self._handle:``.
+    """
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def __enter__(self) -> "NullHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: The module-level null recorder handed out whenever obs is disabled.
+NULL_HANDLE = NullHandle()
+
+
+class CounterHandle:
+    """Pre-bound monotonically-increasing integer counter."""
+
+    __slots__ = ("_counters", "_name")
+
+    def __init__(self, counters: dict[str, int], name: str):
+        self._counters = counters
+        self._name = name
+
+    def inc(self, n: int = 1) -> None:
+        self._counters[self._name] += int(n)
+
+
+class GaugeHandle:
+    """Pre-bound last-write-wins gauge (deterministic values only)."""
+
+    __slots__ = ("_gauges", "_name")
+
+    def __init__(self, gauges: dict[str, float], name: str):
+        self._gauges = gauges
+        self._name = name
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self._gauges[self._name] = int(value) if value.is_integer() else value
+
+
+class TimerHandle:
+    """Pre-bound histogram timer; reusable as a context manager.
+
+    Not reentrant: one handle times one region at a time (sequential
+    re-use across loop iterations is the intended pattern).
+    """
+
+    __slots__ = ("_registry", "_name", "_t0")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self._name = name
+        self._t0 = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._registry.observe(self._name, seconds)
+
+    def __enter__(self) -> "TimerHandle":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._registry.observe(self._name, time.perf_counter() - self._t0)
+        return False
+
+
+class MetricsRegistry:
+    """In-memory metric store with a deterministic JSON artifact.
+
+    Counters are ints, gauges are numbers, timings are per-name
+    ``[count, total_s, min_s, max_s]`` histograms.  Structural values
+    (counters + gauges) must be deterministic for a given command —
+    merging worker payloads sums counters and takes the last gauge
+    write, both order-independent for the payload streams the engine
+    produces.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._timings: dict[str, list[float]] = {}
+
+    # ------------------------------------------------------- handles
+    def counter(self, name: str) -> CounterHandle:
+        self._counters.setdefault(name, 0)
+        return CounterHandle(self._counters, name)
+
+    def gauge(self, name: str) -> GaugeHandle:
+        return GaugeHandle(self._gauges, name)
+
+    def timer(self, name: str) -> TimerHandle:
+        return TimerHandle(self, name)
+
+    # ------------------------------------------------- direct writes
+    def inc(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        value = float(value)
+        self._gauges[name] = int(value) if value.is_integer() else value
+
+    def observe(self, name: str, seconds: float) -> None:
+        slot = self._timings.get(name)
+        if slot is None:
+            self._timings[name] = [1, seconds, seconds, seconds]
+        else:
+            slot[0] += 1
+            slot[1] += seconds
+            if seconds < slot[2]:
+                slot[2] = seconds
+            if seconds > slot[3]:
+                slot[3] = seconds
+
+    # ------------------------------------------------ worker payloads
+    def to_payload(self) -> dict[str, Any]:
+        """Compact picklable snapshot for cross-process merging."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "timings": {k: list(v) for k, v in self._timings.items()},
+        }
+
+    def merge_payload(self, payload: dict[str, Any]) -> None:
+        """Fold one worker's :meth:`to_payload` snapshot in."""
+        for name, value in payload.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(payload.get("gauges", {}))
+        for name, (count, total, lo, hi) in payload.get("timings", {}).items():
+            slot = self._timings.get(name)
+            if slot is None:
+                self._timings[name] = [count, total, lo, hi]
+            else:
+                slot[0] += count
+                slot[1] += total
+                if lo < slot[2]:
+                    slot[2] = lo
+                if hi > slot[3]:
+                    slot[3] = hi
+
+    # -------------------------------------------------------- artifact
+    def as_artifact(self) -> dict[str, Any]:
+        """JSON-ready artifact: byte-stable structural, quantized timings."""
+
+        def _ms(seconds: float) -> float:
+            return round(seconds * 1000.0, _QUANTUM_DECIMALS)
+
+        timings = {
+            name: {
+                "count": int(count),
+                "total_ms": _ms(total),
+                "mean_ms": _ms(total / count) if count else 0.0,
+                "min_ms": _ms(lo),
+                "max_ms": _ms(hi),
+            }
+            for name, (count, total, lo, hi) in sorted(self._timings.items())
+        }
+        return {
+            "schema": "repro.obs.metrics/1",
+            "structural": {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+            },
+            "timings": timings,
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.as_artifact(), fh, indent=2, sort_keys=True)
+            fh.write("\n")

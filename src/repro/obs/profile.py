@@ -1,0 +1,70 @@
+"""cProfile plumbing behind ``repro campaign/sweep --profile PATH``.
+
+:func:`profile_to` profiles the driver with :mod:`cProfile` and dumps a
+merged :mod:`pstats` file.  With ``workers=True`` it additionally opens
+a scratch directory that sweep workers discover through
+:func:`active_worker_dir`; each worker job dumps its own profile there
+(:func:`profile_worker_job`) and the exit path folds every per-worker
+dump into the final stats file, so a multi-process sweep profiles as
+one merged call graph.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import glob
+import os
+import pstats
+import shutil
+import tempfile
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["active_worker_dir", "profile_to", "profile_worker_job"]
+
+#: Scratch directory for per-worker profile dumps (None: not profiling).
+_worker_dir: str | None = None
+
+
+def active_worker_dir() -> str | None:
+    """The per-worker profile scratch dir, when a sweep profile is live."""
+    return _worker_dir
+
+
+@contextmanager
+def profile_worker_job(profile_dir: str | None, tag: str) -> Iterator[None]:
+    """Profile one worker job into ``profile_dir/<tag>.prof`` (no-op on None)."""
+    if profile_dir is None:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(os.path.join(profile_dir, f"{tag}.prof"))
+
+
+@contextmanager
+def profile_to(path: str, *, workers: bool = False) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block, writing merged pstats to ``path``."""
+    global _worker_dir
+    profiler = cProfile.Profile()
+    scratch = tempfile.mkdtemp(prefix="repro-profile-") if workers else None
+    _worker_dir = scratch
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        _worker_dir = None
+        stats = pstats.Stats(profiler)
+        if scratch is not None:
+            for dump in sorted(glob.glob(os.path.join(scratch, "*.prof"))):
+                try:
+                    stats.add(dump)
+                except Exception:  # a truncated dump must not eat the run
+                    pass
+            shutil.rmtree(scratch, ignore_errors=True)
+        stats.dump_stats(path)

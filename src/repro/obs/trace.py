@@ -1,0 +1,142 @@
+"""Span tracing with Chrome trace-event JSON export.
+
+:class:`SpanTracer` records *complete* (``"ph": "X"``) events — name,
+wall-clock start, duration, CPU time — on one timeline lane (a Chrome
+``tid``).  Sweep and cluster workers run their own tracer on their own
+lane; the driver merges their payloads, so a multi-process run renders
+as one timeline with per-worker swim-lanes in ``chrome://tracing`` or
+Perfetto.
+
+Timestamps are absolute microseconds (``time.time`` epoch anchored at
+tracer construction, advanced by ``perf_counter``), so payloads from
+processes sharing a system clock align without negotiation; the export
+re-bases everything to the earliest event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any
+
+__all__ = ["SpanHandle", "SpanTracer"]
+
+
+class SpanTracer:
+    """Append-only span recorder for one process/lane."""
+
+    def __init__(self, lane: int = 0, lane_name: str = "main"):
+        self.lane = int(lane)
+        self.lane_name = lane_name
+        # wall-clock anchor: epoch seconds at perf_counter() == 0
+        self._anchor = time.time() - time.perf_counter()
+        # (name, start_us, dur_us, cpu_us, lane) tuples
+        self._events: list[tuple[str, int, int, int, int]] = []
+        self._lane_names: dict[int, str] = {self.lane: lane_name}
+
+    # ------------------------------------------------------ recording
+    def add_complete(
+        self, name: str, start_perf: float, dur_s: float, cpu_s: float
+    ) -> None:
+        start_us = int((self._anchor + start_perf) * 1e6)
+        self._events.append(
+            (name, start_us, int(dur_s * 1e6), int(cpu_s * 1e6), self.lane)
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------ worker payloads
+    def to_payload(self) -> dict[str, Any]:
+        """Compact picklable snapshot for cross-process merging."""
+        return {
+            "events": list(self._events),
+            "lane_names": dict(self._lane_names),
+        }
+
+    def merge_payload(self, payload: dict[str, Any]) -> None:
+        """Fold one worker tracer's :meth:`to_payload` snapshot in."""
+        self._events.extend(tuple(event) for event in payload.get("events", ()))
+        for lane, name in payload.get("lane_names", {}).items():
+            self._lane_names.setdefault(int(lane), name)
+
+    # -------------------------------------------------------- export
+    def to_chrome(self) -> dict[str, Any]:
+        """The merged span set as a Chrome trace-event JSON object."""
+        if not self._events:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        pid = os.getpid()
+        base = min(event[1] for event in self._events)
+        trace_events: list[dict[str, Any]] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        ]
+        for lane in sorted(self._lane_names):
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": lane,
+                    "args": {"name": self._lane_names[lane]},
+                }
+            )
+        for name, start_us, dur_us, cpu_us, lane in self._events:
+            trace_events.append(
+                {
+                    "ph": "X",
+                    "name": name,
+                    "cat": "repro",
+                    "ts": start_us - base,
+                    "dur": dur_us,
+                    "pid": pid,
+                    "tid": lane,
+                    "args": {"cpu_ms": round(cpu_us / 1000.0, 3)},
+                }
+            )
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_chrome(), fh)
+            fh.write("\n")
+
+
+class SpanHandle:
+    """One instrumented region: wall + CPU time into tracer and registry.
+
+    Reusable (bind once, enter per iteration) but not reentrant — nested
+    regions use distinct handles.  Entering costs two clock reads; on
+    exit the duration lands in the tracer's event list and, when metrics
+    are live, in the registry's timing histogram under the same name.
+    """
+
+    __slots__ = ("_name", "_metrics", "_tracer", "_t0", "_c0")
+
+    def __init__(self, name: str, metrics: Any, tracer: SpanTracer | None):
+        self._name = name
+        self._metrics = metrics
+        self._tracer = tracer
+        self._t0 = 0.0
+        self._c0 = 0.0
+
+    def __enter__(self) -> "SpanHandle":
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        dur = time.perf_counter() - self._t0
+        if self._metrics is not None:
+            self._metrics.observe(self._name, dur)
+        if self._tracer is not None:
+            self._tracer.add_complete(
+                self._name, self._t0, dur, time.process_time() - self._c0
+            )
+        return False

@@ -62,6 +62,7 @@ from typing import IO, Any
 
 import numpy as np
 
+from repro import obs
 from repro.core.results import CampaignResult, RelayRegistry, unify_relay_identities
 from repro.core.table import ObservationTable
 from repro.core.types import RelayType
@@ -482,6 +483,11 @@ def _worker_main(
 ) -> None:
     """One worker process: serve owned shards from shared scratch buffers."""
     try:
+        # under fork the child inherits the front's enabled obs state;
+        # swap in fresh recorders on this worker's own trace lane *before*
+        # building shard services, so their handles bind to worker state
+        obs.begin_worker(lane=widx + 1, lane_name=f"worker-{widx}")
+        sp_serve = obs.span("cluster.worker.serve")
         services = _build_shard_services(snapshot_path, shard_ids, knobs)
         qsrc = np.memmap(
             os.path.join(scratch_dir, "qsrc.dat"), np.int64, "r", shape=(capacity,)
@@ -517,15 +523,16 @@ def _worker_main(
                 # bookkeeping runs in parallel (proportional to the
                 # shards this worker was assigned) instead of as a
                 # serial argsort on the front
-                h = np.asarray(qshard[:m])
-                for shard in shards:
-                    idx = np.flatnonzero(h == shard)
-                    batch = services[shard].route_many(
-                        qsrc[idx], qdst[idx], relay_type, k
-                    )
-                    arel[idx, :k] = batch.relay_ids
-                    ared[idx, :k] = batch.reduction_ms
-                    atier[idx] = batch.tier
+                with sp_serve:
+                    h = np.asarray(qshard[:m])
+                    for shard in shards:
+                        idx = np.flatnonzero(h == shard)
+                        batch = services[shard].route_many(
+                            qsrc[idx], qdst[idx], relay_type, k
+                        )
+                        arel[idx, :k] = batch.relay_ids
+                        ared[idx, :k] = batch.reduction_ms
+                        atier[idx] = batch.tier
                 done_q.put(("done", widx, time.process_time() - start))
             elif op == "swap":
                 services = _build_shard_services(
@@ -537,6 +544,8 @@ def _worker_main(
                 for service in services.values():
                     total.merge(service.counters.as_dict())
                 done_q.put(("counters", widx, total.as_dict()))
+            elif op == "obs":
+                done_q.put(("obs", widx, obs.worker_payload()))
             elif op == "stop":
                 done_q.put(("stopped", widx))
                 return
@@ -606,6 +615,12 @@ class ClusterService:
         self._capacity = capacity
         self._master = master
         self._epoch = 0
+        # front-side observability handles, bound once (no-ops when off)
+        self._obs_on = obs.metrics_on()
+        self._sp_route = obs.span("cluster.route_many")
+        self._sp_swap = obs.span("cluster.snapshot_swap")
+        self._c_batches = obs.counter("cluster.batches")
+        self._c_queries = obs.counter("cluster.queries")
 
         snapshot = load_cluster_snapshot(self._snapshot_path)
         self._num_shards = snapshot.num_shards
@@ -832,6 +847,20 @@ class ClusterService:
                 f"k={k} exceeds the cluster's answer-buffer width "
                 f"{self._max_k}"
             )
+        with self._sp_route:
+            batch = self._route_many(src_codes, dst_codes, relay_type, k)
+        if self._obs_on:
+            self._c_batches.inc()
+            self._c_queries.inc(int(batch.tier.shape[0]))
+        return batch
+
+    def _route_many(
+        self,
+        src_codes: np.ndarray,
+        dst_codes: np.ndarray,
+        relay_type: RelayType,
+        k: int,
+    ) -> RouteBatch:
         start = time.process_time()
         src, dst = validate_query_codes(
             src_codes, dst_codes, int(self._endpoint_cc.size)
@@ -856,6 +885,9 @@ class ClusterService:
             self._qdst[:m] = dst[lo:hi]
             self._qshard[:m] = shard
             counts = np.bincount(shard, minlength=self._num_shards)
+            if self._obs_on:
+                for s in np.flatnonzero(counts).tolist():
+                    obs.inc(f"cluster.shard.{s}.queries", int(counts[s]))
             # greedy LPT: heaviest shards first onto the least-loaded
             # worker — real traffic is Zipf-skewed, so static s % W
             # assignment would leave one worker owning the hot shard
@@ -942,28 +974,30 @@ class ClusterService:
         return self._master
 
     def _publish(self, directory: RelayDirectory) -> None:
-        self._epoch += 1
-        path = os.path.join(self._workdir, f"snapshot-{self._epoch}.npz")
-        save_cluster_snapshot(directory, path, num_shards=self._num_shards)
-        for cmd_q in self._cmd_qs:
-            cmd_q.put(("swap", path))
-        pending = set(range(self._workers))
-        while pending:
-            msg = self._get_done()
-            if msg[0] == "swapped":
-                pending.discard(msg[1])
-            elif msg[0] == "error":
-                self._raise_worker_error(msg)
-        previous = self._snapshot_path
-        self._snapshot_path = path
-        if self._owns_snapshot:
-            try:
-                os.unlink(previous)
-            except OSError:  # pragma: no cover - best-effort cleanup
-                pass
-        self._owns_snapshot = True
-        self._front = load_cluster_snapshot(path).identity_directory()
-        self._endpoint_cc = self._front.endpoint_country_codes()
+        with self._sp_swap:
+            self._epoch += 1
+            path = os.path.join(self._workdir, f"snapshot-{self._epoch}.npz")
+            save_cluster_snapshot(directory, path, num_shards=self._num_shards)
+            for cmd_q in self._cmd_qs:
+                cmd_q.put(("swap", path))
+            pending = set(range(self._workers))
+            while pending:
+                msg = self._get_done()
+                if msg[0] == "swapped":
+                    pending.discard(msg[1])
+                elif msg[0] == "error":
+                    self._raise_worker_error(msg)
+            previous = self._snapshot_path
+            self._snapshot_path = path
+            if self._owns_snapshot:
+                try:
+                    os.unlink(previous)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+            self._owns_snapshot = True
+            self._front = load_cluster_snapshot(path).identity_directory()
+            self._endpoint_cc = self._front.endpoint_country_codes()
+        obs.inc("cluster.snapshot_swaps")
 
     # ------------------------------------------------------------ telemetry
 
@@ -984,6 +1018,30 @@ class ClusterService:
             elif msg[0] == "error":
                 self._raise_worker_error(msg)
         return total.as_dict()
+
+    def collect_obs(self) -> None:
+        """Drain every worker's metrics/trace payload into the driver.
+
+        Each worker records onto its own trace lane (``begin_worker``);
+        this merges those lanes into the driver's recorders so one
+        Chrome trace file shows the front and every worker as parallel
+        timelines.  No-op when observability is disabled (workers then
+        ship ``None`` payloads); call before :meth:`close`.
+        """
+        if not obs.active():
+            return
+        self._check_open()
+        for cmd_q in self._cmd_qs:
+            cmd_q.put(("obs",))
+        pending = set(range(self._workers))
+        while pending:
+            msg = self._get_done()
+            if msg[0] == "obs":
+                if msg[2] is not None:
+                    obs.merge_worker_payload(msg[2])
+                pending.discard(msg[1])
+            elif msg[0] == "error":
+                self._raise_worker_error(msg)
 
     def reset_clocks(self) -> None:
         """Zero the scale-out accounting (start of a measured replay)."""

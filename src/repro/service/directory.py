@@ -37,6 +37,7 @@ from typing import IO, Any
 
 import numpy as np
 
+from repro import obs
 from repro.core.oracle import csr_top_k, rank_lane_entries
 from repro.core.results import RoundResult
 from repro.core.table import NUM_RELAY_TYPES, Interner, ObservationTable
@@ -271,8 +272,9 @@ class RelayDirectory:
         evaluation round); default is every round of the result.
         """
         directory = cls(max_rounds=max_rounds)
-        for rnd in result.rounds if rounds is None else rounds:
-            directory.ingest_round(rnd)
+        with obs.span("service.directory.compile"):
+            for rnd in result.rounds if rounds is None else rounds:
+                directory.ingest_round(rnd)
         return directory
 
     @classmethod
@@ -285,8 +287,9 @@ class RelayDirectory:
         splits it back into rounds, ingested in ascending round order.
         """
         directory = cls(max_rounds=max_rounds)
-        for round_id in table.round_values().tolist():
-            directory.ingest_round(table, round_id=round_id)
+        with obs.span("service.directory.compile"):
+            for round_id in table.round_values().tolist():
+                directory.ingest_round(table, round_id=round_id)
         return directory
 
     # -------------------------------------------------------------- ingestion
@@ -313,6 +316,18 @@ class RelayDirectory:
         Raises:
             ServiceError: on out-of-order or duplicate round ids.
         """
+        with obs.span("service.directory.ingest"):
+            stats = self._ingest_round(source, round_id)
+        obs.inc("service.directory.ingested_rounds")
+        obs.inc("service.directory.evicted_rounds", stats["evicted_rounds"])
+        obs.inc("service.directory.touched_lanes", stats["touched_lanes"])
+        return stats
+
+    def _ingest_round(
+        self,
+        source: RoundResult | ObservationTable,
+        round_id: int | None = None,
+    ) -> dict[str, int]:
         if isinstance(source, RoundResult):
             table = source.table
             rid = source.round_index if round_id is None else round_id
@@ -474,10 +489,11 @@ class RelayDirectory:
 
     def recompile(self) -> None:
         """Rebuild every compiled block from the retained rounds."""
-        keys = sorted({key for agg in self._rounds.values() for key in agg})
-        self._blocks = {}
-        for tier, type_code in keys:
-            self._recompute(tier, type_code)
+        with obs.span("service.directory.recompile"):
+            keys = sorted({key for agg in self._rounds.values() for key in agg})
+            self._blocks = {}
+            for tier, type_code in keys:
+                self._recompute(tier, type_code)
 
     # ---------------------------------------------------------------- queries
 

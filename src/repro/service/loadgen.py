@@ -29,6 +29,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.core.types import RelayType
 from repro.errors import EmptyDirectoryError, ServiceError, UnknownCountryError
 from repro.service.directory import RelayDirectory, TIER_NAMES
@@ -255,16 +256,20 @@ def replay(
     if reset_clocks is not None:
         reset_clocks()
     start = time.perf_counter()
-    for lo in range(0, n, config.batch_size):
-        hi = min(lo + config.batch_size, n)
-        batch = service.route_many(
-            src[lo:hi], dst[lo:hi], config.relay_type, config.k
-        )
-        tier_counts += np.bincount(batch.tier, minlength=len(TIER_NAMES))
-        no_relay += int(np.count_nonzero(batch.relay_ids[:, 0] < 0))
-        digest.update(batch.relay_ids.tobytes())
-        digest.update(batch.tier.tobytes())
+    with obs.span("loadgen.replay"):
+        for lo in range(0, n, config.batch_size):
+            hi = min(lo + config.batch_size, n)
+            batch = service.route_many(
+                src[lo:hi], dst[lo:hi], config.relay_type, config.k
+            )
+            tier_counts += np.bincount(batch.tier, minlength=len(TIER_NAMES))
+            no_relay += int(np.count_nonzero(batch.relay_ids[:, 0] < 0))
+            digest.update(batch.relay_ids.tobytes())
+            digest.update(batch.tier.tobytes())
     wall = time.perf_counter() - start
+    obs.inc("loadgen.queries", n)
+    obs.inc("loadgen.batches", -(-n // config.batch_size) if n else 0)
+    obs.set_gauge("loadgen.batch_size", config.batch_size)
     degradation = getattr(service, "degradation_summary", lambda: None)()
     scale_out = getattr(service, "scale_out_summary", lambda: None)()
     return ServiceStats(

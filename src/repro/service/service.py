@@ -44,6 +44,7 @@ from typing import IO, Any
 
 import numpy as np
 
+from repro import obs
 from repro.core.results import CampaignResult, RoundResult
 from repro.core.table import ObservationTable
 from repro.core.types import RelayType
@@ -138,6 +139,15 @@ class ShortcutService:
         self._spill = spill
         self.counters = DegradationCounters()
         self._dead: np.ndarray | None = None
+        # observability handles are bound once here so the hot path pays a
+        # single attribute load (and nothing at all when obs is disabled)
+        self._obs_on = obs.metrics_on()
+        self._sp_route = obs.span("service.route_many")
+        self._c_queries = obs.counter("service.queries")
+        self._c_batches = obs.counter("service.batches")
+        self._c_tiers = tuple(
+            obs.counter(f"service.answers.{name}") for name in TIER_NAMES
+        )
         self._refresh_health()
 
     def _refresh_health(self) -> None:
@@ -312,6 +322,23 @@ class ShortcutService:
         are demoted out of the answers first (see the module docstring);
         counters accumulate on :attr:`counters`.
         """
+        with self._sp_route:
+            batch = self._route_many(src_codes, dst_codes, relay_type, k)
+        if self._obs_on:
+            self._c_batches.inc()
+            self._c_queries.inc(int(batch.tier.shape[0]))
+            per_tier = np.bincount(batch.tier, minlength=len(TIER_NAMES))
+            for handle, n in zip(self._c_tiers, per_tier):
+                handle.inc(int(n))
+        return batch
+
+    def _route_many(
+        self,
+        src_codes: np.ndarray,
+        dst_codes: np.ndarray,
+        relay_type: RelayType,
+        k: int | None,
+    ) -> RouteBatch:
         if k is None:
             k = self._default_k
         if self._liveness_rounds is None:

@@ -30,6 +30,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.core.results import CampaignResult
 from repro.core.types import RelayType
 from repro.errors import ServiceError
@@ -118,12 +119,15 @@ def chaos_replay(
     )
     rounds_out: list[dict[str, Any]] = []
     total_queries = total_dead = total_answered = 0
+    total_tiers = np.zeros(len(TIER_NAMES), np.int64)
     ingested = 0
+    sp_round = obs.span("chaos.round")
     for rnd in result.rounds:
         service.ingest_round(rnd)
         ingested += 1
         if ingested < config.warmup_rounds:
             continue
+        sp_round.__enter__()
         absent = (
             timeline.absent_ids(rnd.round_index)
             if timeline is not None
@@ -171,6 +175,22 @@ def chaos_replay(
         total_queries += n
         total_answered += answered
         total_dead += dead_answers
+        total_tiers += tier_counts
+        obs.inc("chaos.rounds")
+        obs.inc("chaos.queries", n)
+        obs.inc("chaos.answered", answered)
+        obs.inc("chaos.dead_answers", dead_answers)
+        if obs.metrics_on() and n:
+            obs.set_gauge(
+                f"chaos.round{rnd.round_index}.availability",
+                round(1.0 - dead_answers / n, 4),
+            )
+            obs.set_gauge(
+                f"chaos.round{rnd.round_index}.stale_answer_rate",
+                round(dead_answers / answered, 4) if answered else 0.0,
+            )
+        # span paired manually so the long round body keeps its indent
+        sp_round.__exit__(None, None, None)
         rounds_out.append(
             {
                 "round": rnd.round_index,
@@ -220,6 +240,10 @@ def chaos_replay(
             "overall_stale_answer_rate": (
                 round(total_dead / total_answered, 4) if total_answered else 0.0
             ),
+            "tier_counts": {
+                name: int(total_tiers[code])
+                for code, name in enumerate(TIER_NAMES)
+            },
             "degradation": service.counters.as_dict(),
         },
     }

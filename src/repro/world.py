@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.datasets.apnic import ApnicCoverage
 from repro.datasets.config import DatasetConfig
 from repro.datasets.facility_mapping import FacilityMappingDataset
@@ -210,15 +211,16 @@ class World:
         """
         if self._fabric_ready:
             return self.fabric
-        attachments = self._grid_attachments()
-        self.fabric.ensure(sorted({asn for asn, _ in attachments}))
-        if not self.latency.attachment_grid_covers(attachments):
-            grid, att_ids = self.fabric.build_attachment_grid(
-                self.walker, attachments, self.config.latency.per_hop_ms
-            )
-            self.latency.set_attachment_grid(grid, att_ids)
-            if self._world_cache is not None:
-                self._world_cache.store(self)
+        with obs.span("world.fabric"):
+            attachments = self._grid_attachments()
+            self.fabric.ensure(sorted({asn for asn, _ in attachments}))
+            if not self.latency.attachment_grid_covers(attachments):
+                grid, att_ids = self.fabric.build_attachment_grid(
+                    self.walker, attachments, self.config.latency.per_hop_ms
+                )
+                self.latency.set_attachment_grid(grid, att_ids)
+                if self._world_cache is not None:
+                    self._world_cache.store(self)
         self._fabric_ready = True
         return self.fabric
 
@@ -282,10 +284,17 @@ def build_world(
     config = config or WorldConfig()
     cache = resolve_cache(world_cache) if use_world_cache else None
     if cache is None:
-        return World(seed, config)
+        obs.inc("world.builds")
+        with obs.span("world.build"):
+            return World(seed, config)
     snapshot = cache.load(seed, config)
     if snapshot is not None:
-        return World(seed, config, snapshot=snapshot)
-    world = World(seed, config)
+        obs.inc("world.cache.hits")
+        with obs.span("world.restore"):
+            return World(seed, config, snapshot=snapshot)
+    obs.inc("world.cache.misses")
+    obs.inc("world.builds")
+    with obs.span("world.build"):
+        world = World(seed, config)
     world._world_cache = cache
     return world
